@@ -1,0 +1,20 @@
+"""Benchmark-suite configuration.
+
+Each figure benchmark runs its experiment exactly once inside
+``benchmark.pedantic`` (the experiments are seconds-long simulations;
+statistical repetition happens *inside* them via thousands of simulated
+tasks) and prints the reproduced table so ``pytest benchmarks/
+--benchmark-only -s`` regenerates every figure of the paper.
+"""
+
+import pytest
+
+
+@pytest.fixture()
+def run_once(benchmark):
+    """Run a zero-argument callable once under the benchmark clock."""
+
+    def _run(function):
+        return benchmark.pedantic(function, rounds=1, iterations=1)
+
+    return _run

@@ -1,0 +1,34 @@
+"""Regenerates Fig. 3: the DPDK queue-scalability case study."""
+
+from repro.experiments.fig3_dpdk import run_fig3a, run_fig3b, run_fig3c
+
+
+def test_fig3a_throughput_vs_queues(run_once):
+    result = run_once(lambda: run_fig3a(fast=True))
+    print("\n" + result.format_table())
+    series = result.series("queues", "SQ")
+    counts = sorted(series)
+    # SQ collapses drastically; FB/PC stabilise well above it.
+    assert series[counts[-1]] < series[counts[0]] / 20
+    fb = result.series("queues", "FB")
+    assert fb[counts[-1]] > 10 * series[counts[-1]]
+
+
+def test_fig3b_latency_vs_queues(run_once):
+    result = run_once(lambda: run_fig3b(fast=True))
+    print("\n" + result.format_table())
+    avg = result.series("queues", "avg_us")
+    p99 = result.series("queues", "p99_us")
+    counts = sorted(avg)
+    assert avg[counts[-1]] > 3 * avg[counts[0]]
+    # Tail grows with a higher slope than the average.
+    tail_growth = p99[counts[-1]] / p99[counts[0]]
+    avg_growth = avg[counts[-1]] / avg[counts[0]]
+    assert tail_growth > avg_growth
+
+
+def test_fig3c_latency_cdf(run_once):
+    result = run_once(lambda: run_fig3c(fast=True))
+    print("\n" + result.format_table())
+    spreads = {row["queues"]: row["p99"] - row["p10"] for row in result.rows}
+    assert spreads[512] > spreads[256] > spreads[1]

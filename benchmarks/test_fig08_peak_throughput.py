@@ -1,0 +1,31 @@
+"""Regenerates Fig. 8: peak throughput, spinning vs. HyperPlane."""
+
+from repro.experiments.fig8_peak_throughput import run_fig8
+
+
+def test_fig8_peak_throughput(run_once):
+    result = run_once(lambda: run_fig8(fast=True))
+    print("\n" + result.format_table())
+    rows = result.rows
+
+    def grid(workload, shape):
+        return {
+            row["queues"]: row for row in rows
+            if row["workload"] == workload and row["shape"] == shape
+        }
+
+    for workload in {row["workload"] for row in rows}:
+        sq = grid(workload, "SQ")
+        counts = sorted(sq)
+        big, small = counts[-1], counts[0]
+        # Spinning collapses under SQ; HyperPlane stays near its 1-queue peak.
+        assert sq[big]["spinning"] < sq[small]["spinning"] / 10
+        assert sq[big]["hyperplane"] > 0.4 * sq[small]["hyperplane"]
+        # HyperPlane never loses by more than noise on any shape.
+        for shape in ("FB", "PC", "NC", "SQ"):
+            for row in grid(workload, shape).values():
+                assert row["hyperplane"] > 0.93 * row["spinning"]
+    # Aggregate gain is of the paper's order (4.1x on the paper's grid).
+    gains = [row["gain"] for row in rows]
+    assert max(gains) > 10  # SQ at 1000 queues dominates the average
+    assert sum(gains) / len(gains) > 2.0

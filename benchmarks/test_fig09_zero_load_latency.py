@@ -1,0 +1,34 @@
+"""Regenerates Fig. 9: zero-load latency vs. queue count."""
+
+from repro.experiments.fig9_zero_load import run_fig9a, run_fig9b
+
+
+def test_fig9a_spinning_latency_grows(run_once):
+    result = run_once(lambda: run_fig9a(fast=True))
+    print("\n" + result.format_table())
+    avg = result.series("queues", "avg_us")
+    p99 = result.series("queues", "p99_us")
+    counts = sorted(avg)
+    # Near-linear growth; tail above 100 us at 1000 queues (paper).
+    assert avg[counts[-1]] > 10 * avg[counts[0]]
+    assert p99[1000] > 100.0
+    # Tail/average gap widens with queue count.
+    assert p99[counts[-1]] / avg[counts[-1]] > p99[counts[0]] / avg[counts[0]]
+
+
+def test_fig9b_hyperplane_flat_and_power_crossover(run_once):
+    result = run_once(lambda: run_fig9b(fast=True))
+    print("\n" + result.format_table())
+    regular = result.series("queues", "regular_us")
+    powered = result.series("queues", "power_opt_us")
+    spinning = result.series("queues", "spinning_us")
+    counts = sorted(regular)
+    # HyperPlane is queue-scalable: < 10 us even at 1000 queues.
+    assert regular[counts[-1]] < 10.0
+    assert regular[counts[-1]] < 2.5 * regular[counts[0]]
+    # Power-optimised adds ~0.5 us everywhere.
+    for count in counts:
+        assert 0.2 < powered[count] - regular[count] < 0.8
+    # Spinning beats power-optimised HP only at very small queue counts.
+    assert powered[counts[0]] > spinning[counts[0]]
+    assert powered[1000] < spinning[1000] / 5

@@ -1,0 +1,33 @@
+"""Regenerates Fig. 10: multicore tail latency across organisations."""
+
+from repro.experiments.fig10_multicore import run_fig10a, run_fig10b
+
+
+def test_fig10a_fully_balanced(run_once):
+    result = run_once(lambda: run_fig10a(fast=True))
+    print("\n" + result.format_table())
+    mid = min(result.rows, key=lambda r: abs(r["load"] - 0.5))
+    # Scale-up helps HyperPlane monotonically...
+    assert mid["hp_up4"] < mid["hp_up2"] < mid["hp_out"]
+    # ...and hurts spinning monotonically.
+    assert mid["spin_up4"] > mid["spin_up2"] > mid["spin_out"]
+    # HyperPlane beats spinning in every organisation at every load.
+    for row in result.rows:
+        for org in ("out", "up2", "up4"):
+            assert row[f"hp_{org}"] < row[f"spin_{org}"]
+
+
+def test_fig10b_proportionally_concentrated_with_imbalance(run_once):
+    result = run_once(lambda: run_fig10b(fast=True))
+    print("\n" + result.format_table())
+    high = max(result.rows, key=lambda r: r["load"])
+    # Static imbalance inflates scale-out latency (mean is the robust
+    # signal at this sample count; the p99 columns are what the paper
+    # plots).
+    assert high["spin_out_imb_avg"] > high["spin_out_avg"]
+    assert high["hp_out_imb_avg"] > high["hp_out_avg"]
+    # Scale-up HyperPlane is immune to the imbalance and best overall.
+    assert high["hp_up2"] < high["hp_out_imb"]
+    assert high["hp_up2"] == min(
+        value for key, value in high.items() if key != "load" and not key.endswith("_avg")
+    )

@@ -1,0 +1,34 @@
+"""Regenerates Fig. 11: IPC breakdown and SMT co-runner interference."""
+
+from repro.experiments.fig11_work_proportionality import run_fig11a, run_fig11b
+
+
+def test_fig11a_ipc_breakdown(run_once):
+    result = run_once(lambda: run_fig11a(fast=True))
+    print("\n" + result.format_table())
+    rows = sorted(result.rows, key=lambda r: r["load"])
+    zero, top = rows[0], rows[-1]
+    # Spinning commits its highest IPC at zero load, all of it useless.
+    assert zero["spin_total_ipc"] > top["spin_total_ipc"]
+    assert zero["spin_useless_ipc"] > 100 * zero["spin_useful_ipc"]
+    # HyperPlane IPC grows ~linearly with load from zero.
+    hp = [row["hp_ipc"] for row in rows]
+    assert hp == sorted(hp)
+    assert hp[0] < 0.05
+    # Useful IPC matches between the designs (same work done).
+    for row in rows:
+        assert abs(row["spin_useful_ipc"] - row["hp_ipc"]) < 0.35
+
+
+def test_fig11b_corunner_ipc(run_once):
+    result = run_once(lambda: run_fig11b(fast=True))
+    print("\n" + result.format_table())
+    rows = sorted(result.rows, key=lambda r: r["load"])
+    spin = [row["corunner_vs_spinning"] for row in rows]
+    hyper = [row["corunner_vs_hyperplane"] for row in rows]
+    # Against spinning the co-runner does *better* as load rises.
+    assert spin[-1] > spin[0]
+    # Against HyperPlane it does worse (the proportional design).
+    assert hyper[-1] < hyper[0]
+    # At zero load HyperPlane leaves the whole core to the co-runner.
+    assert hyper[0] > spin[0] * 1.3

@@ -1,0 +1,35 @@
+"""Regenerates Fig. 12: energy proportionality and the C1 mode."""
+
+from repro.experiments.fig12_power import run_fig12a, run_fig12b
+
+
+def test_fig12a_normalized_power(run_once):
+    result = run_once(lambda: run_fig12a(fast=True))
+    print("\n" + result.format_table())
+    rows = {row["system"]: row for row in result.rows}
+    # Spinning is energy-disproportional: zero load burns >= saturation.
+    assert rows["spinning"]["zero_load"] > rows["spinning"]["saturation"]
+    # HyperPlane is proportional: zero load well below saturation.
+    assert rows["hyperplane"]["zero_load"] < 0.8 * rows["hyperplane"]["saturation"]
+    # The C1 mode reaches the paper's 16.2% floor at zero load.
+    assert abs(rows["hyperplane_c1"]["zero_load"] - 0.162) < 0.02
+    # At saturation the modes converge (C1 is never entered).
+    assert abs(
+        rows["hyperplane_c1"]["saturation"] - rows["hyperplane"]["saturation"]
+    ) < 0.05
+
+
+def test_fig12b_power_optimised_tail_gap(run_once):
+    result = run_once(lambda: run_fig12b(fast=True))
+    print("\n" + result.format_table())
+    rows = sorted(result.rows, key=lambda r: r["load"])
+    low = rows[0]
+    mid = min(rows, key=lambda r: abs(r["load"] - 0.5))
+    # The wake-up gap exists at zero load (paper: 38%)...
+    assert low["gap_pct"] > 10.0
+    # ...and shrinks as load rises (paper: 8% at 50% load).
+    assert mid["gap_pct"] < low["gap_pct"]
+    # Power-optimised HyperPlane still beats spinning at zero load
+    # (paper: 8.9x; our per-poll costs are milder at this cluster size,
+    # see EXPERIMENTS.md, but the direction and gap shape hold).
+    assert low["spinning_p99"] / low["hp_power_opt_p99"] > 1.5

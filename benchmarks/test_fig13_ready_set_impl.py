@@ -1,0 +1,17 @@
+"""Regenerates Fig. 13: software vs. hardware ready set."""
+
+from repro.experiments.fig13_ready_set import run_fig13
+
+
+def test_fig13_software_ready_set(run_once):
+    result = run_once(lambda: run_fig13(fast=True))
+    print("\n" + result.format_table())
+    for row in result.rows:
+        # The software iterator always loses throughput...
+        assert row["fb_relative_pct"] < 100.0
+        assert row["pc_relative_pct"] < 100.0
+        # ...and FB (everything ready => longest iteration) is worst.
+        assert row["fb_relative_pct"] < row["pc_relative_pct"]
+    # The shortest workload suffers most (paper: down to ~50% for FB).
+    worst = min(row["fb_relative_pct"] for row in result.rows)
+    assert worst < 75.0

@@ -1,0 +1,31 @@
+"""Regenerates the Section IV-C hardware-cost table and checks Table I."""
+
+import pytest
+
+from repro.experiments.hwcost import costs_for, run_hwcost
+from repro.sdp.config import CHIP_CORES, MONITORING_SET_ENTRIES, READY_SET_ENTRIES, TABLE1
+
+
+def test_hwcost_table(run_once):
+    result = run_once(lambda: run_hwcost(fast=True))
+    print("\n" + result.format_table())
+    anchor = costs_for(1024)
+    assert anchor.ready_set_area == pytest.approx(0.13)
+    assert anchor.ready_set_latency_ns == pytest.approx(12.25)
+    assert anchor.monitoring_area == pytest.approx(0.21)
+    assert anchor.chip_area_overhead < 0.003
+    assert anchor.single_core_power_fraction == pytest.approx(0.062)
+
+
+def test_table1_configuration_constants(run_once):
+    def snapshot():
+        return dict(TABLE1)
+
+    table = run_once(snapshot)
+    print("\nTable I:", table)
+    assert MONITORING_SET_ENTRIES == 1024
+    assert READY_SET_ENTRIES == 1024
+    assert CHIP_CORES == 16
+    assert "32 KB" in table["l1"]
+    assert "1 MB per core" in table["llc"]
+    assert "MESI" in table["cmp"]

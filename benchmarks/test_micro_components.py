@@ -1,0 +1,93 @@
+"""Microbenchmarks of the core data structures (real pytest-benchmark
+timing, many iterations): monitoring-set snoops, ready-set selections,
+PPA arbitration, the event engine, and the functional kernels."""
+
+import random
+
+from repro.core.monitoring_set import CuckooMonitoringSet
+from repro.core.policies import RoundRobinPolicy
+from repro.core.ppa import brent_kung_ppa, ppa_select
+from repro.core.ready_set import HardwareReadySet
+from repro.sim import Simulator
+from repro.workloads.crypto import AesCbc
+from repro.workloads.erasure import CauchyReedSolomon
+
+
+def test_bench_monitoring_set_snoop(benchmark):
+    ms = CuckooMonitoringSet(capacity=1024, ways=4, seed=0)
+    tags = [0x1000_0000 + i * 64 for i in range(900)]
+    for i, tag in enumerate(tags):
+        ms.insert(tag, i)
+
+    def snoop_and_rearm():
+        for tag in tags[:256]:
+            if ms.snoop_write(tag) is not None:
+                ms.arm(tag)
+
+    benchmark(snoop_and_rearm)
+    assert ms.snoop_hits > 0
+
+
+def test_bench_ready_set_select(benchmark):
+    ready_set = HardwareReadySet(1024, RoundRobinPolicy(1024))
+    rng = random.Random(0)
+    active = rng.sample(range(1024), 400)
+
+    def select_cycle():
+        for qid in active:
+            ready_set.activate(qid)
+        while ready_set.select_and_take() is not None:
+            pass
+
+    benchmark(select_cycle)
+    assert ready_set.selections >= 400
+
+
+def test_bench_ppa_select_fast_path(benchmark):
+    rng = random.Random(1)
+    masks = [rng.getrandbits(1024) for _ in range(64)]
+
+    def arbitrate():
+        priority = 1
+        for mask in masks:
+            select = ppa_select(mask, priority, 1024)
+            if select:
+                priority = select
+
+    benchmark(arbitrate)
+
+
+def test_bench_brent_kung_model(benchmark):
+    # The gate-accurate model is slower; it exists for verification, so
+    # benchmark it at modest width.
+    benchmark(lambda: brent_kung_ppa((1 << 255) | 1, 1 << 7, 256))
+
+
+def test_bench_event_engine(benchmark):
+    def run_10k_events():
+        sim = Simulator()
+
+        def ping(depth):
+            if depth:
+                sim.schedule(1e-9, ping, depth - 1)
+
+        for _ in range(10):
+            sim.schedule(0.0, ping, 1000)
+        sim.run()
+        return sim.events_dispatched
+
+    dispatched = benchmark(run_10k_events)
+    assert dispatched >= 10_000
+
+
+def test_bench_aes_block(benchmark):
+    cipher = AesCbc(bytes(range(32)))
+    block = bytes(16)
+    benchmark(lambda: cipher.encrypt_block(block))
+
+
+def test_bench_reed_solomon_encode(benchmark):
+    rs = CauchyReedSolomon(6, 3)
+    data = bytes(range(256)) * 16  # 4 KiB
+    fragments = benchmark(lambda: rs.encode(data))
+    assert len(fragments) == 9

@@ -1,0 +1,95 @@
+"""Extension figure: the notification design space.
+
+Not a paper figure — a synthesis the paper's Sections I-III argue in
+prose: four notification mechanisms (spin-polling, MWAIT halt-then-scan,
+MSI-X interrupts with NAPI coalescing, HyperPlane) measured on the two
+axes the paper's taxonomy uses: queue scalability (zero-load latency vs.
+queue count) and work proportionality (halt fraction / useless work),
+plus loaded tail latency.
+"""
+
+from repro.core.runner import run_hyperplane
+from repro.sdp import SDPConfig, run_interrupts, run_mwait, run_spinning
+
+MECHANISMS = (
+    ("spinning", run_spinning),
+    ("mwait", run_mwait),
+    ("interrupts", run_interrupts),
+    ("hyperplane", run_hyperplane),
+)
+
+
+def _profile(runner, num_queues, seed=1):
+    zero = runner(
+        SDPConfig(
+            num_queues=num_queues, workload="packet-encapsulation", shape="FB",
+            seed=seed, service_scv=0.0,
+        ),
+        load=0.01,
+        target_completions=250,
+        max_seconds=5.0,
+    )
+    loaded = runner(
+        SDPConfig(
+            num_queues=num_queues, workload="packet-encapsulation", shape="FB",
+            seed=seed,
+        ),
+        load=0.5,
+        target_completions=2000,
+        max_seconds=2.0,
+    )
+    return {
+        "zero_load_avg_us": zero.latency.mean_us,
+        "p99_at_50pct_us": loaded.latency.p99_us,
+        "halt_fraction_idle": zero.chip_activity.halt_fraction,
+        "useless_instr_idle": zero.chip_activity.useless_instructions,
+    }
+
+
+def test_notification_design_space(run_once):
+    def sweep():
+        return {
+            name: {n: _profile(runner, n) for n in (8, 256)}
+            for name, runner in MECHANISMS
+        }
+
+    results = run_once(sweep)
+    print("\nmechanism      queues  zero-load avg   p99@50%   idle halt")
+    for name, by_count in results.items():
+        for count, row in by_count.items():
+            print(
+                f"{name:<14}{count:>7}{row['zero_load_avg_us']:>14.2f}"
+                f"{row['p99_at_50pct_us']:>10.2f}{row['halt_fraction_idle']:>11.2f}"
+            )
+
+    # Work proportionality: everything but spinning halts when idle.
+    assert results["spinning"][256]["halt_fraction_idle"] == 0.0
+    for name in ("mwait", "interrupts", "hyperplane"):
+        assert results[name][256]["halt_fraction_idle"] > 0.7
+
+    # Queue scalability: spinning and mwait degrade with queue count;
+    # interrupts and HyperPlane stay flat.
+    for name in ("spinning", "mwait"):
+        assert (
+            results[name][256]["zero_load_avg_us"]
+            > 2.0 * results[name][8]["zero_load_avg_us"]
+        )
+    for name in ("interrupts", "hyperplane"):
+        assert (
+            results[name][256]["zero_load_avg_us"]
+            < 1.3 * results[name][8]["zero_load_avg_us"]
+        )
+
+    # HyperPlane is the only mechanism best-in-class on every axis.
+    for count in (8, 256):
+        best_zero = min(r[count]["zero_load_avg_us"] for r in results.values())
+        best_tail = min(r[count]["p99_at_50pct_us"] for r in results.values())
+        assert results["hyperplane"][count]["zero_load_avg_us"] == best_zero
+        assert results["hyperplane"][count]["p99_at_50pct_us"] == best_tail
+
+    # Interrupt overhead shows up exactly where expected: flat but offset
+    # at zero load, inflated tail under load (single IRQ target core).
+    assert (
+        results["interrupts"][256]["zero_load_avg_us"]
+        > results["hyperplane"][256]["zero_load_avg_us"] + 0.8
+    )

@@ -1,0 +1,61 @@
+#!/usr/bin/env python
+"""The notification design space: spin, MWAIT, interrupts, HyperPlane.
+
+Reproduces, as one table, the taxonomy the paper's introduction argues:
+spin-polling reacts fast but burns cycles and does not scale with queue
+count; MWAIT variants fix the burning but not the scan; interrupts know
+the queue but cost microseconds per wake-up; HyperPlane (QWAIT +
+monitoring/ready sets) is the only point that is simultaneously
+queue-scalable, work-proportional, and low-latency.
+
+Run:  python examples/notification_mechanisms.py
+"""
+
+from repro.core import run_hyperplane
+from repro.sdp import SDPConfig, run_interrupts, run_mwait, run_spinning
+
+MECHANISMS = (
+    ("spin-polling", run_spinning),
+    ("mwait (halt+scan)", run_mwait),
+    ("msi-x interrupts", run_interrupts),
+    ("hyperplane", run_hyperplane),
+)
+
+
+def main():
+    print(
+        f"{'mechanism':<19}{'q':>5}{'zero-load avg us':>18}"
+        f"{'p99 @50% us':>13}{'SQ peak Mtps':>14}{'idle halt':>11}"
+    )
+    for name, runner in MECHANISMS:
+        for num_queues in (8, 256):
+            zero = runner(
+                SDPConfig(num_queues=num_queues, workload="packet-encapsulation",
+                          shape="FB", seed=1, service_scv=0.0),
+                load=0.01, target_completions=250, max_seconds=5.0,
+            )
+            loaded = runner(
+                SDPConfig(num_queues=num_queues, workload="packet-encapsulation",
+                          shape="FB", seed=1),
+                load=0.5, target_completions=2000, max_seconds=2.0,
+            )
+            peak = runner(
+                SDPConfig(num_queues=num_queues, workload="packet-encapsulation",
+                          shape="SQ", seed=1),
+                closed_loop=True, target_completions=1500, max_seconds=2.0,
+            )
+            print(
+                f"{name:<19}{num_queues:>5}{zero.latency.mean_us:>18.2f}"
+                f"{loaded.latency.p99_us:>13.2f}{peak.throughput_mtps:>14.3f}"
+                f"{zero.chip_activity.halt_fraction:>11.2f}"
+            )
+    print(
+        "\nReading guide: spin and mwait degrade with queue count (they scan);\n"
+        "interrupts are flat but pay ~1.3 us of kernel path per wake-up and\n"
+        "fall over under load; HyperPlane is flat, halts when idle, and keeps\n"
+        "the QWAIT path under 30 ns."
+    )
+
+
+if __name__ == "__main__":
+    main()

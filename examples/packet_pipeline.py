@@ -1,0 +1,81 @@
+#!/usr/bin/env python
+"""A realistic packet pipeline on the functional kernels + simulator.
+
+Part 1 pushes real bytes through the network workloads: IPv4 packets are
+steered to workers by five-tuple session affinity, GRE-encapsulated into
+IPv6 tunnel packets, and AES-CBC-256-encrypted — then decrypted and
+decapsulated to verify the pipeline end to end.
+
+Part 2 runs the corresponding data-plane simulation: a HyperPlane-
+notified SDP executing the crypto-forwarding workload against PC traffic
+at rising load, reporting tail latency.
+
+Run:  python examples/packet_pipeline.py
+"""
+
+import random
+
+from repro.core import run_hyperplane
+from repro.sdp import SDPConfig
+from repro.workloads import (
+    AesCbc,
+    Ipv4Packet,
+    Ipv6Packet,
+    PacketSteerer,
+    gre_decapsulate,
+    gre_encapsulate,
+)
+
+
+def functional_pipeline(num_packets: int = 200) -> None:
+    rng = random.Random(0)
+    steerer = PacketSteerer(num_workers=4)
+    key = bytes(range(32))
+    cipher = AesCbc(key)
+    tunnel_src = 0x20010DB8 << 96
+    tunnel_dst = (0x20010DB8 << 96) | 1
+
+    per_worker = [0, 0, 0, 0]
+    for i in range(num_packets):
+        flow = (rng.randrange(1 << 32), rng.randrange(1 << 32), 1000 + i % 50, 443, 6)
+        packet = Ipv4Packet(
+            src=flow[0], dst=flow[1], identification=i, payload=bytes(64)
+        )
+        worker = steerer.steer(flow)
+        per_worker[worker] += 1
+        tunneled = gre_encapsulate(packet, tunnel_src, tunnel_dst)
+        iv = i.to_bytes(16, "big")
+        ciphertext = cipher.encrypt(tunneled.to_bytes(), iv)
+        # Receive side: decrypt, parse, decapsulate, verify.
+        wire = cipher.decrypt(ciphertext, iv)
+        recovered = gre_decapsulate(Ipv6Packet.from_bytes(wire))
+        assert recovered == packet, "pipeline corrupted a packet"
+    print(f"functional pipeline: {num_packets} packets encrypted+tunneled and verified")
+    print(f"  steering spread across workers: {per_worker}")
+    print(f"  session table: {steerer.session_count} flows, "
+          f"{steerer.stats.hits} affinity hits\n")
+
+
+def simulated_pipeline() -> None:
+    print("simulated crypto-forwarding data plane (HyperPlane, 400 queues, PC traffic):")
+    print(f"{'load':>6}{'throughput Mtps':>18}{'avg us':>10}{'p99 us':>10}")
+    for load in (0.2, 0.5, 0.8):
+        config = SDPConfig(
+            num_queues=400, workload="crypto-forwarding", shape="PC", seed=1
+        )
+        metrics = run_hyperplane(
+            config, load=load, target_completions=2500, max_seconds=3.0
+        )
+        print(
+            f"{load:>6.0%}{metrics.throughput_mtps:>18.4f}"
+            f"{metrics.latency.mean_us:>10.2f}{metrics.latency.p99_us:>10.2f}"
+        )
+
+
+def main():
+    functional_pipeline()
+    simulated_pipeline()
+
+
+if __name__ == "__main__":
+    main()

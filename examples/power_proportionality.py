@@ -1,0 +1,60 @@
+#!/usr/bin/env python
+"""Work and energy proportionality (the Figs. 11-12 story).
+
+Sweeps data-plane load and reports, for spinning vs. HyperPlane: the
+IPC split (useful vs. useless), normalized core power (including the
+C1 power-optimised HyperPlane), and the IPC of an SMT co-runner sharing
+the core.
+
+Run:  python examples/power_proportionality.py
+"""
+
+from repro.core import run_hyperplane
+from repro.power import PowerModel
+from repro.sdp import SDPConfig, run_spinning
+from repro.smt.corunner import CoRunnerModel
+
+LOADS = (0.001, 0.25, 0.5, 0.75, 0.95)
+
+
+def main():
+    power = PowerModel()
+    corunner = CoRunnerModel()
+    print(
+        f"{'load':>6} | {'spin IPC (useful+useless)':>26} | {'HP IPC':>7} | "
+        f"{'spin pwr':>8} {'HP pwr':>7} {'HP-C1':>6} | {'co-run spin':>11} {'co-run HP':>10}"
+    )
+    for load in LOADS:
+        def config(power_optimized=False):
+            return SDPConfig(
+                num_queues=200,
+                workload="packet-encapsulation",
+                shape="PC",
+                power_optimized=power_optimized,
+                seed=4,
+            )
+
+        spin = run_spinning(config(), load=load, target_completions=2500, max_seconds=2.0)
+        hyper = run_hyperplane(config(), load=load, target_completions=2500, max_seconds=2.0)
+        hyper_c1 = run_hyperplane(
+            config(power_optimized=True), load=load, target_completions=2500,
+            max_seconds=2.0,
+        )
+        s, h, hc = spin.chip_activity, hyper.chip_activity, hyper_c1.chip_activity
+        print(
+            f"{load:>6.0%} | {s.useful_ipc:>11.2f} + {s.useless_ipc:<11.2f} | "
+            f"{h.ipc:>7.2f} | {power.normalized_power(s).total:>8.2f} "
+            f"{power.normalized_power(h).total:>7.2f} "
+            f"{power.normalized_power(hc).total:>6.2f} | "
+            f"{corunner.corunner_ipc(s):>11.2f} {corunner.corunner_ipc(h):>10.2f}"
+        )
+    print(
+        "\nSpinning burns its peak power at 0% load (all useless instructions)\n"
+        "and starves the co-runner hardest when idle; HyperPlane halts, so its\n"
+        "IPC, power, and co-runner interference all track the offered load.\n"
+        "HP-C1 idles at ~16% of peak core power (paper: 16.2%)."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,77 @@
+#!/usr/bin/env python
+"""Storage data plane: erasure coding and RAID P+Q, functional + simulated.
+
+Part 1 exercises the real storage kernels: a 1 MB object is Reed-Solomon
+encoded RS(6,3) with a Cauchy matrix, three fragments are destroyed, and
+the object is reconstructed; separately a RAID-6 stripe loses two data
+blocks and recovers them from P+Q parity.
+
+Part 2 simulates the storage SDP the paper evaluates: erasure-coding and
+RAID workloads on NC traffic (a fixed set of hot volumes), spinning vs.
+HyperPlane peak throughput as volume count grows.
+
+Run:  python examples/storage_pipeline.py
+"""
+
+import random
+
+from repro.core import run_hyperplane
+from repro.sdp import SDPConfig, run_spinning
+from repro.workloads import CauchyReedSolomon, RaidPQ
+
+
+def erasure_demo() -> None:
+    rng = random.Random(42)
+    data = bytes(rng.randrange(256) for _ in range(1 << 20))
+    rs = CauchyReedSolomon(data_fragments=6, parity_fragments=3)
+    fragments = rs.encode(data)
+    print(f"RS(6,3): 1 MiB object -> 9 fragments of {len(fragments[0])} bytes")
+    survivors = list(fragments)
+    for lost in (0, 4, 7):  # two data fragments and one parity
+        survivors[lost] = None
+    recovered = rs.decode(survivors)
+    assert recovered[: len(data)] == data
+    print("  destroyed fragments 0, 4, 7 -> object reconstructed bit-exact")
+
+
+def raid_demo() -> None:
+    raid = RaidPQ(num_data=8)
+    stripe = [bytes((i * 31 + j) % 256 for j in range(4096)) for i in range(8)]
+    p, q = raid.compute_parity(stripe)
+    assert raid.verify(stripe, p, q)
+    damaged = list(stripe)
+    damaged[2] = None
+    damaged[5] = None
+    rebuilt = raid.recover_two(damaged, p, q)
+    assert rebuilt == stripe
+    print("RAID-6 (8+P+Q): double-disk failure on a 4 KiB stripe rebuilt\n")
+
+
+def simulated_storage_plane() -> None:
+    print("storage SDP peak throughput (NC traffic: 100 hot volumes):")
+    print(f"{'workload':<18}{'volumes':>9}{'spinning':>11}{'hyperplane':>12}{'gain':>7}")
+    for workload in ("erasure-coding", "raid-protection"):
+        for volumes in (200, 1000):
+            spin = run_spinning(
+                SDPConfig(num_queues=volumes, workload=workload, shape="NC", seed=2),
+                closed_loop=True, target_completions=1500, max_seconds=2.5,
+            )
+            hyper = run_hyperplane(
+                SDPConfig(num_queues=volumes, workload=workload, shape="NC", seed=2),
+                closed_loop=True, target_completions=1500, max_seconds=2.5,
+            )
+            gain = hyper.throughput_mtps / max(spin.throughput_mtps, 1e-9)
+            print(
+                f"{workload:<18}{volumes:>9}{spin.throughput_mtps:>11.4f}"
+                f"{hyper.throughput_mtps:>12.4f}{gain:>6.1f}x"
+            )
+
+
+def main():
+    erasure_demo()
+    raid_demo()
+    simulated_storage_plane()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,60 @@
+#!/usr/bin/env python
+"""Watch the monitoring set snoop real coherence traffic.
+
+Runs the execution-driven structural mode at small scale: every doorbell
+read/write goes through a real set-associative L1 + directory-MESI
+model, and HyperPlane's monitoring set is attached as a directory
+snooper — the paper's actual hardware attachment point. With
+``false_sharing=True`` each queue's ring-head word shares the doorbell's
+cache line, so producer ring writes fire genuine spurious wake-ups for
+QWAIT-VERIFY to filter.
+
+Run:  python examples/structural_coherence.py
+"""
+
+from repro.structural import (
+    StructuralHyperPlane,
+    StructuralHyperPlaneCore,
+    StructuralMachine,
+)
+
+
+def run(false_sharing: bool):
+    machine = StructuralMachine(
+        num_queues=8,
+        num_producers=2,
+        mean_service_seconds=1.4e-6,
+        shape="FB",
+        seed=1,
+        false_sharing=false_sharing,
+    )
+    accelerator = StructuralHyperPlane(machine)
+    core = StructuralHyperPlaneCore(machine, accelerator)
+    machine.start_producers(total_rate=1.2e5, max_items=400)
+    metrics = machine.run(duration=0.01, target_completions=400)
+    return machine, accelerator, core, metrics
+
+
+def main():
+    for false_sharing in (False, True):
+        machine, accelerator, core, metrics = run(false_sharing)
+        label = "doorbell line shared with ring head" if false_sharing else "clean doorbell lines"
+        directory = machine.hierarchy.directory
+        print(f"{label}:")
+        print(f"  items completed          : {metrics.latency.count}")
+        print(f"  avg latency              : {metrics.latency.mean_us:.2f} us")
+        print(f"  GetM transactions        : "
+              f"{sum(directory.transactions[k] for k in directory.transactions)}")
+        print(f"  monitoring-set snoop hits: {accelerator.monitoring.snoop_hits}")
+        print(f"  spurious wake-ups filtered by QWAIT-VERIFY: {core.spurious_filtered}")
+        accelerator.check_no_lost_wakeups()
+        print("  lost-wake-up invariant   : holds\n")
+    print(
+        "False sharing produced spurious activations; VERIFY filtered every\n"
+        "one and nothing was lost — the protocol property docs/protocol.md\n"
+        "explains, demonstrated on real coherence state."
+    )
+
+
+if __name__ == "__main__":
+    main()

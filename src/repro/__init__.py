@@ -1,0 +1,37 @@
+"""HyperPlane (MICRO 2020) reproduction.
+
+A complete Python implementation of the paper's notification accelerator
+for software data planes, plus every substrate its evaluation depends
+on. The public API most users need:
+
+>>> from repro import SDPConfig, run_spinning, run_hyperplane
+>>> config = SDPConfig(num_queues=1000, workload="packet-encapsulation", shape="SQ")
+>>> run_hyperplane(config, closed_loop=True).throughput_mtps  # doctest: +SKIP
+
+Package map (see DESIGN.md for the full inventory):
+
+- :mod:`repro.core` — HyperPlane itself (the paper's contribution);
+- :mod:`repro.sdp` — the shared data-plane runtime and the spinning,
+  MWAIT, and interrupt baselines;
+- :mod:`repro.sim`, :mod:`repro.mem`, :mod:`repro.queueing`,
+  :mod:`repro.traffic`, :mod:`repro.workloads` — substrates;
+- :mod:`repro.structural` — execution-driven validation mode;
+- :mod:`repro.power`, :mod:`repro.smt`, :mod:`repro.dpdk` — side models;
+- :mod:`repro.experiments` — one module per paper table/figure
+  (``python -m repro.experiments list``).
+"""
+
+from repro.core.runner import run_hyperplane
+from repro.sdp.config import SDPConfig
+from repro.sdp.runner import run_interrupts, run_mwait, run_spinning
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "SDPConfig",
+    "run_hyperplane",
+    "run_interrupts",
+    "run_mwait",
+    "run_spinning",
+    "__version__",
+]

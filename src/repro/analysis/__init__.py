@@ -1,0 +1,33 @@
+"""Closed-form performance models of both data planes.
+
+An analytic mirror of the simulator: first-order predictions of peak
+throughput and latency for the spinning and HyperPlane designs, built
+from the same cost model and locality curves the simulation charges.
+Two uses:
+
+1. **Validation** — ``tests/test_analysis_models.py`` pins simulation
+   results to these predictions (a different axis from the queueing-
+   theory and structural-mode validations).
+2. **Insight** — the formulas make the paper's trends legible: e.g.
+   spinning peak throughput is ``1 / (S + stall + polls_per_task x
+   poll_cost)`` with ``polls_per_task = (n - hot) / hot``, which is the
+   entire Fig. 8 story in one line.
+"""
+
+from repro.analysis.models import (
+    AnalyticInputs,
+    hyperplane_peak_throughput,
+    hyperplane_response_time,
+    hyperplane_zero_load_latency,
+    spinning_peak_throughput,
+    spinning_zero_load_latency,
+)
+
+__all__ = [
+    "AnalyticInputs",
+    "hyperplane_peak_throughput",
+    "hyperplane_response_time",
+    "hyperplane_zero_load_latency",
+    "spinning_peak_throughput",
+    "spinning_zero_load_latency",
+]

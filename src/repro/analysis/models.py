@@ -1,0 +1,191 @@
+"""First-order closed forms for both data planes.
+
+All predictions consume an :class:`AnalyticInputs` bundle derived from
+the same :class:`~repro.mem.costmodel.CostModel` and
+:class:`~repro.sdp.locality.LocalityModel` the simulator charges, so
+any disagreement between formula and simulation is a modelling error,
+not a constants mismatch.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.mem.costmodel import CostModel, derive_cost_model
+from repro.queueing.theory import mmc_mean_wait, mmc_wait_percentile
+from repro.sdp.locality import LocalityModel
+from repro.sim.clock import Clock
+from repro.traffic.shapes import TrafficShape, shape_by_name
+from repro.workloads.service import WorkloadSpec, workload_by_name
+
+# Mirrors of the simulator's fixed per-task overheads (cycles).
+_HP_SELECTION_NS = 12.25
+
+
+@dataclass
+class AnalyticInputs:
+    """Everything the closed forms need, derived once."""
+
+    workload: WorkloadSpec
+    shape: TrafficShape
+    num_queues: int
+    num_cores: int = 1
+    clock: Clock = field(default_factory=Clock)
+    cost_model: CostModel = field(default_factory=derive_cost_model)
+    locality: Optional[LocalityModel] = None
+
+    def __post_init__(self):
+        if isinstance(self.workload, str):
+            self.workload = workload_by_name(self.workload)
+        if isinstance(self.shape, str):
+            self.shape = shape_by_name(self.shape)
+        if self.locality is None:
+            self.locality = LocalityModel(self.cost_model)
+
+    # -- shared pieces ------------------------------------------------------------
+
+    @property
+    def service_cycles(self) -> float:
+        return self.clock.seconds_to_cycles(self.workload.mean_service_seconds)
+
+    @property
+    def stall_cycles(self) -> float:
+        return self.locality.task_data_stall_cycles(self.num_queues)
+
+    @property
+    def queues_per_cluster(self) -> int:
+        # Closed forms model the single-cluster (scale-up) organisation.
+        return self.num_queues
+
+    @property
+    def empty_poll_cycles(self) -> float:
+        return self.locality.empty_poll_cost(self.queues_per_cluster, self.num_queues)
+
+    @property
+    def ready_poll_cycles(self) -> float:
+        return self.cost_model.remote_transfer + self.cost_model.poll_loop_overhead
+
+    @property
+    def dequeue_path_cycles(self) -> float:
+        return self.cost_model.dequeue + self.cost_model.doorbell_update
+
+    def cycles_to_seconds(self, cycles: float) -> float:
+        return self.clock.cycles_to_seconds(cycles)
+
+
+# -- spinning data plane ---------------------------------------------------------------
+
+
+def spinning_peak_throughput(inputs: AnalyticInputs) -> float:
+    """Saturation completions/second of one spinning core.
+
+    At saturation the shape's hot queues are always ready, so each task
+    costs the service time, the LLC-pressure stall, the dequeue path,
+    one ready-queue poll, and ``(n - hot) / hot`` empty polls — the
+    paper's ``n ~= 5 for PC, 1 for FB`` observation (Section V-B).
+    """
+    empty_polls = inputs.shape.empty_polls_per_task(inputs.num_queues)
+    per_task_cycles = (
+        inputs.service_cycles
+        + inputs.stall_cycles
+        + inputs.dequeue_path_cycles
+        + inputs.ready_poll_cycles
+        + empty_polls * inputs.empty_poll_cycles
+    )
+    return 1.0 / inputs.cycles_to_seconds(per_task_cycles)
+
+
+def spinning_zero_load_latency(
+    inputs: AnalyticInputs, percentile: Optional[float] = None
+) -> float:
+    """Zero-load response time of the spinning plane, in seconds.
+
+    An arrival lands a uniformly random distance ahead of the iterator:
+    the mean scan skips ``n/2`` empty heads; the p-th percentile skips
+    ``p*n``. Service and the fixed dequeue path are added on top.
+    """
+    n = inputs.queues_per_cluster
+    if percentile is None:
+        skipped = n / 2.0
+    else:
+        if not 0.0 < percentile < 1.0:
+            raise ValueError("percentile must be in (0, 1)")
+        skipped = percentile * n
+    cycles = (
+        skipped * inputs.empty_poll_cycles
+        + inputs.ready_poll_cycles
+        + inputs.dequeue_path_cycles
+        + inputs.service_cycles
+        + inputs.stall_cycles
+    )
+    return inputs.cycles_to_seconds(cycles)
+
+
+# -- HyperPlane -------------------------------------------------------------------------
+
+
+def _hyperplane_overhead_cycles(inputs: AnalyticInputs) -> float:
+    cm = inputs.cost_model
+    selection = inputs.clock.ns_to_cycles(_HP_SELECTION_NS)
+    return (
+        cm.qwait
+        + selection
+        + cm.qwait_verify
+        + cm.qwait_reconsider
+        + inputs.dequeue_path_cycles
+    )
+
+
+def hyperplane_task_time_seconds(inputs: AnalyticInputs) -> float:
+    """Mean per-task occupancy of a HyperPlane core."""
+    cycles = (
+        inputs.service_cycles
+        + inputs.stall_cycles
+        + _hyperplane_overhead_cycles(inputs)
+    )
+    return inputs.cycles_to_seconds(cycles)
+
+
+def hyperplane_peak_throughput(inputs: AnalyticInputs) -> float:
+    """Saturation completions/second of one HyperPlane core: queue-count
+    independent except for the LLC-pressure stall."""
+    return 1.0 / hyperplane_task_time_seconds(inputs)
+
+
+def hyperplane_zero_load_latency(
+    inputs: AnalyticInputs, power_optimized: bool = False
+) -> float:
+    """Zero-load response time: task time plus monitoring-set snoop, plus
+    the C1 wake-up when power-optimised."""
+    extra = inputs.cost_model.monitoring_lookup
+    if power_optimized:
+        extra += inputs.cost_model.c1_wakeup
+    return hyperplane_task_time_seconds(inputs) + inputs.cycles_to_seconds(extra)
+
+
+def hyperplane_response_time(
+    inputs: AnalyticInputs, load: float, percentile: Optional[float] = None
+) -> float:
+    """Open-loop response time under load: M/M/c on the effective
+    per-task time across the configured cores (scale-up pooling).
+
+    ``load`` is the paper's axis (fraction of *ideal* capacity); the
+    fixed overheads raise effective utilisation, which the formula
+    accounts for. Returns mean response time, or the p-th percentile
+    when ``percentile`` is given.
+    """
+    if not 0.0 < load < 1.0:
+        raise ValueError("load must be in (0, 1)")
+    task_time = hyperplane_task_time_seconds(inputs)
+    arrival_rate = load * inputs.num_cores / inputs.workload.mean_service_seconds
+    service_rate = 1.0 / task_time
+    if arrival_rate >= inputs.num_cores * service_rate:
+        raise ValueError("effective utilisation exceeds capacity")
+    if percentile is None:
+        wait = mmc_mean_wait(arrival_rate, service_rate, inputs.num_cores)
+    else:
+        wait = mmc_wait_percentile(
+            arrival_rate, service_rate, inputs.num_cores, percentile
+        )
+    return wait + task_time

@@ -1,0 +1,57 @@
+"""HyperPlane: the paper's contribution.
+
+A hardware notification accelerator for software data planes:
+
+- :mod:`repro.core.ppa` — Programmable Priority Arbiter models: the
+  bit-slice ripple design of Fig. 7 and the thermometer-coded
+  Brent–Kung parallel-prefix design (Section IV-B), equivalence-tested.
+- :mod:`repro.core.policies` — round-robin, weighted round-robin and
+  strict-priority service policies.
+- :mod:`repro.core.ready_set` — the hardware ready set (Fig. 6: ready
+  bits, mask bits, PPA select) and the software-iterator alternative
+  evaluated in Fig. 13.
+- :mod:`repro.core.monitoring_set` — the ZCache-style Cuckoo-hash
+  monitoring set (Section IV-A) that snoops doorbell writes.
+- :mod:`repro.core.accelerator` — wiring: driver setup (QWAIT_init /
+  QWAIT-ADD with conflict reallocation), snoop path, halted-core
+  wake-up, power-optimised (C1) mode.
+- :mod:`repro.core.dataplane` — the QWAIT-based data-plane core loop
+  (Algorithm 1), including QWAIT-VERIFY and QWAIT-RECONSIDER.
+"""
+
+from repro.core.accelerator import HyperPlaneAccelerator
+from repro.core.banked import BankedMonitoringSet, spread_doorbells
+from repro.core.dataplane import HyperPlaneCore, build_hyperplane
+from repro.core.monitoring_set import CuckooMonitoringSet, MonitoringEntry
+from repro.core.policies import (
+    RoundRobinPolicy,
+    ServicePolicy,
+    StrictPriorityPolicy,
+    WeightedRoundRobinPolicy,
+    policy_by_name,
+)
+from repro.core.ppa import brent_kung_ppa, ppa_select, ripple_ppa
+from repro.core.ready_set import HardwareReadySet, ReadySet, SoftwareReadySet
+from repro.core.runner import run_hyperplane
+
+__all__ = [
+    "BankedMonitoringSet",
+    "CuckooMonitoringSet",
+    "HardwareReadySet",
+    "HyperPlaneAccelerator",
+    "HyperPlaneCore",
+    "MonitoringEntry",
+    "ReadySet",
+    "RoundRobinPolicy",
+    "ServicePolicy",
+    "SoftwareReadySet",
+    "StrictPriorityPolicy",
+    "WeightedRoundRobinPolicy",
+    "brent_kung_ppa",
+    "build_hyperplane",
+    "policy_by_name",
+    "ppa_select",
+    "ripple_ppa",
+    "run_hyperplane",
+    "spread_doorbells",
+]

@@ -1,0 +1,156 @@
+"""Banked monitoring set for distributed directories.
+
+Paper, Section IV-A: "In the case of distributed directories, the
+monitoring set must also be banked, attached to individual directory
+banks. In such cases, the driver must spread doorbell addresses across
+banks."
+
+:class:`BankedMonitoringSet` presents the same interface as
+:class:`~repro.core.monitoring_set.CuckooMonitoringSet` but shards
+entries across per-directory-bank tables by the same address-interleave
+a banked LLC/directory uses (line-address bits above the offset).
+:func:`spread_doorbells` is the driver-side helper that re-allocates
+doorbell addresses until every bank carries a near-even share.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.core.monitoring_set import CuckooMonitoringSet, MonitoringEntry
+from repro.mem.address import CACHE_LINE_BYTES, DoorbellRegion, line_address
+
+
+class BankedMonitoringSet:
+    """N per-bank Cuckoo tables behind one monitoring-set interface.
+
+    Parameters
+    ----------
+    capacity:
+        Total entries across banks (Table I: 1024).
+    num_banks:
+        Directory banks; must divide ``capacity``. Bank selection uses
+        line-address bits (``line // 64 % num_banks``), matching the
+        usual directory interleave.
+    """
+
+    def __init__(
+        self,
+        capacity: int = 1024,
+        num_banks: int = 4,
+        ways: int = 4,
+        max_walk: int = 64,
+        seed: int = 0,
+    ):
+        if num_banks <= 0 or capacity % num_banks:
+            raise ValueError("capacity must be a positive multiple of num_banks")
+        if num_banks & (num_banks - 1):
+            raise ValueError("bank count must be a power of two (address interleave)")
+        self.capacity = capacity
+        self.num_banks = num_banks
+        self.banks: List[CuckooMonitoringSet] = [
+            CuckooMonitoringSet(
+                capacity=capacity // num_banks,
+                ways=ways,
+                max_walk=max_walk,
+                seed=seed + bank,
+            )
+            for bank in range(num_banks)
+        ]
+
+    def bank_of(self, tag: int) -> int:
+        """The directory bank responsible for a line address."""
+        return (tag // CACHE_LINE_BYTES) % self.num_banks
+
+    # -- CuckooMonitoringSet-compatible interface -----------------------------------
+
+    def insert(self, tag: int, qid: int, armed: bool = True) -> bool:
+        """Insert into the owning bank; False on that bank's conflict.
+
+        Note the failure mode the paper's driver guidance exists for: a
+        *bank* can fill while others are near-empty, so the driver must
+        spread doorbell addresses (see :func:`spread_doorbells`).
+        """
+        return self.banks[self.bank_of(tag)].insert(tag, qid, armed)
+
+    def remove(self, tag: int) -> bool:
+        return self.banks[self.bank_of(tag)].remove(tag)
+
+    def lookup(self, tag: int) -> Optional[MonitoringEntry]:
+        return self.banks[self.bank_of(tag)].lookup(tag)
+
+    def snoop_write(self, tag: int) -> Optional[int]:
+        """Only the owning bank sees the transaction — that is the point
+        of banking: each bank snoops its directory slice's traffic."""
+        return self.banks[self.bank_of(tag)].snoop_write(tag)
+
+    def arm(self, tag: int) -> None:
+        self.banks[self.bank_of(tag)].arm(tag)
+
+    def is_armed(self, tag: int) -> bool:
+        return self.banks[self.bank_of(tag)].is_armed(tag)
+
+    @property
+    def occupancy(self) -> int:
+        return sum(bank.occupancy for bank in self.banks)
+
+    @property
+    def load_factor(self) -> float:
+        return self.occupancy / self.capacity
+
+    @property
+    def snoop_hits(self) -> int:
+        return sum(bank.snoop_hits for bank in self.banks)
+
+    @property
+    def snoop_misses(self) -> int:
+        return sum(bank.snoop_misses for bank in self.banks)
+
+    def bank_occupancies(self) -> List[int]:
+        """Per-bank entry counts (for balance diagnostics)."""
+        return [bank.occupancy for bank in self.banks]
+
+    def check_invariants(self) -> None:
+        """Per-bank table invariants plus tag-to-bank placement."""
+        for bank_index, bank in enumerate(self.banks):
+            bank.check_invariants()
+            for way_rows in bank._table:
+                for entry in way_rows:
+                    if entry is not None and self.bank_of(entry.tag) != bank_index:
+                        raise AssertionError(
+                            f"tag {entry.tag:#x} stored in wrong bank {bank_index}"
+                        )
+
+
+def spread_doorbells(
+    region: DoorbellRegion,
+    monitoring: BankedMonitoringSet,
+    num_queues: int,
+    max_attempts_per_queue: int = 64,
+) -> Dict[int, int]:
+    """Driver-side allocation: give every queue a doorbell address whose
+    bank accepts it, re-allocating on per-bank conflicts.
+
+    Returns {qid: doorbell address}. Because the region hands out
+    consecutive lines, consecutive queues naturally interleave across
+    banks; the retry loop only triggers when a bank saturates.
+    """
+    assignment: Dict[int, int] = {}
+    for qid in range(num_queues):
+        # Hold failed addresses until placement succeeds: freeing one
+        # immediately would make the allocator hand the same slot back.
+        failed: List[int] = []
+        addr = region.allocate()
+        while not monitoring.insert(line_address(addr), qid):
+            failed.append(addr)
+            if len(failed) >= max_attempts_per_queue:
+                for rejected in failed:
+                    region.free(rejected)
+                raise RuntimeError(
+                    f"could not place doorbell for queue {qid}: banks full"
+                )
+            addr = region.allocate()
+        for rejected in failed:
+            region.free(rejected)
+        assignment[qid] = addr
+    return assignment

@@ -1,0 +1,67 @@
+"""Convenience driver for HyperPlane runs (mirror of repro.sdp.runner)."""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.core.dataplane import build_hyperplane
+from repro.sdp.config import SDPConfig
+from repro.sdp.metrics import RunMetrics
+from repro.sdp.runner import (
+    DEFAULT_MAX_SECONDS,
+    DEFAULT_TARGET_COMPLETIONS,
+    _default_warmup,
+)
+from repro.sdp.system import DataPlaneSystem
+
+
+def run_hyperplane(
+    config: SDPConfig,
+    load: Optional[float] = None,
+    closed_loop: bool = False,
+    policy: str = "rr",
+    weights: Optional[Dict[int, int]] = None,
+    software_ready_set: bool = False,
+    batch_size: int = 1,
+    in_order: bool = False,
+    work_stealing: bool = False,
+    target_completions: int = DEFAULT_TARGET_COMPLETIONS,
+    max_seconds: float = DEFAULT_MAX_SECONDS,
+    warmup_seconds: Optional[float] = None,
+    check_wakeups: bool = True,
+) -> RunMetrics:
+    """Run the HyperPlane data plane and return its metrics."""
+    if (load is None) == (not closed_loop):
+        raise ValueError("specify either load= or closed_loop=True")
+    system = DataPlaneSystem(config)
+    # Attach the accelerator before any traffic exists so its snoop hook
+    # observes every doorbell write (mirrors driver-before-datapath
+    # bring-up order).
+    accelerator, cores = build_hyperplane(
+        system,
+        policy=policy,
+        weights=weights,
+        software_ready_set=software_ready_set,
+        batch_size=batch_size,
+        in_order=in_order,
+        work_stealing=work_stealing,
+    )
+    if closed_loop:
+        system.attach_closed_loop()
+    else:
+        system.attach_open_loop(load=load)
+    if warmup_seconds is None:
+        warmup_seconds = _default_warmup(config, load, closed_loop)
+    metrics = system.run(
+        duration=max_seconds,
+        warmup=warmup_seconds,
+        target_completions=target_completions,
+    )
+    variant = "sw-rs" if software_ready_set else "hw"
+    metrics.label = f"hyperplane/{config.organization}/{variant}"
+    system.check_invariants()
+    if check_wakeups:
+        accelerator.check_no_lost_wakeups(
+            being_serviced={c.servicing for c in cores if c.servicing is not None}
+        )
+    return metrics

@@ -1,0 +1,24 @@
+"""DPDK case study (paper, Section II-C / Fig. 3).
+
+A parameterisation of the spinning data-plane model approximating the
+paper's real-hardware case study: a 24-core Skylake Xeon with a 100 GbE
+ConnectX-5 NIC running DPDK poll-mode drivers. The workload is a light
+packet task (~0.5 us), and reported latency includes the generator's
+wire round-trip.
+"""
+
+from repro.dpdk.casestudy import (
+    DPDK_TASK,
+    DpdkCaseStudy,
+    dpdk_latency_cdf,
+    dpdk_roundtrip_latency,
+    dpdk_throughput_sweep,
+)
+
+__all__ = [
+    "DPDK_TASK",
+    "DpdkCaseStudy",
+    "dpdk_latency_cdf",
+    "dpdk_roundtrip_latency",
+    "dpdk_throughput_sweep",
+]

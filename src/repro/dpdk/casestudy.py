@@ -1,0 +1,127 @@
+"""The Fig. 3 DPDK measurements, reproduced on the simulation substrate.
+
+Three measurements on one spinning core:
+
+- :func:`dpdk_throughput_sweep` — Fig. 3(a): peak encapsulation
+  throughput vs. queue count for FB / PC / NC / SQ.
+- :func:`dpdk_roundtrip_latency` — Fig. 3(b): average and 99% round-trip
+  forwarding latency vs. queue count at ~0.01 MPPS.
+- :func:`dpdk_latency_cdf` — Fig. 3(c): the latency CDF at 1 / 256 / 512
+  queues.
+
+The forwarding task is lighter than the Section V workloads (a DPDK
+l3fwd-style task, ~0.5 us), and reported latency adds the packet
+generator's wire + NIC round trip, as the paper measures at the
+generator.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+from repro.sdp.config import SDPConfig
+from repro.sdp.runner import run_spinning
+from repro.workloads.service import WorkloadSpec
+
+MICROSECOND = 1e-6
+
+# A DPDK packet-forwarding/encapsulation task on a Skylake core.
+DPDK_TASK = WorkloadSpec(
+    name="dpdk-forwarding",
+    mean_service_us=0.5,
+    scv=0.0,
+    figure8_peak_mtps=2.0,
+    description="DPDK l3fwd-style packet forwarding (Section II-C)",
+)
+
+# Wire + NIC + generator round trip added to data-plane latency; the
+# paper measures at the packet generator.
+BASE_RTT_US = 3.0
+
+# Fig. 3(b)'s offered load: ~0.01 MPPS.
+LIGHT_LOAD_RATE = 0.01e6
+
+
+class DpdkCaseStudy:
+    """Shared configuration for the three Fig. 3 measurements."""
+
+    def __init__(self, seed: int = 0, target_completions: int = 2000, max_seconds: float = 4.0):
+        self.seed = seed
+        self.target_completions = target_completions
+        self.max_seconds = max_seconds
+
+    def _config(self, num_queues: int, shape: str) -> SDPConfig:
+        return SDPConfig(
+            num_queues=num_queues,
+            workload=DPDK_TASK,
+            shape=shape,
+            num_cores=1,
+            seed=self.seed,
+        )
+
+    def peak_throughput(self, num_queues: int, shape: str) -> float:
+        """Peak single-core throughput (Mtask/s) for one point."""
+        metrics = run_spinning(
+            self._config(num_queues, shape),
+            closed_loop=True,
+            target_completions=self.target_completions,
+            max_seconds=self.max_seconds,
+        )
+        return metrics.throughput_mtps
+
+    def roundtrip(self, num_queues: int) -> Tuple[float, float]:
+        """(average, p99) round-trip latency in us at light load."""
+        metrics = run_spinning(
+            self._config(num_queues, "FB"),
+            load=LIGHT_LOAD_RATE * DPDK_TASK.mean_service_seconds,
+            target_completions=self.target_completions,
+            max_seconds=self.max_seconds,
+        )
+        return (
+            metrics.latency.mean_us + BASE_RTT_US,
+            metrics.latency.p99_us + BASE_RTT_US,
+        )
+
+    def latency_cdf(self, num_queues: int, points: int = 60) -> List[Tuple[float, float]]:
+        """The round-trip latency CDF at one queue count."""
+        metrics = run_spinning(
+            self._config(num_queues, "FB"),
+            load=LIGHT_LOAD_RATE * DPDK_TASK.mean_service_seconds,
+            target_completions=self.target_completions,
+            max_seconds=self.max_seconds,
+        )
+        return [(latency + BASE_RTT_US, fraction) for latency, fraction in metrics.latency.cdf(points)]
+
+
+def dpdk_throughput_sweep(
+    queue_counts: Sequence[int] = (1, 100, 200, 400, 600, 800, 1000),
+    shapes: Sequence[str] = ("FB", "PC", "NC", "SQ"),
+    seed: int = 0,
+    target_completions: int = 2000,
+) -> Dict[str, Dict[int, float]]:
+    """Fig. 3(a): throughput (Mtask/s) per shape per queue count."""
+    study = DpdkCaseStudy(seed=seed, target_completions=target_completions)
+    return {
+        shape: {count: study.peak_throughput(count, shape) for count in queue_counts}
+        for shape in shapes
+    }
+
+
+def dpdk_roundtrip_latency(
+    queue_counts: Sequence[int] = (1, 64, 128, 256, 384, 512),
+    seed: int = 0,
+    target_completions: int = 1200,
+) -> Dict[int, Tuple[float, float]]:
+    """Fig. 3(b): (avg, p99) round-trip latency per queue count."""
+    study = DpdkCaseStudy(seed=seed, target_completions=target_completions)
+    return {count: study.roundtrip(count) for count in queue_counts}
+
+
+def dpdk_latency_cdf(
+    queue_counts: Sequence[int] = (1, 256, 512),
+    seed: int = 0,
+    target_completions: int = 1500,
+) -> Dict[int, List[Tuple[float, float]]]:
+    """Fig. 3(c): latency CDFs at the three queue counts."""
+    study = DpdkCaseStudy(seed=seed, target_completions=target_completions)
+    return {count: study.latency_cdf(count) for count in queue_counts}

@@ -1,0 +1,18 @@
+"""Experiment harness: one module per paper table/figure.
+
+Run from the command line::
+
+    python -m repro.experiments list
+    python -m repro.experiments fig8            # fast grid
+    python -m repro.experiments fig8 --full     # paper-sized grid
+    python -m repro.experiments all
+
+Each experiment returns an :class:`~repro.experiments.base.ExperimentResult`
+whose rows are the series the paper plots; EXPERIMENTS.md records the
+paper-vs-measured comparison for each.
+"""
+
+from repro.experiments.base import ExperimentResult
+from repro.experiments.registry import REGISTRY, run_experiment
+
+__all__ = ["ExperimentResult", "REGISTRY", "run_experiment"]

@@ -1,0 +1,67 @@
+"""CLI: ``python -m repro.experiments [list | all | <id>...] [--full]``."""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.experiments.registry import REGISTRY, run_experiment
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Reproduce the paper's tables and figures.",
+    )
+    parser.add_argument(
+        "experiments",
+        nargs="*",
+        default=["list"],
+        help="experiment ids (see 'list'), or 'all'",
+    )
+    parser.add_argument(
+        "--full",
+        action="store_true",
+        help="paper-sized grids (slow) instead of the fast defaults",
+    )
+    parser.add_argument(
+        "--json",
+        metavar="DIR",
+        help="also write <DIR>/<experiment>.json for each result",
+    )
+    args = parser.parse_args(argv)
+
+    targets = args.experiments
+    if targets == ["list"]:
+        print("available experiments:")
+        for experiment_id in REGISTRY:
+            doc = (REGISTRY[experiment_id].__doc__ or "").strip().splitlines()[0]
+            print(f"  {experiment_id:10s} {doc}")
+        return 0
+    if targets == ["all"]:
+        targets = list(REGISTRY)
+
+    if args.json:
+        import os
+
+        os.makedirs(args.json, exist_ok=True)
+
+    for experiment_id in targets:
+        started = time.time()
+        result = run_experiment(experiment_id, fast=not args.full)
+        elapsed = time.time() - started
+        print(result.format_table())
+        print(f"({experiment_id} finished in {elapsed:.1f} s)")
+        print()
+        if args.json:
+            import os
+
+            path = os.path.join(args.json, f"{experiment_id}.json")
+            with open(path, "w") as handle:
+                handle.write(result.to_json())
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

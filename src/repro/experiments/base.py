@@ -1,0 +1,80 @@
+"""Shared result type, table formatting, and JSON export for experiments."""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Sequence
+
+
+@dataclass
+class ExperimentResult:
+    """The output of one table/figure reproduction.
+
+    ``rows`` is a list of flat dicts (one per plotted point or table
+    row); ``notes`` carries the headline comparisons asserted against
+    the paper.
+    """
+
+    experiment_id: str
+    title: str
+    rows: List[Dict[str, Any]] = field(default_factory=list)
+    notes: List[str] = field(default_factory=list)
+
+    @property
+    def columns(self) -> List[str]:
+        """Union of row keys, in first-seen order."""
+        seen: Dict[str, None] = {}
+        for row in self.rows:
+            for key in row:
+                seen.setdefault(key)
+        return list(seen)
+
+    def format_table(self, float_digits: int = 4) -> str:
+        """A fixed-width text table of all rows."""
+        columns = self.columns
+        if not columns:
+            return f"{self.title}\n(no rows)"
+
+        def cell(value: Any) -> str:
+            if isinstance(value, float):
+                return f"{value:.{float_digits}f}"
+            return str(value)
+
+        grid = [columns] + [[cell(row.get(c, "")) for c in columns] for row in self.rows]
+        widths = [max(len(line[i]) for line in grid) for i in range(len(columns))]
+        lines = [self.title, "-" * len(self.title)]
+        for index, line in enumerate(grid):
+            lines.append("  ".join(text.rjust(width) for text, width in zip(line, widths)))
+            if index == 0:
+                lines.append("  ".join("-" * width for width in widths))
+        for note in self.notes:
+            lines.append(f"* {note}")
+        return "\n".join(lines)
+
+    def series(self, key_column: str, value_column: str) -> Dict[Any, Any]:
+        """Extract one plotted series as {key: value}."""
+        return {row[key_column]: row[value_column] for row in self.rows if value_column in row}
+
+    def to_json(self, indent: int = 2) -> str:
+        """Serialise for offline plotting / archival."""
+        return json.dumps(
+            {
+                "experiment_id": self.experiment_id,
+                "title": self.title,
+                "rows": self.rows,
+                "notes": self.notes,
+            },
+            indent=indent,
+        )
+
+    @classmethod
+    def from_json(cls, payload: str) -> "ExperimentResult":
+        """Inverse of :meth:`to_json`."""
+        data = json.loads(payload)
+        return cls(
+            experiment_id=data["experiment_id"],
+            title=data["title"],
+            rows=data["rows"],
+            notes=data["notes"],
+        )

@@ -1,0 +1,71 @@
+"""Fig. 3: the DPDK queue-scalability case study (Section II-C)."""
+
+from __future__ import annotations
+
+from repro.dpdk.casestudy import (
+    dpdk_latency_cdf,
+    dpdk_roundtrip_latency,
+    dpdk_throughput_sweep,
+)
+from repro.experiments.base import ExperimentResult
+
+
+def run_fig3a(fast: bool = True) -> ExperimentResult:
+    """Fig. 3(a): single-core throughput vs. queue count, four shapes."""
+    counts = (1, 200, 600, 1000) if fast else (1, 100, 200, 400, 600, 800, 1000)
+    completions = 1500 if fast else 4000
+    sweep = dpdk_throughput_sweep(queue_counts=counts, target_completions=completions)
+    result = ExperimentResult("fig3a", "Fig 3(a): DPDK throughput (Mtask/s) vs queues")
+    for count in counts:
+        result.rows.append(
+            {"queues": count, **{shape: sweep[shape][count] for shape in sweep}}
+        )
+    first, last = counts[0], counts[-1]
+    sq_drop = sweep["SQ"][first] / max(sweep["SQ"][last], 1e-9)
+    nc_drop = sweep["NC"][first] / max(sweep["NC"][last], 1e-9)
+    result.notes.append(
+        f"SQ throughput drops {sq_drop:.0f}x from {first} to {last} queues "
+        f"(paper: drastic); NC drops {nc_drop:.1f}x (paper: milder)"
+    )
+    return result
+
+
+def run_fig3b(fast: bool = True) -> ExperimentResult:
+    """Fig. 3(b): light-load round-trip latency vs. queue count."""
+    counts = (1, 128, 256, 512) if fast else (1, 64, 128, 192, 256, 320, 384, 448, 512)
+    completions = 800 if fast else 2000
+    latencies = dpdk_roundtrip_latency(queue_counts=counts, target_completions=completions)
+    result = ExperimentResult("fig3b", "Fig 3(b): DPDK round-trip latency (us) vs queues")
+    for count in counts:
+        avg, p99 = latencies[count]
+        result.rows.append({"queues": count, "avg_us": avg, "p99_us": p99})
+    first_avg, _ = latencies[counts[0]]
+    last_avg, last_p99 = latencies[counts[-1]]
+    result.notes.append(
+        f"avg grows {last_avg / first_avg:.1f}x over the sweep; tail grows faster "
+        f"(p99/avg at {counts[-1]} queues = {last_p99 / last_avg:.2f})"
+    )
+    return result
+
+
+def run_fig3c(fast: bool = True) -> ExperimentResult:
+    """Fig. 3(c): latency CDFs at 1 / 256 / 512 queues."""
+    completions = 1000 if fast else 3000
+    cdfs = dpdk_latency_cdf(queue_counts=(1, 256, 512), target_completions=completions)
+    result = ExperimentResult("fig3c", "Fig 3(c): DPDK latency CDF (percentiles, us)")
+    percentiles = (0.10, 0.25, 0.50, 0.75, 0.90, 0.99)
+    for count, cdf in cdfs.items():
+        row = {"queues": count}
+        for target in percentiles:
+            value = next((lat for lat, frac in cdf if frac >= target), cdf[-1][0])
+            row[f"p{int(target * 100)}"] = value
+        result.rows.append(row)
+    spreads = {
+        count: row[f"p99"] - row["p10"]
+        for count, row in zip(cdfs, result.rows)
+    }
+    result.notes.append(
+        "distribution widens with queue count: p99-p10 spread "
+        + ", ".join(f"{c}q={s:.1f}us" for c, s in spreads.items())
+    )
+    return result

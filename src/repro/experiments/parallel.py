@@ -1,0 +1,52 @@
+"""Parallel sweep helper for experiment grids.
+
+Figure sweeps are embarrassingly parallel across grid points (each point
+is an independent, seeded simulation), so ``--full`` grids can fan out
+over processes. Determinism is preserved: each point's result depends
+only on its own arguments, and results are returned in submission
+order regardless of completion order.
+
+Usage::
+
+    from repro.experiments.parallel import parallel_map
+
+    points = [(workload, shape, count) for ...]
+    results = parallel_map(peak_point_star, points, processes=8)
+
+The callable must be a module-level function (picklable); pass tuples of
+arguments and unpack inside.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from typing import Callable, Iterable, List, Optional, Sequence, TypeVar
+
+Point = TypeVar("Point")
+Result = TypeVar("Result")
+
+
+def default_processes() -> int:
+    """Half the machine's CPUs, at least one — simulations are
+    memory-light but the harness should not monopolise the box."""
+    return max(1, (os.cpu_count() or 2) // 2)
+
+
+def parallel_map(
+    function: Callable[[Point], Result],
+    points: Sequence[Point],
+    processes: Optional[int] = None,
+    chunk_size: int = 1,
+) -> List[Result]:
+    """Map ``function`` over ``points`` across processes, order-preserving.
+
+    Falls back to an in-process map for one worker or one point (also
+    the path tests exercise deterministically without fork overhead).
+    """
+    if processes is None:
+        processes = default_processes()
+    if processes <= 1 or len(points) <= 1:
+        return [function(point) for point in points]
+    with ProcessPoolExecutor(max_workers=processes) as pool:
+        return list(pool.map(function, points, chunksize=chunk_size))

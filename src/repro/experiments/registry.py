@@ -1,0 +1,45 @@
+"""Experiment registry: id -> runner."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+from repro.experiments.base import ExperimentResult
+from repro.experiments.fig3_dpdk import run_fig3a, run_fig3b, run_fig3c
+from repro.experiments.fig8_peak_throughput import run_fig8
+from repro.experiments.fig9_zero_load import run_fig9a, run_fig9b
+from repro.experiments.fig10_multicore import run_fig10a, run_fig10b
+from repro.experiments.fig11_work_proportionality import run_fig11a, run_fig11b
+from repro.experiments.fig12_power import run_fig12a, run_fig12b
+from repro.experiments.fig13_ready_set import run_fig13
+from repro.experiments.headline import run_headline
+from repro.experiments.hwcost import run_hwcost
+
+REGISTRY: Dict[str, Callable[..., ExperimentResult]] = {
+    "fig3a": run_fig3a,
+    "fig3b": run_fig3b,
+    "fig3c": run_fig3c,
+    "fig8": run_fig8,
+    "fig9a": run_fig9a,
+    "fig9b": run_fig9b,
+    "fig10a": run_fig10a,
+    "fig10b": run_fig10b,
+    "fig11a": run_fig11a,
+    "fig11b": run_fig11b,
+    "fig12a": run_fig12a,
+    "fig12b": run_fig12b,
+    "fig13": run_fig13,
+    "hwcost": run_hwcost,
+    "headline": run_headline,
+}
+
+
+def run_experiment(experiment_id: str, fast: bool = True) -> ExperimentResult:
+    """Run one experiment by id."""
+    try:
+        runner = REGISTRY[experiment_id]
+    except KeyError:
+        raise ValueError(
+            f"unknown experiment {experiment_id!r}; known: {sorted(REGISTRY)}"
+        )
+    return runner(fast=fast)

@@ -1,0 +1,131 @@
+"""Physical addresses and the reserved doorbell region.
+
+HyperPlane's kernel driver reserves a pinned physical address range for
+queue doorbells (paper, Section III-B/IV-A) so the monitoring set only
+needs to snoop coherence traffic within that range. This module provides
+the range bookkeeping plus generic address/line helpers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Set
+
+CACHE_LINE_BYTES = 64
+
+
+def line_address(addr: int, line_bytes: int = CACHE_LINE_BYTES) -> int:
+    """Return the address of the cache line containing ``addr``."""
+    return addr - (addr % line_bytes)
+
+
+def line_offset(addr: int, line_bytes: int = CACHE_LINE_BYTES) -> int:
+    """Return the byte offset of ``addr`` within its cache line."""
+    return addr % line_bytes
+
+
+@dataclass
+class DoorbellRegion:
+    """The pinned address range doorbells are allocated from.
+
+    Parameters
+    ----------
+    base:
+        First byte of the region (line-aligned).
+    size_bytes:
+        Region size; bounds how many doorbells can exist.
+    doorbells_per_line:
+        How many doorbell words share one cache line. The paper's driver
+        can pack doorbells or spread them one-per-line; packing creates
+        false sharing, which QWAIT-VERIFY then filters. Default is one
+        doorbell per line (the sane production layout).
+    """
+
+    base: int = 0x1000_0000
+    size_bytes: int = 1 << 20
+    doorbells_per_line: int = 1
+    _next_slot: int = field(default=0, repr=False)
+    _freed: List[int] = field(default_factory=list, repr=False)
+    _allocated: Set[int] = field(default_factory=set, repr=False)
+
+    def __post_init__(self):
+        if self.base % CACHE_LINE_BYTES:
+            raise ValueError("doorbell region base must be line-aligned")
+        if not 1 <= self.doorbells_per_line <= CACHE_LINE_BYTES // 8:
+            raise ValueError("doorbells_per_line out of range")
+
+    @property
+    def capacity(self) -> int:
+        """Maximum number of doorbells this region can hold."""
+        return (self.size_bytes // CACHE_LINE_BYTES) * self.doorbells_per_line
+
+    @property
+    def limit(self) -> int:
+        """One past the last byte of the region."""
+        return self.base + self.size_bytes
+
+    def contains(self, addr: int) -> bool:
+        """Whether ``addr`` falls inside the reserved range."""
+        return self.base <= addr < self.limit
+
+    def allocate(self) -> int:
+        """Allocate one doorbell address (8-byte word)."""
+        if self._freed:
+            slot = self._freed.pop()
+        else:
+            if self._next_slot >= self.capacity:
+                raise MemoryError("doorbell region exhausted")
+            slot = self._next_slot
+            self._next_slot += 1
+        addr = self._slot_address(slot)
+        self._allocated.add(addr)
+        return addr
+
+    def free(self, addr: int) -> None:
+        """Release a previously allocated doorbell address."""
+        if addr not in self._allocated:
+            raise ValueError(f"address {addr:#x} was not allocated here")
+        self._allocated.remove(addr)
+        self._freed.append(self._address_slot(addr))
+
+    @property
+    def allocated_count(self) -> int:
+        """Number of live doorbells."""
+        return len(self._allocated)
+
+    def _slot_address(self, slot: int) -> int:
+        line_index, within = divmod(slot, self.doorbells_per_line)
+        stride = CACHE_LINE_BYTES // self.doorbells_per_line
+        return self.base + line_index * CACHE_LINE_BYTES + within * stride
+
+    def _address_slot(self, addr: int) -> int:
+        offset = addr - self.base
+        line_index, within_bytes = divmod(offset, CACHE_LINE_BYTES)
+        stride = CACHE_LINE_BYTES // self.doorbells_per_line
+        return line_index * self.doorbells_per_line + within_bytes // stride
+
+
+class AddressAllocator:
+    """Bump allocator for non-doorbell memory (queue storage, task data).
+
+    Keeps the doorbell region and the data region disjoint so the
+    monitoring set's snoop filter (``region.contains``) is meaningful.
+    """
+
+    def __init__(self, base: int = 0x4000_0000, doorbell_region: Optional[DoorbellRegion] = None):
+        self.doorbell_region = doorbell_region or DoorbellRegion()
+        if self.doorbell_region.contains(base):
+            raise ValueError("data base overlaps the doorbell region")
+        self._next = base
+
+    def allocate(self, size_bytes: int, align: int = CACHE_LINE_BYTES) -> int:
+        """Allocate ``size_bytes`` of data memory, aligned to ``align``."""
+        if size_bytes <= 0:
+            raise ValueError("allocation size must be positive")
+        if align & (align - 1):
+            raise ValueError("alignment must be a power of two")
+        addr = (self._next + align - 1) & ~(align - 1)
+        self._next = addr + size_bytes
+        if self.doorbell_region.contains(addr) or self.doorbell_region.contains(self._next - 1):
+            raise MemoryError("data allocation ran into the doorbell region")
+        return addr

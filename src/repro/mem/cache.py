@@ -1,0 +1,154 @@
+"""Set-associative cache model with LRU replacement.
+
+Structural only: tracks which lines are present, not their timing. The
+hierarchy composes these models and assigns latencies; the cost-model
+derivation (:mod:`repro.mem.costmodel`) extracts steady-state hit rates
+for the fast SDP simulation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.mem.address import CACHE_LINE_BYTES, line_address
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss/eviction counters."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    invalidations: int = 0
+
+    @property
+    def accesses(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.accesses if self.accesses else 0.0
+
+    def reset(self) -> None:
+        self.hits = self.misses = self.evictions = self.invalidations = 0
+
+
+class SetAssociativeCache:
+    """An LRU set-associative cache of line addresses.
+
+    Parameters
+    ----------
+    size_bytes:
+        Total capacity.
+    ways:
+        Associativity; ``size_bytes / (ways * line_bytes)`` must be a
+        power-of-two set count (as in real indexing).
+    line_bytes:
+        Cache line size (64 B in Table I).
+    name:
+        Label for diagnostics.
+    """
+
+    def __init__(
+        self,
+        size_bytes: int,
+        ways: int,
+        line_bytes: int = CACHE_LINE_BYTES,
+        name: str = "cache",
+    ):
+        if size_bytes % (ways * line_bytes):
+            raise ValueError("capacity must be a whole number of sets")
+        self.size_bytes = size_bytes
+        self.ways = ways
+        self.line_bytes = line_bytes
+        self.name = name
+        self.num_sets = size_bytes // (ways * line_bytes)
+        if self.num_sets & (self.num_sets - 1):
+            raise ValueError("set count must be a power of two")
+        # Each set is an LRU-ordered list of line addresses, most recent last.
+        self._sets: Dict[int, List[int]] = {}
+        self.stats = CacheStats()
+
+    @property
+    def capacity_lines(self) -> int:
+        """Total number of lines the cache can hold."""
+        return self.num_sets * self.ways
+
+    def _set_index(self, line: int) -> int:
+        return (line // self.line_bytes) & (self.num_sets - 1)
+
+    def contains(self, addr: int) -> bool:
+        """Whether the line holding ``addr`` is resident (no LRU update)."""
+        line = line_address(addr, self.line_bytes)
+        return line in self._sets.get(self._set_index(line), ())
+
+    def access(self, addr: int) -> bool:
+        """Touch ``addr``: returns True on hit; on miss, fills the line.
+
+        A miss evicts the LRU line of the set if the set is full; the
+        evicted line address is recorded in :attr:`last_evicted`.
+        """
+        line = line_address(addr, self.line_bytes)
+        index = self._set_index(line)
+        ways = self._sets.setdefault(index, [])
+        self.last_evicted: Optional[int] = None
+        if line in ways:
+            ways.remove(line)
+            ways.append(line)
+            self.stats.hits += 1
+            return True
+        self.stats.misses += 1
+        if len(ways) >= self.ways:
+            self.last_evicted = ways.pop(0)
+            self.stats.evictions += 1
+        ways.append(line)
+        return False
+
+    def invalidate(self, addr: int) -> bool:
+        """Drop the line holding ``addr``; returns whether it was present."""
+        line = line_address(addr, self.line_bytes)
+        ways = self._sets.get(self._set_index(line))
+        if ways and line in ways:
+            ways.remove(line)
+            self.stats.invalidations += 1
+            return True
+        return False
+
+    def resident_lines(self) -> int:
+        """Number of lines currently resident."""
+        return sum(len(ways) for ways in self._sets.values())
+
+    def flush(self) -> None:
+        """Empty the cache (stats preserved)."""
+        self._sets.clear()
+
+
+@dataclass
+class CacheConfig:
+    """Geometry for one cache level."""
+
+    size_bytes: int
+    ways: int
+    line_bytes: int = CACHE_LINE_BYTES
+
+    def build(self, name: str) -> SetAssociativeCache:
+        """Instantiate a cache with this geometry."""
+        return SetAssociativeCache(self.size_bytes, self.ways, self.line_bytes, name)
+
+    @property
+    def capacity_lines(self) -> int:
+        return self.size_bytes // self.line_bytes
+
+    # Table I geometries.
+
+    @classmethod
+    def l1d(cls) -> "CacheConfig":
+        """Private 32 KB, 4-way, 64 B lines (Table I)."""
+        return cls(size_bytes=32 * 1024, ways=4)
+
+    @classmethod
+    def llc_per_core(cls) -> "CacheConfig":
+        """1 MB per core, 16-way, 64 B lines (Table I)."""
+        return cls(size_bytes=1024 * 1024, ways=16)

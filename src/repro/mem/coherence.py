@@ -1,0 +1,230 @@
+"""Directory-based MESI coherence.
+
+The directory tracks, per cache line, which core owns it (M/E) or which
+cores share it (S). It exposes snoop hooks: callbacks fired when a write
+transaction (GetM / upgrade) is observed for a line — this is exactly the
+interface HyperPlane's monitoring set uses (paper, Section III-B: "the
+monitoring set snoops the write transactions ... conceptually implemented
+as part of the directory").
+
+The model is state-exact (who has what, who gets invalidated) with a
+simple additive latency model; it is deliberately not a message-level
+protocol simulator. Invariants (single owner, owner implies no sharers)
+are enforced and property-tested.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Set, Tuple
+
+
+class MESIState(enum.Enum):
+    """Per-core line state as tracked by the directory."""
+
+    MODIFIED = "M"
+    EXCLUSIVE = "E"
+    SHARED = "S"
+    INVALID = "I"
+
+
+class TransactionKind(enum.Enum):
+    """Coherence transaction types visible to snoopers."""
+
+    GET_S = "GetS"
+    GET_M = "GetM"
+    UPGRADE = "Upgrade"
+    PUT_M = "PutM"
+
+
+# A snooper receives (line address, requesting core, transaction kind).
+SnoopCallback = Callable[[int, int, TransactionKind], None]
+
+
+@dataclass(frozen=True)
+class LatencyConfig:
+    """Additive latency components, in core cycles.
+
+    Defaults follow Table I-class machines: 4-cycle L1D, ~40-cycle LLC,
+    ~200-cycle DRAM, ~70-cycle dirty remote-L1 transfer through the
+    directory.
+    """
+
+    l1_hit: int = 4
+    llc_hit: int = 40
+    dram: int = 200
+    remote_transfer: int = 70
+    directory_lookup: int = 10
+
+
+@dataclass
+class AccessResult:
+    """Outcome of one load/store through the coherence layer."""
+
+    latency: int
+    level: str  # "L1", "remote-L1", "LLC", "DRAM"
+    hit: bool
+    invalidated: int = 0  # how many remote copies were invalidated
+
+
+@dataclass
+class _LineEntry:
+    owner: Optional[int] = None  # core id holding M or E
+    dirty: bool = False  # owner's copy is M (vs E)
+    sharers: Set[int] = field(default_factory=set)
+
+
+class Directory:
+    """MESI directory for ``num_cores`` private L1 caches.
+
+    The directory is purely a permission/ownership tracker; structural
+    L1/LLC presence lives in :class:`repro.mem.hierarchy.MemoryHierarchy`,
+    which calls :meth:`read` / :meth:`write` and combines the results.
+    """
+
+    def __init__(self, num_cores: int, latencies: Optional[LatencyConfig] = None):
+        if num_cores <= 0:
+            raise ValueError("need at least one core")
+        self.num_cores = num_cores
+        self.latencies = latencies or LatencyConfig()
+        self._lines: Dict[int, _LineEntry] = {}
+        self._snoopers: List[Tuple[Callable[[int], bool], SnoopCallback]] = []
+        self.transactions: Dict[TransactionKind, int] = {kind: 0 for kind in TransactionKind}
+
+    # -- snooping ---------------------------------------------------------
+
+    def add_snooper(self, address_filter: Callable[[int], bool], callback: SnoopCallback) -> None:
+        """Register ``callback`` for transactions whose line passes the filter."""
+        self._snoopers.append((address_filter, callback))
+
+    def _notify(self, line: int, requester: int, kind: TransactionKind) -> None:
+        self.transactions[kind] += 1
+        for address_filter, callback in self._snoopers:
+            if address_filter(line):
+                callback(line, requester, kind)
+
+    # -- core-visible operations ------------------------------------------
+
+    def state_of(self, core: int, line: int) -> MESIState:
+        """The MESI state of ``line`` in ``core``'s L1, per the directory."""
+        entry = self._lines.get(line)
+        if entry is None:
+            return MESIState.INVALID
+        if entry.owner == core:
+            return MESIState.MODIFIED if entry.dirty else MESIState.EXCLUSIVE
+        if core in entry.sharers:
+            return MESIState.SHARED
+        return MESIState.INVALID
+
+    def read(self, core: int, line: int, in_llc: bool) -> AccessResult:
+        """Core ``core`` loads from ``line``.
+
+        ``in_llc`` is whether the structural LLC currently holds the line
+        (decides LLC-hit vs DRAM latency on a clean miss).
+        """
+        self._check_core(core)
+        entry = self._lines.get(line)
+        lat = self.latencies
+        if entry is not None and (entry.owner == core or core in entry.sharers):
+            return AccessResult(latency=lat.l1_hit, level="L1", hit=True)
+        # L1 miss: GetS to the directory.
+        self._notify(line, core, TransactionKind.GET_S)
+        if entry is None:
+            entry = self._lines.setdefault(line, _LineEntry())
+        if entry.owner is not None and entry.owner != core:
+            # Dirty (or exclusive) remote copy: downgrade owner to sharer.
+            previous_owner = entry.owner
+            entry.sharers.add(previous_owner)
+            entry.owner = None
+            entry.dirty = False
+            entry.sharers.add(core)
+            return AccessResult(
+                latency=lat.directory_lookup + lat.remote_transfer,
+                level="remote-L1",
+                hit=False,
+            )
+        if not entry.sharers and entry.owner is None:
+            # No other copies: grant Exclusive.
+            entry.owner = core
+            entry.dirty = False
+        else:
+            entry.sharers.add(core)
+        if in_llc:
+            return AccessResult(latency=lat.directory_lookup + lat.llc_hit, level="LLC", hit=False)
+        return AccessResult(latency=lat.directory_lookup + lat.dram, level="DRAM", hit=False)
+
+    def write(self, core: int, line: int, in_llc: bool) -> AccessResult:
+        """Core ``core`` stores to ``line`` (obtains M)."""
+        self._check_core(core)
+        entry = self._lines.get(line)
+        lat = self.latencies
+        if entry is not None and entry.owner == core:
+            entry.dirty = True
+            return AccessResult(latency=lat.l1_hit, level="L1", hit=True)
+        kind = (
+            TransactionKind.UPGRADE
+            if entry is not None and core in entry.sharers
+            else TransactionKind.GET_M
+        )
+        self._notify(line, core, kind)
+        if entry is None:
+            entry = self._lines.setdefault(line, _LineEntry())
+        invalidated = 0
+        level = "LLC" if in_llc else "DRAM"
+        latency = lat.directory_lookup + (lat.llc_hit if in_llc else lat.dram)
+        if entry.owner is not None and entry.owner != core:
+            invalidated += 1
+            level = "remote-L1"
+            latency = lat.directory_lookup + lat.remote_transfer
+        invalidated += len(entry.sharers - {core})
+        if kind is TransactionKind.UPGRADE:
+            # Already had the data; only invalidations are needed.
+            level = "L1"
+            latency = lat.directory_lookup + (lat.remote_transfer if invalidated else 0)
+        entry.owner = core
+        entry.dirty = True
+        entry.sharers.clear()
+        return AccessResult(latency=latency, level=level, hit=False, invalidated=invalidated)
+
+    def evict(self, core: int, line: int) -> None:
+        """Core ``core``'s L1 drops ``line`` (capacity eviction / PutM)."""
+        entry = self._lines.get(line)
+        if entry is None:
+            return
+        if entry.owner == core:
+            if entry.dirty:
+                self._notify(line, core, TransactionKind.PUT_M)
+            entry.owner = None
+            entry.dirty = False
+        entry.sharers.discard(core)
+        if entry.owner is None and not entry.sharers:
+            del self._lines[line]
+
+    # -- invariants --------------------------------------------------------
+
+    def check_invariants(self) -> None:
+        """Assert SWMR: an owner excludes sharers; owner is a valid core."""
+        for line, entry in self._lines.items():
+            if entry.owner is not None:
+                if entry.sharers - {entry.owner}:
+                    raise AssertionError(
+                        f"line {line:#x}: owner {entry.owner} coexists with "
+                        f"sharers {entry.sharers}"
+                    )
+                if not 0 <= entry.owner < self.num_cores:
+                    raise AssertionError(f"line {line:#x}: bogus owner {entry.owner}")
+            for sharer in entry.sharers:
+                if not 0 <= sharer < self.num_cores:
+                    raise AssertionError(f"line {line:#x}: bogus sharer {sharer}")
+
+    def sharer_count(self, line: int) -> int:
+        """Number of cores with any valid copy of ``line``."""
+        entry = self._lines.get(line)
+        if entry is None:
+            return 0
+        return len(entry.sharers) + (1 if entry.owner is not None else 0)
+
+    def _check_core(self, core: int) -> None:
+        if not 0 <= core < self.num_cores:
+            raise ValueError(f"core id {core} out of range")

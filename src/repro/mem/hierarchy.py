@@ -1,0 +1,120 @@
+"""Per-core L1s + shared LLC + directory, wired together.
+
+:class:`MemoryHierarchy` combines the structural caches (which lines are
+resident, with LRU capacity pressure) with the MESI directory (who may
+read/write what). Every access returns a latency in cycles; the fast SDP
+simulation does not call this per-access but uses cost curves derived
+from it (:mod:`repro.mem.costmodel`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+from repro.mem.address import CACHE_LINE_BYTES, line_address
+from repro.mem.cache import CacheConfig, SetAssociativeCache
+from repro.mem.coherence import (
+    AccessResult,
+    Directory,
+    LatencyConfig,
+    SnoopCallback,
+)
+
+
+@dataclass(frozen=True)
+class MemConfig:
+    """Hierarchy geometry + latencies (Table I defaults)."""
+
+    num_cores: int = 16
+    l1: CacheConfig = field(default_factory=CacheConfig.l1d)
+    llc_per_core: CacheConfig = field(default_factory=CacheConfig.llc_per_core)
+    latencies: LatencyConfig = field(default_factory=LatencyConfig)
+
+    @property
+    def llc_total_bytes(self) -> int:
+        """Shared LLC capacity: 1 MB per core (Table I)."""
+        return self.llc_per_core.size_bytes * self.num_cores
+
+
+class MemoryHierarchy:
+    """A CMP memory system for ``config.num_cores`` cores.
+
+    The LLC is modelled as one shared cache of the aggregate capacity
+    (Table I: "1 MB per core"); the directory is co-located with it.
+    """
+
+    def __init__(self, config: Optional[MemConfig] = None):
+        self.config = config or MemConfig()
+        cfg = self.config
+        self.l1s: List[SetAssociativeCache] = [
+            cfg.l1.build(f"l1-{core}") for core in range(cfg.num_cores)
+        ]
+        # Real indexed caches need a power-of-two set count; round the
+        # aggregate LLC up (e.g. 3 cores x 1 MB indexes as 4 MB of sets).
+        ways = cfg.llc_per_core.ways
+        line = cfg.l1.line_bytes
+        sets = max(1, cfg.llc_total_bytes // (ways * line))
+        rounded_sets = 1 << (sets - 1).bit_length()
+        self.llc = SetAssociativeCache(rounded_sets * ways * line, ways, line, "llc")
+        self.directory = Directory(cfg.num_cores, cfg.latencies)
+
+    # -- snoop passthrough -------------------------------------------------
+
+    def add_snooper(self, address_filter: Callable[[int], bool], callback: SnoopCallback) -> None:
+        """Register a coherence snooper (see :class:`Directory`)."""
+        self.directory.add_snooper(address_filter, callback)
+
+    # -- accesses ----------------------------------------------------------
+
+    def read(self, core: int, addr: int) -> AccessResult:
+        """Core ``core`` loads ``addr``; returns latency and level."""
+        return self._access(core, addr, is_write=False)
+
+    def write(self, core: int, addr: int) -> AccessResult:
+        """Core ``core`` stores to ``addr``; returns latency and level."""
+        return self._access(core, addr, is_write=True)
+
+    def _access(self, core: int, addr: int, is_write: bool) -> AccessResult:
+        line = line_address(addr, self.config.l1.line_bytes)
+        l1 = self.l1s[core]
+        structurally_present = l1.contains(line)
+        in_llc = self.llc.contains(line)
+        if is_write:
+            result = self.directory.write(core, line, in_llc)
+        else:
+            result = self.directory.read(core, line, in_llc)
+        if result.hit and not structurally_present:
+            # Permission said hit but the line was evicted for capacity:
+            # treat as an LLC refill (the directory still lists us).
+            result = AccessResult(
+                latency=self.config.latencies.llc_hit,
+                level="LLC",
+                hit=False,
+                invalidated=result.invalidated,
+            )
+        # Maintain structural residency (and propagate capacity evictions
+        # to the directory so state stays consistent).
+        l1.access(line)
+        if l1.last_evicted is not None:
+            self.directory.evict(core, l1.last_evicted)
+        self.llc.access(line)
+        if result.invalidated:
+            self._drop_remote_copies(core, line)
+        return result
+
+    def _drop_remote_copies(self, writer: int, line: int) -> None:
+        for core, l1 in enumerate(self.l1s):
+            if core != writer:
+                l1.invalidate(line)
+
+    # -- diagnostics ---------------------------------------------------------
+
+    def check_invariants(self) -> None:
+        """Directory SWMR plus L1/directory residency consistency."""
+        self.directory.check_invariants()
+
+    def reset_stats(self) -> None:
+        for l1 in self.l1s:
+            l1.stats.reset()
+        self.llc.stats.reset()

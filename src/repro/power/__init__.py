@@ -1,0 +1,10 @@
+"""Activity-based core power model (the paper's McPAT substitute).
+
+Relative power only — the evaluation (Fig. 12a) reports *normalized*
+power, so an activity-proportional model with calibrated static/dynamic
+shares reproduces it without McPAT.
+"""
+
+from repro.power.model import CStats, PowerModel, PowerBreakdown
+
+__all__ = ["CStats", "PowerBreakdown", "PowerModel"]

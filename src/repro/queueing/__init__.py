@@ -1,0 +1,35 @@
+"""Queue substrate: doorbells, task queues, locks, and queueing theory.
+
+- :mod:`repro.queueing.doorbell` — the doorbell word (atomic element
+  counter, semaphore semantics) each I/O queue publishes.
+- :mod:`repro.queueing.taskqueue` — bounded FIFO work-item queues.
+- :mod:`repro.queueing.locks` — a spinlock contention model for the
+  scale-up spinning baseline's synchronisation costs.
+- :mod:`repro.queueing.theory` — M/M/1, M/M/c, and M/G/1 closed forms
+  used to validate the simulator and to explain why scale-up queueing
+  wins (paper, Section II-B).
+"""
+
+from repro.queueing.doorbell import Doorbell
+from repro.queueing.locks import SpinLock
+from repro.queueing.taskqueue import QueueFullError, TaskQueue, WorkItem
+from repro.queueing.theory import (
+    erlang_c,
+    mg1_mean_wait,
+    mm1_mean_wait,
+    mm1_wait_percentile,
+    mmc_mean_wait,
+)
+
+__all__ = [
+    "Doorbell",
+    "QueueFullError",
+    "SpinLock",
+    "TaskQueue",
+    "WorkItem",
+    "erlang_c",
+    "mg1_mean_wait",
+    "mm1_mean_wait",
+    "mm1_wait_percentile",
+    "mmc_mean_wait",
+]

@@ -1,0 +1,81 @@
+"""The doorbell word.
+
+Paper, Section III-A: "a field represents an atomic counter, indicating
+the number of elements in the queue, with similar semantics to a
+semaphore — producers atomically increment the counter after enqueuing
+each element and consumers decrement the counter before dequeuing each
+element."
+
+The doorbell is pure state; the SDP/HyperPlane models account for the
+memory-system cost of touching it. Producer increments are what the
+monitoring set observes (as GetM transactions on the doorbell's line).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional
+
+
+class Doorbell:
+    """An atomic element counter at a fixed doorbell address.
+
+    Parameters
+    ----------
+    qid:
+        Queue ID this doorbell belongs to.
+    address:
+        Byte address inside the reserved doorbell region.
+    """
+
+    __slots__ = ("qid", "address", "_count", "_write_hooks")
+
+    def __init__(self, qid: int, address: int):
+        self.qid = qid
+        self.address = address
+        self._count = 0
+        self._write_hooks: List[Callable[["Doorbell"], None]] = []
+
+    @property
+    def count(self) -> int:
+        """Current element count."""
+        return self._count
+
+    def is_empty(self) -> bool:
+        """Semaphore test used by QWAIT-VERIFY / QWAIT-RECONSIDER."""
+        return self._count == 0
+
+    def add_write_hook(self, hook: Callable[["Doorbell"], None]) -> None:
+        """Run ``hook(doorbell)`` after every producer increment.
+
+        This models the coherence write transaction becoming visible; the
+        fast-path simulation uses it instead of routing every increment
+        through the structural hierarchy.
+        """
+        self._write_hooks.append(hook)
+
+    def producer_increment(self, amount: int = 1) -> int:
+        """Producer enqueued ``amount`` items; returns the new count."""
+        if amount <= 0:
+            raise ValueError("increment must be positive")
+        self._count += amount
+        for hook in self._write_hooks:
+            hook(self)
+        return self._count
+
+    def consumer_decrement(self, amount: int = 1) -> int:
+        """Consumer is dequeuing ``amount`` items; returns the new count.
+
+        Consumer writes do not fire the write hooks: per the paper, the
+        entry is disarmed while the data plane holds the queue, so its own
+        decrement must not re-trigger the monitoring set. Keeping the hook
+        producer-only mirrors that protocol.
+        """
+        if amount <= 0:
+            raise ValueError("decrement must be positive")
+        if amount > self._count:
+            raise ValueError(f"doorbell {self.qid}: decrement {amount} below zero")
+        self._count -= amount
+        return self._count
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Doorbell qid={self.qid} addr={self.address:#x} count={self._count}>"

@@ -1,0 +1,62 @@
+"""Spinlock contention model.
+
+The scale-up *spinning* baseline pays synchronisation on every shared
+dequeue: the lock cache line and the queue head ping-pong between the
+cores' L1s (paper, Section II-B: "the coherence and synchronization costs
+of spinning on shared queues make such sharing impractical").
+
+We model the lock analytically: the cost to acquire depends on whether
+the line is already local (uncontended fast path) or owned by another
+core (one or more remote transfers), with the expected number of
+transfers growing with the number of active contenders.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass
+class SpinLock:
+    """Cycle-cost model of a test-and-test-and-set spinlock.
+
+    Parameters
+    ----------
+    uncontended_cycles:
+        Acquire+release when the lock line is already in the local L1.
+    transfer_cycles:
+        One remote-L1 line transfer through the directory.
+    """
+
+    uncontended_cycles: int = 40
+    transfer_cycles: int = 80
+    last_owner: int = -1
+    acquisitions: int = 0
+    contended_acquisitions: int = 0
+
+    def acquire_cost(self, core: int, contenders: int) -> int:
+        """Cycles for ``core`` to acquire with ``contenders`` active cores.
+
+        The first acquisition by a new owner pays a line transfer; under
+        contention, the expected cost grows with the number of cores whose
+        invalidations and retries interleave (each failed test-and-set
+        round costs roughly half a transfer on average).
+        """
+        if contenders < 1:
+            raise ValueError("at least the acquiring core contends")
+        self.acquisitions += 1
+        cost = self.uncontended_cycles
+        if self.last_owner != core:
+            cost += self.transfer_cycles
+        if contenders > 1:
+            self.contended_acquisitions += 1
+            cost += (contenders - 1) * self.transfer_cycles // 2
+        self.last_owner = core
+        return cost
+
+    @property
+    def contention_rate(self) -> float:
+        """Fraction of acquisitions that saw contention."""
+        if not self.acquisitions:
+            return 0.0
+        return self.contended_acquisitions / self.acquisitions

@@ -1,0 +1,131 @@
+"""Bounded FIFO task queues with attached doorbells.
+
+A :class:`TaskQueue` models one lock-free ring shared by a producer
+(emulated I/O source) and the data-plane consumers. Enqueue rings the
+doorbell (producer increment -> write hooks -> monitoring set); dequeue
+decrements it first, per the semaphore protocol.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Deque, Optional
+
+from repro.queueing.doorbell import Doorbell
+
+
+class QueueFullError(RuntimeError):
+    """Raised when enqueuing onto a full bounded ring."""
+
+
+@dataclass
+class WorkItem:
+    """One packet / task flowing through the data plane.
+
+    ``arrival_time`` is when the producer enqueued it (device-side);
+    ``service_time`` is the processing time the workload model drew for
+    it; ``completion_time`` is filled in by the consumer.
+    """
+
+    item_id: int
+    qid: int
+    arrival_time: float
+    service_time: float
+    payload: Any = None
+    dequeue_time: Optional[float] = None
+    completion_time: Optional[float] = None
+
+    @property
+    def latency(self) -> float:
+        """End-to-end latency (completion - arrival); requires completion."""
+        if self.completion_time is None:
+            raise ValueError("work item not completed yet")
+        return self.completion_time - self.arrival_time
+
+    @property
+    def wait(self) -> float:
+        """Queueing delay before service started."""
+        if self.dequeue_time is None:
+            raise ValueError("work item not dequeued yet")
+        return self.dequeue_time - self.arrival_time
+
+
+@dataclass
+class QueueStats:
+    """Counters for one queue."""
+
+    enqueued: int = 0
+    dequeued: int = 0
+    dropped: int = 0
+    max_depth: int = 0
+
+
+class TaskQueue:
+    """A bounded FIFO with doorbell semantics.
+
+    Parameters
+    ----------
+    qid:
+        Queue ID.
+    doorbell:
+        The queue's doorbell word.
+    capacity:
+        Ring size; arrivals beyond it are dropped (and counted), as a
+        real NIC ring would.
+    """
+
+    def __init__(self, qid: int, doorbell: Doorbell, capacity: int = 4096):
+        if doorbell.qid != qid:
+            raise ValueError("doorbell/queue qid mismatch")
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self.qid = qid
+        self.doorbell = doorbell
+        self.capacity = capacity
+        self._items: Deque[WorkItem] = deque()
+        self.stats = QueueStats()
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def is_empty(self) -> bool:
+        """Whether the ring holds no items."""
+        return not self._items
+
+    def enqueue(self, item: WorkItem, drop_on_full: bool = True) -> bool:
+        """Producer-side enqueue; rings the doorbell. Returns success."""
+        if item.qid != self.qid:
+            raise ValueError(f"item for queue {item.qid} enqueued on queue {self.qid}")
+        if len(self._items) >= self.capacity:
+            if drop_on_full:
+                self.stats.dropped += 1
+                return False
+            raise QueueFullError(f"queue {self.qid} full")
+        self._items.append(item)
+        self.stats.enqueued += 1
+        self.stats.max_depth = max(self.stats.max_depth, len(self._items))
+        self.doorbell.producer_increment()
+        return True
+
+    def dequeue(self, now: float) -> WorkItem:
+        """Consumer-side dequeue; decrements the doorbell first."""
+        if not self._items:
+            raise IndexError(f"dequeue from empty queue {self.qid}")
+        self.doorbell.consumer_decrement()
+        item = self._items.popleft()
+        item.dequeue_time = now
+        self.stats.dequeued += 1
+        return item
+
+    def peek_arrival_time(self) -> Optional[float]:
+        """Arrival time of the head item, or None when empty."""
+        return self._items[0].arrival_time if self._items else None
+
+    def check_invariants(self) -> None:
+        """Doorbell count must equal ring occupancy."""
+        if self.doorbell.count != len(self._items):
+            raise AssertionError(
+                f"queue {self.qid}: doorbell={self.doorbell.count} "
+                f"ring={len(self._items)}"
+            )

@@ -1,0 +1,127 @@
+"""Queueing-theory closed forms.
+
+Used for two things:
+
+1. Validating the discrete-event simulator: an M/M/1 (one core, one
+   queue, exponential service) simulation must match these formulas.
+2. Explaining the scale-up vs. scale-out result (paper, Section II-B):
+   one shared M/M/c queue strictly dominates c independent M/M/1 queues
+   at equal total load, and the gap is what Fig. 10 measures.
+
+All waits are *queueing* delays (time before service starts), in the same
+time unit as the inputs.
+"""
+
+from __future__ import annotations
+
+import math
+
+
+def _check_stability(rho: float) -> None:
+    if not 0.0 <= rho < 1.0:
+        raise ValueError(f"utilisation must be in [0, 1), got {rho}")
+
+
+def mm1_mean_wait(arrival_rate: float, service_rate: float) -> float:
+    """Mean queueing delay of M/M/1: rho / (mu - lambda)."""
+    if service_rate <= 0:
+        raise ValueError("service rate must be positive")
+    rho = arrival_rate / service_rate
+    _check_stability(rho)
+    return rho / (service_rate - arrival_rate)
+
+
+def mm1_wait_percentile(arrival_rate: float, service_rate: float, percentile: float) -> float:
+    """The p-th percentile of M/M/1 queueing delay.
+
+    W_q has an atom at zero of mass (1 - rho); conditional on waiting, the
+    delay is exponential with rate (mu - lambda).
+    """
+    if not 0.0 < percentile < 1.0:
+        raise ValueError("percentile must be in (0, 1)")
+    rho = arrival_rate / service_rate
+    _check_stability(rho)
+    if percentile <= 1.0 - rho:
+        return 0.0
+    return -math.log((1.0 - percentile) / rho) / (service_rate - arrival_rate)
+
+
+def erlang_c(servers: int, offered_load: float) -> float:
+    """Erlang-C probability that an arrival must wait (M/M/c).
+
+    ``offered_load`` is a = lambda / mu (in Erlangs); requires a < c.
+    """
+    if servers < 1:
+        raise ValueError("need at least one server")
+    if offered_load < 0:
+        raise ValueError("offered load must be non-negative")
+    if offered_load >= servers:
+        raise ValueError("system unstable: offered load >= servers")
+    # Sum a^k / k! for k < c, computed iteratively for stability.
+    term = 1.0
+    total = 1.0
+    for k in range(1, servers):
+        term *= offered_load / k
+        total += term
+    term *= offered_load / servers
+    top = term * servers / (servers - offered_load)
+    return top / (total + top)
+
+
+def mmc_mean_wait(arrival_rate: float, service_rate: float, servers: int) -> float:
+    """Mean queueing delay of M/M/c."""
+    offered = arrival_rate / service_rate
+    if offered >= servers:
+        raise ValueError("system unstable")
+    wait_probability = erlang_c(servers, offered)
+    return wait_probability / (servers * service_rate - arrival_rate)
+
+
+def mmc_wait_percentile(
+    arrival_rate: float, service_rate: float, servers: int, percentile: float
+) -> float:
+    """The p-th percentile of M/M/c queueing delay.
+
+    Conditional on waiting (probability Erlang-C), the delay is
+    exponential with rate (c*mu - lambda).
+    """
+    if not 0.0 < percentile < 1.0:
+        raise ValueError("percentile must be in (0, 1)")
+    offered = arrival_rate / service_rate
+    if offered >= servers:
+        raise ValueError("system unstable")
+    wait_probability = erlang_c(servers, offered)
+    if percentile <= 1.0 - wait_probability:
+        return 0.0
+    rate = servers * service_rate - arrival_rate
+    return -math.log((1.0 - percentile) / wait_probability) / rate
+
+
+def mg1_mean_wait(arrival_rate: float, mean_service: float, service_scv: float) -> float:
+    """Pollaczek–Khinchine mean wait for M/G/1.
+
+    ``service_scv`` is the squared coefficient of variation of service
+    time (1.0 for exponential, 0.0 for deterministic).
+    """
+    if mean_service <= 0:
+        raise ValueError("mean service must be positive")
+    if service_scv < 0:
+        raise ValueError("SCV must be non-negative")
+    rho = arrival_rate * mean_service
+    _check_stability(rho)
+    return rho * mean_service * (1.0 + service_scv) / (2.0 * (1.0 - rho))
+
+
+def scale_up_advantage(arrival_rate: float, service_rate: float, servers: int) -> float:
+    """Ratio of scale-out to scale-up mean wait at equal total load.
+
+    Scale-out: ``servers`` independent M/M/1 queues each fed
+    ``arrival_rate / servers``. Scale-up: one M/M/c. Always >= 1; grows
+    with load — the theoretical basis for Fig. 10.
+    """
+    per_core = arrival_rate / servers
+    out = mm1_mean_wait(per_core, service_rate)
+    up = mmc_mean_wait(arrival_rate, service_rate, servers)
+    if up == 0.0:
+        return math.inf if out > 0 else 1.0
+    return out / up

@@ -1,0 +1,62 @@
+"""Software data plane (SDP) models.
+
+The shared runtime (queues, clusters, traffic, metrics) plus the
+*spinning* baseline data plane the paper compares against. The
+HyperPlane data plane lives in :mod:`repro.core` and reuses everything
+here except the notification mechanism.
+
+- :mod:`repro.sdp.config` — experiment configuration + Table I constants.
+- :mod:`repro.sdp.metrics` — latency/throughput/IPC/energy accounting.
+- :mod:`repro.sdp.organizations` — scale-out / scale-up-k queue-to-core
+  assignment, with optional static imbalance.
+- :mod:`repro.sdp.system` — builds the simulated system (queues,
+  doorbells, producers, clusters).
+- :mod:`repro.sdp.spinning` — the spin-polling data plane.
+- :mod:`repro.sdp.runner` — convenience drivers returning RunMetrics.
+"""
+
+from repro.sdp.config import TABLE1, SDPConfig
+from repro.sdp.interrupts import InterruptController, InterruptCore
+from repro.sdp.metrics import CoreActivity, LatencyRecorder, RunMetrics
+from repro.sdp.mwait import MwaitCore
+from repro.sdp.organizations import ClusterPlan, plan_clusters
+from repro.sdp.runner import run_interrupts, run_mwait, run_spinning
+from repro.sdp.spinning import SpinningCore
+from repro.sdp.system import Cluster, DataPlaneSystem
+from repro.sdp.functional import FunctionalAdapter, attach_functional_payloads
+from repro.sdp.quantiles import P2Quantile, StreamingLatencySummary
+from repro.sdp.tenant import Tenant, TenantSide, attach_tenant_side
+from repro.sdp.tracing import TraceEvent, Tracer, attach_tracer
+from repro.sdp.transmit import TxDevice, TxSide, attach_tx_side
+
+__all__ = [
+    "Cluster",
+    "ClusterPlan",
+    "CoreActivity",
+    "DataPlaneSystem",
+    "InterruptController",
+    "InterruptCore",
+    "LatencyRecorder",
+    "MwaitCore",
+    "RunMetrics",
+    "SDPConfig",
+    "SpinningCore",
+    "TABLE1",
+    "FunctionalAdapter",
+    "P2Quantile",
+    "StreamingLatencySummary",
+    "attach_functional_payloads",
+    "Tenant",
+    "TenantSide",
+    "TraceEvent",
+    "Tracer",
+    "TxDevice",
+    "TxSide",
+    "attach_tenant_side",
+    "attach_tracer",
+    "attach_tx_side",
+    "plan_clusters",
+    "run_interrupts",
+    "run_mwait",
+    "run_spinning",
+]

@@ -1,0 +1,101 @@
+"""CLI for one-off simulations.
+
+Examples::
+
+    python -m repro.sdp --system hyperplane --queues 1000 --shape SQ --peak
+    python -m repro.sdp --system spinning --queues 400 --cores 4 \\
+        --cluster-cores 1 --load 0.5 --workload crypto-forwarding
+    python -m repro.sdp --system interrupts --queues 256 --load 0.1 --json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from repro.core.runner import run_hyperplane
+from repro.sdp.config import SDPConfig
+from repro.sdp.runner import run_interrupts, run_mwait, run_spinning
+
+RUNNERS = {
+    "spinning": run_spinning,
+    "mwait": run_mwait,
+    "interrupts": run_interrupts,
+    "hyperplane": run_hyperplane,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.sdp",
+        description="Simulate one data-plane configuration and print metrics.",
+    )
+    parser.add_argument("--system", choices=sorted(RUNNERS), default="hyperplane")
+    parser.add_argument("--queues", type=int, default=256)
+    parser.add_argument("--workload", default="packet-encapsulation")
+    parser.add_argument("--shape", default="FB", choices=["FB", "PC", "NC", "SQ"])
+    parser.add_argument("--cores", type=int, default=1)
+    parser.add_argument(
+        "--cluster-cores", type=int, default=None,
+        help="cores per cluster (default: all => scale-up)",
+    )
+    parser.add_argument("--imbalance", type=float, default=0.0)
+    parser.add_argument("--seed", type=int, default=0)
+    load_group = parser.add_mutually_exclusive_group(required=True)
+    load_group.add_argument("--load", type=float, help="open-loop utilisation (0-1]")
+    load_group.add_argument(
+        "--peak", action="store_true", help="closed-loop peak-throughput measurement"
+    )
+    parser.add_argument("--completions", type=int, default=5000)
+    parser.add_argument("--max-seconds", type=float, default=4.0)
+    parser.add_argument("--power-optimized", action="store_true")
+    parser.add_argument(
+        "--policy", default="rr", choices=["rr", "wrr", "strict"],
+        help="HyperPlane service policy",
+    )
+    parser.add_argument("--json", action="store_true", help="emit JSON instead of text")
+    return parser
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    config = SDPConfig(
+        num_queues=args.queues,
+        workload=args.workload,
+        shape=args.shape,
+        num_cores=args.cores,
+        cluster_cores=args.cluster_cores,
+        imbalance=args.imbalance,
+        power_optimized=args.power_optimized,
+        seed=args.seed,
+    )
+    runner = RUNNERS[args.system]
+    kwargs = dict(
+        target_completions=args.completions,
+        max_seconds=args.max_seconds,
+    )
+    if args.system == "hyperplane":
+        kwargs["policy"] = args.policy
+    if args.peak:
+        metrics = runner(config, closed_loop=True, **kwargs)
+    else:
+        metrics = runner(config, load=args.load, **kwargs)
+    summary = metrics.summary()
+    summary["label"] = metrics.label
+    if args.json:
+        print(json.dumps(summary, indent=2))
+    else:
+        print(f"{metrics.label}  ({args.queues} queues, {args.shape}, {config.workload.name})")
+        print(f"  throughput : {summary['throughput_mtps']:.4f} Mtask/s")
+        print(f"  avg latency: {summary['avg_latency_us']:.2f} us")
+        print(f"  p99 latency: {summary['p99_latency_us']:.2f} us")
+        print(f"  completed  : {int(summary['completed'])}")
+        print(f"  IPC        : {summary['ipc']:.2f} "
+              f"(useful {summary['useful_ipc']:.2f} / useless {summary['useless_ipc']:.2f})")
+        print(f"  halted     : {summary['halt_fraction']:.0%} of cycles")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,195 @@
+"""Measurement: latency, throughput, IPC split, and activity accounting.
+
+All recorders support a warm-up boundary: samples before it are
+discarded, so steady-state statistics are not polluted by the empty-
+system transient.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+MICROSECOND = 1e-6
+
+
+class LatencyRecorder:
+    """Collects per-item latencies (seconds) after a warm-up boundary."""
+
+    def __init__(self, warmup_time: float = 0.0):
+        self.warmup_time = warmup_time
+        self._samples: List[float] = []
+
+    def record(self, now: float, latency: float) -> None:
+        """Record one completion at simulated time ``now``."""
+        if latency < 0:
+            raise ValueError("negative latency")
+        if now >= self.warmup_time:
+            self._samples.append(latency)
+
+    @property
+    def count(self) -> int:
+        return len(self._samples)
+
+    @property
+    def mean(self) -> float:
+        """Mean latency in seconds (0 if no samples)."""
+        if not self._samples:
+            return 0.0
+        return sum(self._samples) / len(self._samples)
+
+    def percentile(self, p: float) -> float:
+        """The p-th percentile latency in seconds (p in (0, 100))."""
+        if not 0.0 < p < 100.0:
+            raise ValueError("percentile must be in (0, 100)")
+        if not self._samples:
+            return 0.0
+        ordered = sorted(self._samples)
+        rank = p / 100.0 * (len(ordered) - 1)
+        low = math.floor(rank)
+        high = math.ceil(rank)
+        if low == high:
+            return ordered[low]
+        weight = rank - low
+        return ordered[low] * (1 - weight) + ordered[high] * weight
+
+    @property
+    def p99(self) -> float:
+        """99th-percentile latency in seconds."""
+        return self.percentile(99.0)
+
+    @property
+    def mean_us(self) -> float:
+        return self.mean / MICROSECOND
+
+    @property
+    def p99_us(self) -> float:
+        return self.p99 / MICROSECOND
+
+    def cdf(self, points: int = 50) -> List[Tuple[float, float]]:
+        """An empirical CDF as (latency_us, fraction<=) pairs."""
+        if not self._samples:
+            return []
+        ordered = sorted(self._samples)
+        n = len(ordered)
+        step = max(1, n // points)
+        curve = [
+            (ordered[i] / MICROSECOND, (i + 1) / n) for i in range(0, n, step)
+        ]
+        if curve[-1][1] < 1.0:
+            curve.append((ordered[-1] / MICROSECOND, 1.0))
+        return curve
+
+
+@dataclass
+class CoreActivity:
+    """Cycle and instruction accounting for one data-plane core.
+
+    ``useful`` instructions do task work; ``useless`` instructions are
+    fruitless polling (the paper's Fig. 11(a) split). ``halted`` cycles
+    are spent blocked in QWAIT (optionally in C1).
+    """
+
+    busy_cycles: float = 0.0
+    halted_cycles: float = 0.0
+    c1_cycles: float = 0.0
+    useful_instructions: float = 0.0
+    useless_instructions: float = 0.0
+    wakeups: int = 0
+    tasks: int = 0
+
+    @property
+    def total_cycles(self) -> float:
+        return self.busy_cycles + self.halted_cycles
+
+    @property
+    def ipc(self) -> float:
+        """Committed IPC over all (busy + halted) cycles."""
+        if self.total_cycles == 0:
+            return 0.0
+        return (self.useful_instructions + self.useless_instructions) / self.total_cycles
+
+    @property
+    def useful_ipc(self) -> float:
+        if self.total_cycles == 0:
+            return 0.0
+        return self.useful_instructions / self.total_cycles
+
+    @property
+    def useless_ipc(self) -> float:
+        if self.total_cycles == 0:
+            return 0.0
+        return self.useless_instructions / self.total_cycles
+
+    @property
+    def halt_fraction(self) -> float:
+        if self.total_cycles == 0:
+            return 0.0
+        return self.halted_cycles / self.total_cycles
+
+    def merge(self, other: "CoreActivity") -> "CoreActivity":
+        """Aggregate two activity records (for chip-level summaries)."""
+        return CoreActivity(
+            busy_cycles=self.busy_cycles + other.busy_cycles,
+            halted_cycles=self.halted_cycles + other.halted_cycles,
+            c1_cycles=self.c1_cycles + other.c1_cycles,
+            useful_instructions=self.useful_instructions + other.useful_instructions,
+            useless_instructions=self.useless_instructions + other.useless_instructions,
+            wakeups=self.wakeups + other.wakeups,
+            tasks=self.tasks + other.tasks,
+        )
+
+
+@dataclass
+class RunMetrics:
+    """Everything one simulation run reports."""
+
+    latency: LatencyRecorder
+    activities: List[CoreActivity]
+    completed: int = 0
+    generated: int = 0
+    dropped: int = 0
+    measure_start: float = 0.0
+    measure_end: float = 0.0
+    spurious_wakeups: int = 0
+    label: str = ""
+
+    @property
+    def duration(self) -> float:
+        """Measurement-window length in seconds."""
+        return max(0.0, self.measure_end - self.measure_start)
+
+    @property
+    def throughput(self) -> float:
+        """Completions per second over the measurement window."""
+        if self.duration == 0:
+            return 0.0
+        return self.latency.count / self.duration
+
+    @property
+    def throughput_mtps(self) -> float:
+        """Throughput in million tasks per second (the paper's unit)."""
+        return self.throughput / 1e6
+
+    @property
+    def chip_activity(self) -> CoreActivity:
+        """Merged activity across data-plane cores."""
+        merged = CoreActivity()
+        for activity in self.activities:
+            merged = merged.merge(activity)
+        return merged
+
+    def summary(self) -> Dict[str, float]:
+        """A flat dict for tables and EXPERIMENTS.md."""
+        chip = self.chip_activity
+        return {
+            "throughput_mtps": self.throughput_mtps,
+            "avg_latency_us": self.latency.mean_us,
+            "p99_latency_us": self.latency.p99_us,
+            "completed": float(self.latency.count),
+            "ipc": chip.ipc,
+            "useful_ipc": chip.useful_ipc,
+            "useless_ipc": chip.useless_ipc,
+            "halt_fraction": chip.halt_fraction,
+        }

@@ -1,0 +1,90 @@
+"""Queue-to-core organisation: scale-out and scale-up-k clustering.
+
+A *cluster* is a set of cores jointly serving a set of queues
+(scale-out: one core per cluster; scale-up-4: all four cores in one
+cluster, paper Section V-C). Queues are dealt round-robin so each
+cluster receives a proportionate share of the shape's hot queues; the
+``imbalance`` knob then skews hot queues toward cluster 0, reproducing
+the paper's "10% static load imbalance" scale-out variant.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+
+@dataclass(frozen=True)
+class ClusterPlan:
+    """One cluster: which cores serve which queues."""
+
+    cluster_id: int
+    core_ids: tuple
+    queue_ids: tuple
+
+
+def plan_clusters(
+    num_queues: int,
+    num_cores: int,
+    cluster_cores: int,
+    hot_queue_ids: Sequence[int] = (),
+    imbalance: float = 0.0,
+) -> List[ClusterPlan]:
+    """Partition queues and cores into clusters.
+
+    Parameters
+    ----------
+    hot_queue_ids:
+        The traffic shape's always-active queues; needed to apply
+        ``imbalance`` meaningfully (imbalance is about *load*, not queue
+        count).
+    imbalance:
+        Fraction of cluster-fair hot-queue share moved from the last
+        cluster to cluster 0 (0.10 => cluster 0 serves ~10% more hot
+        queues than fair share).
+    """
+    if num_cores % cluster_cores:
+        raise ValueError("cluster_cores must divide num_cores")
+    num_clusters = num_cores // cluster_cores
+    if num_clusters > num_queues:
+        raise ValueError("more clusters than queues")
+    if not 0.0 <= imbalance < 1.0:
+        raise ValueError("imbalance must be in [0, 1)")
+
+    hot = [q for q in hot_queue_ids if q < num_queues]
+    hot_set = set(hot)
+    cold = [q for q in range(num_queues) if q not in hot_set]
+
+    # Deal hot then cold queues round-robin for proportionate shares.
+    assignments: List[List[int]] = [[] for _ in range(num_clusters)]
+    for index, qid in enumerate(hot):
+        assignments[index % num_clusters].append(qid)
+    for index, qid in enumerate(cold):
+        assignments[index % num_clusters].append(qid)
+
+    if imbalance > 0.0 and num_clusters > 1 and hot:
+        fair_share = len(hot) / num_clusters
+        to_move = max(1, round(fair_share * imbalance))
+        donor = num_clusters - 1
+        moved = 0
+        for qid in list(assignments[donor]):
+            if moved >= to_move:
+                break
+            if qid in hot_set:
+                assignments[donor].remove(qid)
+                assignments[0].append(qid)
+                moved += 1
+
+    plans = []
+    for cluster_id in range(num_clusters):
+        core_ids = tuple(
+            range(cluster_id * cluster_cores, (cluster_id + 1) * cluster_cores)
+        )
+        plans.append(
+            ClusterPlan(
+                cluster_id=cluster_id,
+                core_ids=core_ids,
+                queue_ids=tuple(sorted(assignments[cluster_id])),
+            )
+        )
+    return plans

@@ -1,0 +1,149 @@
+"""Streaming quantile estimation (the P² algorithm).
+
+The exact :class:`~repro.sdp.metrics.LatencyRecorder` stores every
+sample, which is fine for figure sweeps but not for very long soak
+simulations. :class:`P2Quantile` implements Jain & Chlamtac's P²
+algorithm: a single quantile estimated online in O(1) memory with five
+markers whose positions are adjusted by piecewise-parabolic
+interpolation.
+
+Accuracy is typically within a few percent for smooth distributions;
+``tests/test_sdp_quantiles.py`` pins it against exact percentiles on
+several distributions.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+
+class P2Quantile:
+    """Online estimator of one quantile via the P² algorithm."""
+
+    def __init__(self, quantile: float):
+        if not 0.0 < quantile < 1.0:
+            raise ValueError("quantile must be in (0, 1)")
+        self.quantile = quantile
+        self._initial: List[float] = []
+        # Marker heights (q), positions (n), and desired positions (n').
+        self._heights: List[float] = []
+        self._positions: List[int] = []
+        self._desired: List[float] = []
+        self._increments: List[float] = []
+        self.count = 0
+
+    def add(self, value: float) -> None:
+        """Feed one observation."""
+        self.count += 1
+        if self._heights:
+            self._update(value)
+            return
+        self._initial.append(value)
+        if len(self._initial) == 5:
+            self._initial.sort()
+            p = self.quantile
+            self._heights = list(self._initial)
+            self._positions = [1, 2, 3, 4, 5]
+            self._desired = [1.0, 1.0 + 2.0 * p, 1.0 + 4.0 * p, 3.0 + 2.0 * p, 5.0]
+            self._increments = [0.0, p / 2.0, p, (1.0 + p) / 2.0, 1.0]
+
+    def _update(self, value: float) -> None:
+        heights = self._heights
+        positions = self._positions
+        # Find the cell and clamp extremes.
+        if value < heights[0]:
+            heights[0] = value
+            cell = 0
+        elif value >= heights[4]:
+            heights[4] = value
+            cell = 3
+        else:
+            cell = next(i for i in range(4) if heights[i] <= value < heights[i + 1])
+        for i in range(cell + 1, 5):
+            positions[i] += 1
+        for i in range(5):
+            self._desired[i] += self._increments[i]
+        # Adjust the three middle markers.
+        for i in range(1, 4):
+            delta = self._desired[i] - positions[i]
+            if (delta >= 1 and positions[i + 1] - positions[i] > 1) or (
+                delta <= -1 and positions[i - 1] - positions[i] < -1
+            ):
+                direction = 1 if delta >= 1 else -1
+                candidate = self._parabolic(i, direction)
+                if heights[i - 1] < candidate < heights[i + 1]:
+                    heights[i] = candidate
+                else:
+                    heights[i] = self._linear(i, direction)
+                positions[i] += direction
+
+    def _parabolic(self, i: int, direction: int) -> float:
+        q, n = self._heights, self._positions
+        return q[i] + direction / (n[i + 1] - n[i - 1]) * (
+            (n[i] - n[i - 1] + direction)
+            * (q[i + 1] - q[i])
+            / (n[i + 1] - n[i])
+            + (n[i + 1] - n[i] - direction)
+            * (q[i] - q[i - 1])
+            / (n[i] - n[i - 1])
+        )
+
+    def _linear(self, i: int, direction: int) -> float:
+        q, n = self._heights, self._positions
+        return q[i] + direction * (q[i + direction] - q[i]) / (
+            n[i + direction] - n[i]
+        )
+
+    @property
+    def value(self) -> float:
+        """The current quantile estimate."""
+        if self._heights:
+            return self._heights[2]
+        if not self._initial:
+            return 0.0
+        ordered = sorted(self._initial)
+        index = min(len(ordered) - 1, int(self.quantile * len(ordered)))
+        return ordered[index]
+
+
+class StreamingLatencySummary:
+    """Bounded-memory latency summary: mean, and P² p50/p99 estimates.
+
+    A drop-in alternative to :class:`LatencyRecorder` for soak runs;
+    same ``record`` signature and warm-up semantics.
+    """
+
+    def __init__(self, warmup_time: float = 0.0):
+        self.warmup_time = warmup_time
+        self.count = 0
+        self._sum = 0.0
+        self._max = 0.0
+        self._p50 = P2Quantile(0.50)
+        self._p99 = P2Quantile(0.99)
+
+    def record(self, now: float, latency: float) -> None:
+        if latency < 0:
+            raise ValueError("negative latency")
+        if now < self.warmup_time:
+            return
+        self.count += 1
+        self._sum += latency
+        self._max = max(self._max, latency)
+        self._p50.add(latency)
+        self._p99.add(latency)
+
+    @property
+    def mean(self) -> float:
+        return self._sum / self.count if self.count else 0.0
+
+    @property
+    def p50(self) -> float:
+        return self._p50.value
+
+    @property
+    def p99(self) -> float:
+        return self._p99.value
+
+    @property
+    def max(self) -> float:
+        return self._max

@@ -1,0 +1,117 @@
+"""Convenience drivers: build a system, attach traffic, run, report.
+
+One driver per notification mechanism: :func:`run_spinning` (the paper's
+baseline), :func:`run_mwait` (halt-then-scan), and
+:func:`run_interrupts` (per-queue MSI-X with coalescing). HyperPlane's
+driver lives in :mod:`repro.core.runner` to keep the dependency
+direction substrate -> contribution.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.sdp.config import SDPConfig
+from repro.sdp.interrupts import build_interrupt_cores
+from repro.sdp.metrics import RunMetrics
+from repro.sdp.mwait import build_mwait_cores
+from repro.sdp.spinning import build_spinning_cores
+from repro.sdp.system import DataPlaneSystem
+
+# Default measurement sizing: enough samples for stable p99s in tests
+# and benches while keeping figure sweeps fast. Experiments override.
+DEFAULT_TARGET_COMPLETIONS = 4000
+DEFAULT_MAX_SECONDS = 4.0
+DEFAULT_WARMUP_FRACTION = 0.1
+
+
+def _run_with(
+    builder: Callable[[DataPlaneSystem], object],
+    label: str,
+    config: SDPConfig,
+    load: Optional[float],
+    closed_loop: bool,
+    target_completions: int,
+    max_seconds: float,
+    warmup_seconds: Optional[float],
+) -> RunMetrics:
+    if (load is None) == (not closed_loop):
+        raise ValueError("specify either load= or closed_loop=True")
+    system = DataPlaneSystem(config)
+    # Cores before traffic: interrupt controllers must observe the
+    # closed-loop pre-fill doorbell writes.
+    builder(system)
+    if closed_loop:
+        system.attach_closed_loop()
+    else:
+        system.attach_open_loop(load=load)
+    if warmup_seconds is None:
+        warmup_seconds = _default_warmup(config, load, closed_loop)
+    metrics = system.run(
+        duration=max_seconds,
+        warmup=warmup_seconds,
+        target_completions=target_completions,
+    )
+    metrics.label = f"{label}/{config.organization}"
+    system.check_invariants()
+    return metrics
+
+
+def run_spinning(
+    config: SDPConfig,
+    load: Optional[float] = None,
+    closed_loop: bool = False,
+    target_completions: int = DEFAULT_TARGET_COMPLETIONS,
+    max_seconds: float = DEFAULT_MAX_SECONDS,
+    warmup_seconds: Optional[float] = None,
+) -> RunMetrics:
+    """Run the spinning data plane and return its metrics.
+
+    Exactly one of ``load`` (open-loop utilisation) or
+    ``closed_loop=True`` (peak throughput) must be given.
+    """
+    return _run_with(
+        build_spinning_cores, "spinning", config, load, closed_loop,
+        target_completions, max_seconds, warmup_seconds,
+    )
+
+
+def run_mwait(
+    config: SDPConfig,
+    load: Optional[float] = None,
+    closed_loop: bool = False,
+    target_completions: int = DEFAULT_TARGET_COMPLETIONS,
+    max_seconds: float = DEFAULT_MAX_SECONDS,
+    warmup_seconds: Optional[float] = None,
+) -> RunMetrics:
+    """Run the MWAIT/UMWAIT halt-then-scan data plane."""
+    return _run_with(
+        build_mwait_cores, "mwait", config, load, closed_loop,
+        target_completions, max_seconds, warmup_seconds,
+    )
+
+
+def run_interrupts(
+    config: SDPConfig,
+    load: Optional[float] = None,
+    closed_loop: bool = False,
+    target_completions: int = DEFAULT_TARGET_COMPLETIONS,
+    max_seconds: float = DEFAULT_MAX_SECONDS,
+    warmup_seconds: Optional[float] = None,
+) -> RunMetrics:
+    """Run the interrupt-driven (MSI-X + coalescing) data plane."""
+    return _run_with(
+        build_interrupt_cores, "interrupts", config, load, closed_loop,
+        target_completions, max_seconds, warmup_seconds,
+    )
+
+
+def _default_warmup(config: SDPConfig, load: Optional[float], closed_loop: bool) -> float:
+    """Warm up for ~200 task times (fills pipelines and caches)."""
+    mean = config.workload.mean_service_seconds
+    if closed_loop or (load is not None and load > 0.05):
+        return 200.0 * mean
+    # At near-zero load, arrivals are sparse; a time-based warm-up would
+    # discard the whole run. A tiny warm-up suffices (the system starts
+    # empty, which *is* the steady state at zero load).
+    return 5.0 * mean

@@ -1,0 +1,122 @@
+"""The spin-polling data plane (the paper's baseline).
+
+Each data-plane core iterates over its cluster's queue heads at full
+tilt. The simulation is event-driven, not per-poll: scans over empty
+queues are costed analytically from the ready mask and the derived
+empty-poll cost, and idle spinning between arrivals is fast-forwarded
+(the iterator position advances by elapsed/poll-cost, modulo the queue
+count). Observable behaviour — which queue is found when, at what cycle
+cost, with what instruction mix — matches a per-poll simulation.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.sdp.config import INSTRUCTIONS_PER_POLL, SDPConfig, USEFUL_TASK_IPC
+from repro.sdp.locality import POST_TASK_COLD_POLLS
+from repro.sdp.system import Cluster, DataPlaneSystem
+
+# Instructions on the dequeue + completion path (ring update, doorbell
+# decrement, tenant doorbell write).
+DEQUEUE_PATH_INSTRUCTIONS = 60
+
+
+class SpinningCore:
+    """One spin-polling data-plane core bound to a cluster."""
+
+    def __init__(self, system: DataPlaneSystem, core_id: int, cluster: Cluster):
+        self.system = system
+        self.core_id = core_id
+        self.cluster = cluster
+        self.activity = system.metrics.activities[core_id]
+        rank = cluster.plan.core_ids.index(core_id)
+        # Stagger start positions so cluster cores do not scan in lockstep.
+        self.pos = (rank * cluster.n) // max(1, cluster.num_cores)
+        self._cold_polls = 0
+        self.process = system.sim.spawn(self._run(), name=f"spin-core-{core_id}")
+
+    # -- cost helpers --------------------------------------------------------
+
+    def _scan_cycles(self, empty_polls: int) -> float:
+        """Cycles to skip ``empty_polls`` empty heads and read the ready one.
+
+        The first few polls after a task may find their lines evicted by
+        the task's data (L1 pollution) — they cost at least an LLC hit.
+        """
+        cluster = self.cluster
+        cost_model = self.system.cost_model
+        base = empty_polls * cluster.empty_poll_cost
+        if self._cold_polls and cluster.empty_poll_cost < cost_model.llc_hit:
+            cold = min(empty_polls, self._cold_polls)
+            base += cold * (cost_model.llc_hit - cluster.empty_poll_cost)
+            self._cold_polls -= cold
+        return base + cluster.ready_poll_cost
+
+    # -- the core loop -------------------------------------------------------
+
+    def _run(self):
+        sim = self.system.sim
+        clock = self.system.clock
+        cluster = self.cluster
+        cost_model = self.system.cost_model
+        activity = self.activity
+        shared = cluster.num_cores > 1
+        while True:
+            found = cluster.next_ready(self.pos)
+            if found is None:
+                # Nothing ready anywhere: spin until the next arrival
+                # pulse, fast-forwarding the iterator.
+                event = cluster.arrival_event
+                idle_start = sim.now
+                yield event
+                idle_cycles = clock.seconds_to_cycles(sim.now - idle_start)
+                # With no traffic at all, the polled lines stay resident:
+                # idle spinning runs at the cheap (high-IPC) poll cost.
+                polls = idle_cycles / cluster.idle_poll_cost
+                activity.busy_cycles += idle_cycles
+                activity.useless_instructions += polls * INSTRUCTIONS_PER_POLL
+                self.pos = (self.pos + int(polls)) % cluster.n
+                continue
+            local_index, empty_polls = found
+            scan = self._scan_cycles(empty_polls)
+            yield clock.cycles_to_seconds(scan)
+            activity.busy_cycles += scan
+            activity.useless_instructions += (empty_polls + 1) * INSTRUCTIONS_PER_POLL
+            queue = cluster.queues[local_index]
+            if queue.is_empty():
+                # Another cluster core drained it during our scan.
+                cluster.refresh_ready(local_index)
+                self.pos = (local_index + 1) % cluster.n
+                continue
+            sync = 0.0
+            if shared:
+                # Shared dequeue: spinlock plus queue-head line ping-pong.
+                sync = cluster.lock.acquire_cost(self.core_id, cluster.num_cores)
+                sync += cost_model.remote_transfer
+            item = queue.dequeue(sim.now)
+            cluster.refresh_ready(local_index)
+            self.system.notify_dequeue(queue.qid)
+            service_cycles = (
+                clock.seconds_to_cycles(item.service_time)
+                + self.system.task_data_stall
+            )
+            overhead = cost_model.dequeue + cost_model.doorbell_update + sync
+            yield clock.cycles_to_seconds(service_cycles + overhead)
+            self.system.complete(item)
+            activity.busy_cycles += service_cycles + overhead
+            activity.useful_instructions += (
+                service_cycles * USEFUL_TASK_IPC + DEQUEUE_PATH_INSTRUCTIONS
+            )
+            activity.tasks += 1
+            self._cold_polls = POST_TASK_COLD_POLLS
+            self.pos = (local_index + 1) % cluster.n
+
+
+def build_spinning_cores(system: DataPlaneSystem) -> list:
+    """Spawn one :class:`SpinningCore` per configured data-plane core."""
+    cores = []
+    for cluster in system.clusters:
+        for core_id in cluster.plan.core_ids:
+            cores.append(SpinningCore(system, core_id, cluster))
+    return cores

@@ -1,0 +1,269 @@
+"""The shared data-plane runtime: queues, clusters, producers, metrics.
+
+:class:`DataPlaneSystem` builds one simulated system from an
+:class:`~repro.sdp.config.SDPConfig`; the spinning baseline
+(:mod:`repro.sdp.spinning`) and HyperPlane (:mod:`repro.core`) both run
+on top of it, differing only in how cores learn about ready queues.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.mem.address import DoorbellRegion
+from repro.queueing.doorbell import Doorbell
+from repro.queueing.locks import SpinLock
+from repro.queueing.taskqueue import TaskQueue, WorkItem
+from repro.sdp.config import SDPConfig
+from repro.sdp.locality import LocalityModel
+from repro.sdp.metrics import CoreActivity, LatencyRecorder, RunMetrics
+from repro.sdp.organizations import ClusterPlan, plan_clusters
+from repro.sim.engine import Simulator
+from repro.sim.events import Event
+from repro.sim.rng import RandomStreams
+from repro.traffic.arrivals import PoissonArrivals, load_to_rate
+from repro.traffic.generator import ClosedLoopRefill, OpenLoopGenerator
+from repro.traffic.shapes import shape_by_name
+from repro.workloads.service import ServiceTimeModel
+
+
+class Cluster:
+    """A set of cores jointly serving a set of queues.
+
+    Tracks a *ready mask* (bit per local queue = non-empty) so scans can
+    be costed analytically instead of polling queue objects one by one,
+    and an arrival pulse that idle cores wait on (the simulation-level
+    stand-in for "the core notices new work on its next poll").
+    """
+
+    def __init__(self, sim: Simulator, plan: ClusterPlan, queues: List[TaskQueue], lock: SpinLock):
+        self.sim = sim
+        self.plan = plan
+        self.queue_ids = list(plan.queue_ids)
+        self.n = len(self.queue_ids)
+        if self.n == 0:
+            raise ValueError(f"cluster {plan.cluster_id} has no queues")
+        self.local_of: Dict[int, int] = {qid: i for i, qid in enumerate(self.queue_ids)}
+        self.queues = [queues[qid] for qid in self.queue_ids]
+        self.lock = lock
+        self.ready_mask = 0
+        self._arrival_event = Event(f"cluster{plan.cluster_id}.arrival")
+        # Filled in by the locality model at system build time.
+        self.empty_poll_cost = 0.0
+        self.idle_poll_cost = 0.0
+        self.ready_poll_cost = 0.0
+
+    @property
+    def num_cores(self) -> int:
+        return len(self.plan.core_ids)
+
+    @property
+    def arrival_event(self) -> Event:
+        """The event idle cores wait on for the next arrival pulse."""
+        return self._arrival_event
+
+    def notify_ready(self, qid: int) -> None:
+        """Mark a queue non-empty and pulse waiting cores."""
+        bit = 1 << self.local_of[qid]
+        self.ready_mask |= bit
+        if self._arrival_event.waiter_count:
+            stale = self._arrival_event
+            self._arrival_event = Event(f"cluster{self.plan.cluster_id}.arrival")
+            # Decouple from the producer's call stack.
+            self.sim.schedule(0.0, stale.trigger, qid)
+
+    def refresh_ready(self, local_index: int) -> None:
+        """Re-derive one queue's ready bit from its actual occupancy."""
+        if self.queues[local_index].is_empty():
+            self.ready_mask &= ~(1 << local_index)
+        else:
+            self.ready_mask |= 1 << local_index
+
+    def next_ready(self, pos: int) -> Optional[Tuple[int, int]]:
+        """The next ready local queue at or after ``pos``, circularly.
+
+        Returns ``(local_index, empty_polls_skipped)`` or ``None`` when
+        no queue in the cluster is ready.
+        """
+        mask = self.ready_mask
+        if not mask:
+            return None
+        ahead = mask >> pos
+        if ahead:
+            offset = (ahead & -ahead).bit_length() - 1
+            return pos + offset, offset
+        behind = mask & ((1 << pos) - 1)
+        index = (behind & -behind).bit_length() - 1
+        return index, self.n - pos + index
+
+
+class DataPlaneSystem:
+    """One simulated data plane: the substrate both designs share."""
+
+    def __init__(self, config: SDPConfig):
+        self.config = config
+        self.sim = Simulator()
+        self.clock = config.clock
+        self.streams = RandomStreams(config.seed)
+        self.shape = shape_by_name(config.shape)
+        self.cost_model = config.cost_model
+        self.locality = LocalityModel(config.cost_model)
+
+        self.doorbell_region = DoorbellRegion(
+            size_bytes=max(1 << 20, config.num_queues * 64)
+        )
+        self.doorbells = [
+            Doorbell(qid, self.doorbell_region.allocate())
+            for qid in range(config.num_queues)
+        ]
+        self.queues = [
+            TaskQueue(qid, self.doorbells[qid], config.queue_capacity)
+            for qid in range(config.num_queues)
+        ]
+
+        self.service_model = ServiceTimeModel(
+            config.workload, self.streams.stream("service"), scv=config.service_scv
+        )
+
+        hot_ids = self.shape.hot_queue_ids(config.num_queues)
+        plans = plan_clusters(
+            config.num_queues,
+            config.num_cores,
+            config.cluster_cores,
+            hot_queue_ids=hot_ids,
+            imbalance=config.imbalance,
+        )
+        cm = config.cost_model
+        self.clusters: List[Cluster] = []
+        self.cluster_of_queue: Dict[int, Cluster] = {}
+        for plan in plans:
+            lock = SpinLock(
+                uncontended_cycles=cm.lock_uncontended,
+                transfer_cycles=cm.remote_transfer,
+            )
+            cluster = Cluster(self.sim, plan, self.queues, lock)
+            cluster.empty_poll_cost = self.locality.empty_poll_cost(
+                cluster.n, config.num_queues
+            )
+            cluster.idle_poll_cost = self.locality.empty_poll_cost(
+                cluster.n, config.num_queues, idle=True
+            )
+            # A ready queue head was just written by a producer core: the
+            # consumer's read is a dirty remote transfer.
+            cluster.ready_poll_cost = cm.remote_transfer + cm.poll_loop_overhead
+            self.clusters.append(cluster)
+            for qid in plan.queue_ids:
+                self.cluster_of_queue[qid] = cluster
+
+        self.task_data_stall = self.locality.task_data_stall_cycles(config.num_queues)
+
+        # Doorbell plumbing: ready-mask upkeep + any extra subscribers
+        # (HyperPlane's monitoring set registers here).
+        self.doorbell_write_hooks: List[Callable[[Doorbell], None]] = []
+        for doorbell in self.doorbells:
+            doorbell.add_write_hook(self._on_doorbell_write)
+
+        self.on_dequeue_hooks: List[Callable[[int], None]] = []
+        self.metrics = RunMetrics(
+            latency=LatencyRecorder(),
+            activities=[CoreActivity() for _ in range(config.num_cores)],
+        )
+        self.generators: List[OpenLoopGenerator] = []
+        self.refill: Optional[ClosedLoopRefill] = None
+
+    # -- plumbing -----------------------------------------------------------
+
+    def _on_doorbell_write(self, doorbell: Doorbell) -> None:
+        self.cluster_of_queue[doorbell.qid].notify_ready(doorbell.qid)
+        for hook in self.doorbell_write_hooks:
+            hook(doorbell)
+
+    def notify_dequeue(self, qid: int) -> None:
+        """Called by cores after each dequeue (drives closed-loop refill)."""
+        for hook in self.on_dequeue_hooks:
+            hook(qid)
+
+    def complete(self, item: WorkItem) -> None:
+        """Record a finished work item."""
+        item.completion_time = self.sim.now
+        self.metrics.completed += 1
+        self.metrics.latency.record(self.sim.now, item.latency)
+
+    # -- traffic ------------------------------------------------------------
+
+    def attach_open_loop(
+        self,
+        load: Optional[float] = None,
+        rate: Optional[float] = None,
+        max_items: Optional[int] = None,
+    ) -> OpenLoopGenerator:
+        """Attach a Poisson producer at a utilisation or absolute rate."""
+        if (load is None) == (rate is None):
+            raise ValueError("specify exactly one of load / rate")
+        if rate is None:
+            rate = load_to_rate(
+                load, self.config.workload.mean_service_seconds, self.config.num_cores
+            )
+        generator = OpenLoopGenerator(
+            sim=self.sim,
+            queues=self.queues,
+            shape=self.shape,
+            arrivals=PoissonArrivals(rate, self.streams.stream("arrivals")),
+            service_sampler=self.service_model,
+            rng=self.streams.stream("destinations"),
+            max_items=max_items,
+        )
+        self.generators.append(generator)
+        return generator
+
+    def attach_closed_loop(self, depth: int = 4) -> ClosedLoopRefill:
+        """Keep hot queues saturated for peak-throughput measurement."""
+        if self.refill is not None:
+            raise RuntimeError("closed loop already attached")
+        self.refill = ClosedLoopRefill(
+            sim=self.sim,
+            queues=self.queues,
+            shape=self.shape,
+            service_sampler=self.service_model,
+            depth=depth,
+        )
+        self.on_dequeue_hooks.append(self.refill.notify_dequeue)
+        return self.refill
+
+    # -- running ------------------------------------------------------------
+
+    def run(
+        self,
+        duration: float,
+        warmup: float = 0.0,
+        target_completions: Optional[int] = None,
+        chunk: float = 2e-3,
+    ) -> RunMetrics:
+        """Simulate for ``duration`` seconds (after ``warmup``).
+
+        Stops early once ``target_completions`` post-warm-up samples are
+        collected. Returns the populated metrics.
+        """
+        if warmup < 0 or duration <= 0:
+            raise ValueError("need positive duration, non-negative warmup")
+        self.metrics.latency.warmup_time = self.sim.now + warmup
+        self.metrics.measure_start = self.sim.now + warmup
+        deadline = self.sim.now + warmup + duration
+        while self.sim.now < deadline and self.sim.pending:
+            self.sim.run(until=min(deadline, self.sim.now + chunk))
+            if (
+                target_completions is not None
+                and self.metrics.latency.count >= target_completions
+            ):
+                break
+        self.metrics.measure_end = self.sim.now
+        self.metrics.generated = sum(g.generated for g in self.generators)
+        if self.refill is not None:
+            self.metrics.generated += self.refill.generated
+        self.metrics.dropped = sum(g.dropped for g in self.generators)
+        return self.metrics
+
+    def check_invariants(self) -> None:
+        """Doorbell/ring agreement on every queue."""
+        for queue in self.queues:
+            queue.check_invariants()

@@ -1,0 +1,128 @@
+"""Event tracing for simulations.
+
+A :class:`Tracer` attaches to a :class:`~repro.sdp.system.DataPlaneSystem`
+through its existing hook points and records a bounded, time-ordered
+stream of queue-level events (doorbell writes, dequeues, completions).
+Use it to audit per-item timelines, compute wait/service breakdowns, or
+export a run for offline analysis.
+
+>>> system = DataPlaneSystem(config)
+>>> tracer = attach_tracer(system)
+... # build cores, attach traffic, run ...
+>>> tracer.breakdown(item_id=7)
+{'wait': 2.1e-06, 'service_and_overhead': 1.5e-06}
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass
+from typing import Dict, List, Optional
+
+from repro.queueing.doorbell import Doorbell
+from repro.queueing.taskqueue import WorkItem
+from repro.sdp.system import DataPlaneSystem
+
+EVENT_DOORBELL_WRITE = "doorbell-write"
+EVENT_DEQUEUE = "dequeue"
+EVENT_COMPLETE = "complete"
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One recorded event."""
+
+    time: float
+    kind: str
+    qid: int
+    item_id: Optional[int] = None
+
+
+class Tracer:
+    """Bounded event recorder wired into a system's hooks."""
+
+    def __init__(self, system: DataPlaneSystem, capacity: int = 100_000):
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self.system = system
+        self.capacity = capacity
+        self.events: List[TraceEvent] = []
+        self.dropped = 0
+        self._items_seen: Dict[int, WorkItem] = {}
+        system.doorbell_write_hooks.append(self._on_doorbell_write)
+        system.on_dequeue_hooks.append(self._on_dequeue)
+        self._original_complete = system.complete
+        system.complete = self._on_complete
+
+    def _record(self, event: TraceEvent) -> None:
+        if len(self.events) >= self.capacity:
+            self.dropped += 1
+            return
+        self.events.append(event)
+
+    def _on_doorbell_write(self, doorbell: Doorbell) -> None:
+        self._record(
+            TraceEvent(self.system.sim.now, EVENT_DOORBELL_WRITE, doorbell.qid)
+        )
+
+    def _on_dequeue(self, qid: int) -> None:
+        self._record(TraceEvent(self.system.sim.now, EVENT_DEQUEUE, qid))
+
+    def _on_complete(self, item: WorkItem) -> None:
+        self._original_complete(item)
+        self._record(
+            TraceEvent(self.system.sim.now, EVENT_COMPLETE, item.qid, item.item_id)
+        )
+        self._items_seen.setdefault(item.item_id, item)
+
+    # -- queries -----------------------------------------------------------------
+
+    def events_of_kind(self, kind: str) -> List[TraceEvent]:
+        """All events of one kind, in time order."""
+        return [event for event in self.events if event.kind == kind]
+
+    def events_for_queue(self, qid: int) -> List[TraceEvent]:
+        """All events touching one queue."""
+        return [event for event in self.events if event.qid == qid]
+
+    def breakdown(self, item_id: int) -> Dict[str, float]:
+        """Wait vs. service+overhead split for a completed item."""
+        item = self._items_seen.get(item_id)
+        if item is None or item.completion_time is None or item.dequeue_time is None:
+            raise KeyError(f"item {item_id} was not traced to completion")
+        return {
+            "wait": item.wait,
+            "service_and_overhead": item.completion_time - item.dequeue_time,
+        }
+
+    def mean_wait_fraction(self) -> float:
+        """Average share of latency spent waiting (0 if nothing traced)."""
+        fractions = []
+        for item in self._items_seen.values():
+            if item.completion_time is not None and item.dequeue_time is not None:
+                total = item.latency
+                if total > 0:
+                    fractions.append(item.wait / total)
+        return sum(fractions) / len(fractions) if fractions else 0.0
+
+    # -- export -------------------------------------------------------------------
+
+    def to_json(self) -> str:
+        """Serialise the trace (events only) to a JSON string."""
+        return json.dumps(
+            {
+                "dropped": self.dropped,
+                "events": [asdict(event) for event in self.events],
+            }
+        )
+
+    @staticmethod
+    def load_events(payload: str) -> List[TraceEvent]:
+        """Parse events back from :meth:`to_json` output."""
+        data = json.loads(payload)
+        return [TraceEvent(**event) for event in data["events"]]
+
+
+def attach_tracer(system: DataPlaneSystem, capacity: int = 100_000) -> Tracer:
+    """Attach a tracer to a system (before running it)."""
+    return Tracer(system, capacity)

@@ -1,0 +1,123 @@
+"""The discrete-event scheduler.
+
+:class:`Simulator` owns simulated time and a binary heap of pending
+callbacks. Time is a float in *seconds*; architecture components convert
+to cycles through :class:`repro.sim.clock.Clock`. Determinism: ties in
+time break by insertion sequence number, so a given seed always replays
+the exact same schedule.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from typing import Any, Callable, Generator, List, Optional, Tuple
+
+from repro.sim.events import Event
+
+
+class SimulationError(RuntimeError):
+    """Raised for scheduling misuse (negative delays, running twice, ...)."""
+
+
+class Simulator:
+    """A deterministic discrete-event scheduler.
+
+    Examples
+    --------
+    >>> sim = Simulator()
+    >>> hits = []
+    >>> sim.schedule(2.0, hits.append, "b")
+    >>> sim.schedule(1.0, hits.append, "a")
+    >>> sim.run()
+    >>> hits
+    ['a', 'b']
+    """
+
+    def __init__(self):
+        self._now = 0.0
+        self._heap: List[Tuple[float, int, Callable[..., None], tuple]] = []
+        self._sequence = 0
+        self._running = False
+        self.events_dispatched = 0
+
+    @property
+    def now(self) -> float:
+        """Current simulated time, in seconds."""
+        return self._now
+
+    def schedule(self, delay: float, callback: Callable[..., None], *args: Any) -> None:
+        """Run ``callback(*args)`` after ``delay`` simulated seconds."""
+        if delay < 0 or math.isnan(delay):
+            raise SimulationError(f"cannot schedule into the past (delay={delay!r})")
+        heapq.heappush(self._heap, (self._now + delay, self._sequence, callback, args))
+        self._sequence += 1
+
+    def schedule_at(self, when: float, callback: Callable[..., None], *args: Any) -> None:
+        """Run ``callback(*args)`` at absolute time ``when``."""
+        self.schedule(when - self._now, callback, *args)
+
+    def timeout(self, delay: float, value: Any = None, name: str = "timeout") -> Event:
+        """Return an event that triggers after ``delay`` seconds."""
+        event = Event(name)
+        self.schedule(delay, event.trigger, value)
+        return event
+
+    def spawn(self, generator: Generator, name: str = "") -> "Process":
+        """Start a generator-based process; see :class:`Process`."""
+        # Imported here to avoid a circular import at module load time.
+        from repro.sim.process import Process
+
+        return Process(self, generator, name=name)
+
+    def run(
+        self,
+        until: Optional[float] = None,
+        max_events: Optional[int] = None,
+    ) -> float:
+        """Dispatch events until the heap drains or a bound is hit.
+
+        Parameters
+        ----------
+        until:
+            Stop once simulated time would exceed this bound; the clock is
+            left exactly at ``until``.
+        max_events:
+            Safety valve for runaway simulations.
+
+        Returns
+        -------
+        float
+            The simulated time at which the run stopped.
+        """
+        if self._running:
+            raise SimulationError("run() called re-entrantly")
+        self._running = True
+        try:
+            dispatched = 0
+            while self._heap:
+                when, _seq, callback, args = self._heap[0]
+                if until is not None and when > until:
+                    self._now = until
+                    return self._now
+                heapq.heappop(self._heap)
+                self._now = when
+                callback(*args)
+                self.events_dispatched += 1
+                dispatched += 1
+                if max_events is not None and dispatched >= max_events:
+                    return self._now
+            if until is not None and until > self._now:
+                self._now = until
+            return self._now
+        finally:
+            self._running = False
+
+    def peek(self) -> float:
+        """Time of the next pending event, or ``inf`` if none."""
+        return self._heap[0][0] if self._heap else math.inf
+
+    @property
+    def pending(self) -> int:
+        """Number of callbacks waiting in the heap."""
+        return len(self._heap)

@@ -1,0 +1,128 @@
+"""One-shot events for the simulation kernel.
+
+An :class:`Event` is a triggerable rendezvous point: processes yield it to
+block, and some other process (or callback) triggers it with an optional
+value. Events are one-shot — once triggered they stay triggered, and any
+process that yields an already-triggered event resumes immediately.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, List, Optional
+
+
+class Event:
+    """A one-shot event that processes can wait on.
+
+    Parameters
+    ----------
+    name:
+        Optional label used in ``repr`` and error messages.
+    """
+
+    __slots__ = ("name", "_triggered", "_value", "_callbacks")
+
+    def __init__(self, name: str = ""):
+        self.name = name
+        self._triggered = False
+        self._value: Any = None
+        self._callbacks: List[Callable[[Any], None]] = []
+
+    @property
+    def triggered(self) -> bool:
+        """Whether the event has fired."""
+        return self._triggered
+
+    @property
+    def value(self) -> Any:
+        """The value the event was triggered with (``None`` before)."""
+        return self._value
+
+    def trigger(self, value: Any = None) -> None:
+        """Fire the event, waking every waiter.
+
+        Triggering an already-triggered event is an error: one-shot events
+        exist precisely so that wake-ups cannot be silently coalesced or
+        lost, which matters for the notification-correctness protocol.
+        """
+        if self._triggered:
+            raise RuntimeError(f"event {self.name!r} triggered twice")
+        self._triggered = True
+        self._value = value
+        callbacks, self._callbacks = self._callbacks, []
+        for callback in callbacks:
+            callback(value)
+
+    def add_callback(self, callback: Callable[[Any], None]) -> None:
+        """Run ``callback(value)`` when the event fires.
+
+        If the event has already fired, the callback runs immediately.
+        """
+        if self._triggered:
+            callback(self._value)
+        else:
+            self._callbacks.append(callback)
+
+    def remove_callback(self, callback: Callable[[Any], None]) -> bool:
+        """Unregister a pending callback; returns whether it was found."""
+        try:
+            self._callbacks.remove(callback)
+        except ValueError:
+            return False
+        return True
+
+    @property
+    def waiter_count(self) -> int:
+        """Number of callbacks still waiting for the trigger."""
+        return len(self._callbacks)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "triggered" if self._triggered else "pending"
+        label = f" {self.name!r}" if self.name else ""
+        return f"<Event{label} {state}>"
+
+
+def any_of(events: List[Event], name: str = "any_of") -> Event:
+    """Return an event that fires when the first of ``events`` fires.
+
+    The combined event's value is the ``(index, value)`` pair of the first
+    constituent to fire. Later triggers are ignored.
+    """
+    combined = Event(name)
+
+    def _make(index: int) -> Callable[[Any], None]:
+        def _on_fire(value: Any) -> None:
+            if not combined.triggered:
+                combined.trigger((index, value))
+
+        return _on_fire
+
+    for i, event in enumerate(events):
+        event.add_callback(_make(i))
+    return combined
+
+
+def all_of(events: List[Event], name: str = "all_of") -> Event:
+    """Return an event that fires when every event in ``events`` has fired.
+
+    The combined value is the list of constituent values, in order.
+    """
+    combined = Event(name)
+    if not events:
+        combined.trigger([])
+        return combined
+    remaining = [len(events)]
+    values: List[Optional[Any]] = [None] * len(events)
+
+    def _make(index: int) -> Callable[[Any], None]:
+        def _on_fire(value: Any) -> None:
+            values[index] = value
+            remaining[0] -= 1
+            if remaining[0] == 0:
+                combined.trigger(list(values))
+
+        return _on_fire
+
+    for i, event in enumerate(events):
+        event.add_callback(_make(i))
+    return combined

@@ -1,0 +1,121 @@
+"""Generator-based processes on top of the event scheduler.
+
+A process is a Python generator driven by the simulator. The generator
+yields one of:
+
+- a non-negative number — sleep that many simulated seconds;
+- an :class:`~repro.sim.events.Event` — block until it triggers (the
+  event's value is sent back into the generator);
+- another :class:`Process` — join it (its return value is sent back);
+- ``None`` — yield the processor and resume at the same simulated time
+  (after already-scheduled callbacks for this instant).
+
+When the generator returns, the process's :attr:`done` event triggers with
+the return value. :meth:`kill` stops a process by throwing
+:class:`ProcessKilled` into the generator.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator, Optional
+
+from repro.sim.events import Event
+
+
+class ProcessKilled(Exception):
+    """Thrown into a process generator by :meth:`Process.kill`."""
+
+
+class Process:
+    """A concurrent activity driven by a :class:`~repro.sim.engine.Simulator`.
+
+    Do not instantiate directly — use :meth:`Simulator.spawn`.
+    """
+
+    def __init__(self, sim, generator: Generator, name: str = ""):
+        self.sim = sim
+        self.name = name or getattr(generator, "__name__", "process")
+        self._generator = generator
+        self.done = Event(f"{self.name}.done")
+        self._alive = True
+        self._waiting_on: Optional[Event] = None
+        # Kick off on the next dispatch at the current time so that spawn()
+        # inside a callback does not run the first step re-entrantly.
+        sim.schedule(0.0, self._step, None, False)
+
+    @property
+    def alive(self) -> bool:
+        """Whether the generator can still make progress."""
+        return self._alive
+
+    @property
+    def result(self) -> Any:
+        """Return value of the generator (``None`` until done)."""
+        return self.done.value
+
+    def kill(self, reason: str = "") -> None:
+        """Terminate the process by throwing :class:`ProcessKilled` into it."""
+        if not self._alive:
+            return
+        if self._waiting_on is not None:
+            self._waiting_on.remove_callback(self._resume)
+            self._waiting_on = None
+        self._step(ProcessKilled(reason), True)
+
+    def _resume(self, value: Any) -> None:
+        self._waiting_on = None
+        self._step(value, False)
+
+    def _step(self, value: Any, throw: bool) -> None:
+        if not self._alive:
+            return
+        try:
+            if throw:
+                yielded = self._generator.throw(value)
+            else:
+                yielded = self._generator.send(value)
+        except StopIteration as stop:
+            self._finish(stop.value)
+            return
+        except ProcessKilled:
+            self._finish(None)
+            return
+        self._dispatch_yield(yielded)
+
+    def _dispatch_yield(self, yielded: Any) -> None:
+        if yielded is None:
+            self.sim.schedule(0.0, self._step, None, False)
+        elif isinstance(yielded, Process):
+            yielded.done.add_callback(self._remember_and_resume(yielded.done))
+        elif isinstance(yielded, Event):
+            if yielded.triggered:
+                self.sim.schedule(0.0, self._step, yielded.value, False)
+            else:
+                self._waiting_on = yielded
+                yielded.add_callback(self._resume)
+        elif isinstance(yielded, (int, float)):
+            self.sim.schedule(float(yielded), self._step, None, False)
+        else:
+            self._alive = False
+            raise TypeError(
+                f"process {self.name!r} yielded {yielded!r}; expected a delay, "
+                "Event, Process, or None"
+            )
+
+    def _remember_and_resume(self, event: Event):
+        def _on_done(value: Any) -> None:
+            self._step(value, False)
+
+        self._waiting_on = event
+        return lambda value: (self._clear_wait(), _on_done(value))
+
+    def _clear_wait(self) -> None:
+        self._waiting_on = None
+
+    def _finish(self, value: Any) -> None:
+        self._alive = False
+        self.done.trigger(value)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "alive" if self._alive else "done"
+        return f"<Process {self.name!r} {state}>"

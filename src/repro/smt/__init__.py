@@ -1,0 +1,5 @@
+"""SMT co-runner interference model (paper, Fig. 11b)."""
+
+from repro.smt.corunner import CoRunnerModel, MatrixMultiplyCoRunner
+
+__all__ = ["CoRunnerModel", "MatrixMultiplyCoRunner"]

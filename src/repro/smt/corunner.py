@@ -1,0 +1,106 @@
+"""SMT co-runner IPC under data-plane interference.
+
+Paper, Fig. 11(b): a matrix-multiply application shares a 2-way SMT core
+with the data plane. Issue slots are arbitrated ICOUNT-style, so the
+co-runner's throughput depends on how many slots (and how much L1
+bandwidth) the data-plane thread consumes:
+
+- Against a *spinning* plane, the co-runner does worst at **low** load:
+  the spin loop commits at high IPC and monopolises issue slots; real
+  task work at high load stalls more and frees slots ("spinning is a
+  more severe antagonist than performing actual work").
+- Against HyperPlane, the data-plane thread is halted when idle, so the
+  co-runner owns the core at low load and degrades as load rises.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.sdp.metrics import CoreActivity
+
+# Issue width of the modelled SMT core and the co-runner's solo IPC
+# (dense matrix multiply sustains high ILP).
+CORE_ISSUE_WIDTH = 8.0
+CORUNNER_SOLO_IPC = 2.4
+# How strongly the partner thread's issue pressure displaces co-runner
+# slots under ICOUNT (loss per unit of partner-IPC/solo-IPC ratio).
+SLOT_CONTENTION = 0.35
+# Extra degradation per unit of partner L1-bandwidth pressure: spin
+# loops hammer the L1 ports continuously.
+L1_PRESSURE_PENALTY = 0.12
+
+
+@dataclass
+class CoRunnerModel:
+    """Predicts a co-runner's IPC from the data-plane thread's activity."""
+
+    solo_ipc: float = CORUNNER_SOLO_IPC
+    slot_contention: float = SLOT_CONTENTION
+    l1_penalty: float = L1_PRESSURE_PENALTY
+
+    def corunner_ipc(self, dataplane: CoreActivity) -> float:
+        """Expected co-runner IPC given the data-plane thread's behaviour.
+
+        Halted partner cycles cost the co-runner nothing (the paper's
+        SMT-priority scheme only issues the background thread when the
+        foreground QWAIT thread is halted — here the foreground is halted,
+        so the background gets the whole core).
+        """
+        total = dataplane.total_cycles
+        if total == 0:
+            return self.solo_ipc
+        busy_fraction = dataplane.busy_cycles / total
+        partner_ipc = (
+            (dataplane.useful_instructions + dataplane.useless_instructions)
+            / dataplane.busy_cycles
+            if dataplane.busy_cycles
+            else 0.0
+        )
+        # While the partner is busy, contention scales with its issue rate
+        # and its L1 pressure (poll-heavy phases touch the L1 every cycle).
+        poll_share = (
+            dataplane.useless_instructions
+            / (dataplane.useful_instructions + dataplane.useless_instructions)
+            if (dataplane.useful_instructions + dataplane.useless_instructions)
+            else 0.0
+        )
+        degraded = self.solo_ipc * (
+            1.0
+            - self.slot_contention * (partner_ipc / self.solo_ipc)
+            - self.l1_penalty * poll_share
+        )
+        degraded = max(0.2 * self.solo_ipc, degraded)
+        return busy_fraction * degraded + (1.0 - busy_fraction) * self.solo_ipc
+
+
+class MatrixMultiplyCoRunner:
+    """A real blocked matrix multiply used by the examples/tests to give
+    the co-runner model a concrete workload (and to sanity-check that
+    its solo IPC assumption corresponds to a compute-bound kernel)."""
+
+    def __init__(self, size: int = 64):
+        if size <= 0:
+            raise ValueError("matrix size must be positive")
+        self.size = size
+
+    def multiply(self, a, b):
+        """Naive blocked multiply on nested lists (no numpy, on purpose:
+        this models CPU work, not vectorised math)."""
+        n = self.size
+        if len(a) != n or len(b) != n:
+            raise ValueError("matrix dimensions must match the model size")
+        result = [[0.0] * n for _ in range(n)]
+        block = 16
+        for ii in range(0, n, block):
+            for kk in range(0, n, block):
+                for jj in range(0, n, block):
+                    for i in range(ii, min(ii + block, n)):
+                        row_a = a[i]
+                        row_r = result[i]
+                        for k in range(kk, min(kk + block, n)):
+                            aik = row_a[k]
+                            row_b = b[k]
+                            for j in range(jj, min(jj + block, n)):
+                                row_r[j] += aik * row_b[j]
+        return result

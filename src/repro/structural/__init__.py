@@ -1,0 +1,28 @@
+"""Execution-driven structural simulation mode.
+
+The fast simulations in :mod:`repro.sdp` / :mod:`repro.core` charge
+calibrated cycle costs. This package provides the slow, state-exact
+alternative at small scale: every doorbell read, ring access, and
+doorbell write goes through :class:`repro.mem.MemoryHierarchy` (real
+set-associative L1s + directory MESI), and HyperPlane's monitoring set
+is attached as a *directory snooper* — it observes actual GetM/Upgrade
+coherence transactions in the doorbell address range, exactly as the
+paper describes (Section III-B), rather than being hooked to doorbell
+objects.
+
+Use it to validate the fast models (see
+``tests/test_structural_validation.py``) and to study protocol-level
+effects — e.g. false sharing of the doorbell line causing spurious
+wake-ups that QWAIT-VERIFY must filter.
+"""
+
+from repro.structural.machine import StructuralMachine
+from repro.structural.hyperplane import StructuralHyperPlane, StructuralHyperPlaneCore
+from repro.structural.spinning import StructuralSpinningCore
+
+__all__ = [
+    "StructuralHyperPlane",
+    "StructuralHyperPlaneCore",
+    "StructuralMachine",
+    "StructuralSpinningCore",
+]

@@ -1,0 +1,170 @@
+"""Execution-driven HyperPlane: the monitoring set snoops real coherence.
+
+This is the paper's actual hardware attachment point: the monitoring set
+registers as a snooper at the MESI directory for the doorbell address
+range and reacts to GetM/Upgrade transactions. Everything the fast model
+abstracts — producer ring writes invalidating consumer copies, the
+consumer's own doorbell decrement being ignored because the entry is
+disarmed, false sharing of the doorbell line producing spurious
+activations — happens here through genuine protocol state.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Optional, Tuple
+
+from repro.core.monitoring_set import CuckooMonitoringSet
+from repro.core.policies import RoundRobinPolicy
+from repro.core.ready_set import HardwareReadySet
+from repro.mem.address import line_address
+from repro.mem.coherence import TransactionKind
+from repro.mem.costmodel import MONITORING_LOOKUP_CYCLES, QWAIT_LATENCY_CYCLES
+from repro.sdp.config import QWAIT_PATH_INSTRUCTIONS, USEFUL_TASK_IPC
+from repro.sim.events import Event
+from repro.structural.machine import StructuralMachine
+
+
+class StructuralHyperPlane:
+    """Monitoring set + ready set wired to the structural directory."""
+
+    def __init__(self, machine: StructuralMachine):
+        self.machine = machine
+        capacity = max(64, machine.num_queues * 2)
+        capacity += -capacity % 4
+        self.monitoring = CuckooMonitoringSet(capacity=capacity, ways=4)
+        self.ready_set = HardwareReadySet(
+            machine.num_queues, RoundRobinPolicy(machine.num_queues)
+        )
+        self._tag_of_qid = {}
+        for doorbell in machine.doorbells:
+            tag = line_address(doorbell.address)
+            if not self.monitoring.insert(tag, doorbell.qid):
+                raise RuntimeError("structural monitoring set conflict")
+            self._tag_of_qid[doorbell.qid] = tag
+        self._halted: Deque[Tuple[int, Event]] = deque()
+        self.spurious_activations = 0
+        machine.hierarchy.add_snooper(
+            machine.doorbell_region.contains, self._snoop
+        )
+
+    # -- the directory snoop path --------------------------------------------------
+
+    def _snoop(self, line: int, requester: int, kind: TransactionKind) -> None:
+        if kind not in (TransactionKind.GET_M, TransactionKind.UPGRADE):
+            return
+        qid = self.monitoring.snoop_write(line)
+        if qid is None:
+            return
+        self.ready_set.activate(qid)
+        if self._halted:
+            _core, event = self._halted.popleft()
+            self.machine.sim.schedule(0.0, event.trigger, qid)
+
+    # -- instruction semantics -------------------------------------------------------
+
+    def qwait_take(self) -> Optional[int]:
+        return self.ready_set.select_and_take()
+
+    def halt(self, core: int) -> Event:
+        event = Event(f"structural-qwait-halt-{core}")
+        self._halted.append((core, event))
+        return event
+
+    def qwait_verify(self, core: int, qid: int) -> Tuple[bool, int]:
+        """(has work, memory cycles): reads the doorbell through the
+        hierarchy; on empty, atomically re-arms."""
+        cycles = self.machine.read_doorbell(core, qid)
+        doorbell = self.machine.doorbells[qid]
+        if doorbell.is_empty():
+            self.monitoring.arm(self._tag_of_qid[qid])
+            self.spurious_activations += 1
+            return False, cycles
+        return True, cycles
+
+    def qwait_reconsider(self, core: int, qid: int) -> int:
+        """Re-arm or re-activate; returns memory cycles spent."""
+        cycles = self.machine.read_doorbell(core, qid)
+        doorbell = self.machine.doorbells[qid]
+        if doorbell.is_empty():
+            self.monitoring.arm(self._tag_of_qid[qid])
+        else:
+            self.ready_set.activate(qid)
+        return cycles
+
+    def check_no_lost_wakeups(self, being_serviced=frozenset()) -> None:
+        """Quiescence invariant, as in the fast model."""
+        for doorbell in self.machine.doorbells:
+            if doorbell.is_empty() or doorbell.qid in being_serviced:
+                continue
+            if not self.ready_set.is_ready(doorbell.qid):
+                raise AssertionError(
+                    f"lost wake-up: queue {doorbell.qid} non-empty, not ready"
+                )
+
+
+class StructuralHyperPlaneCore:
+    """A QWAIT-driven consumer on the structural machine."""
+
+    def __init__(
+        self,
+        machine: StructuralMachine,
+        accelerator: StructuralHyperPlane,
+        consumer_index: int = 0,
+    ):
+        self.machine = machine
+        self.accelerator = accelerator
+        self.core = machine.consumer_core(consumer_index)
+        self.activity = machine.metrics.activities[self.core]
+        self.spurious_filtered = 0
+        self.servicing: Optional[int] = None
+        self.process = machine.sim.spawn(
+            self._run(), name=f"structural-hp-{self.core}"
+        )
+
+    def _run(self):
+        machine = self.machine
+        sim = machine.sim
+        clock = machine.clock
+        activity = self.activity
+        accelerator = self.accelerator
+        while True:
+            qid = accelerator.qwait_take()
+            while qid is None:
+                event = accelerator.halt(self.core)
+                halt_start = sim.now
+                yield event
+                activity.halted_cycles += clock.seconds_to_cycles(sim.now - halt_start)
+                activity.wakeups += 1
+                qid = accelerator.qwait_take()
+            self.servicing = qid
+            qwait = QWAIT_LATENCY_CYCLES + MONITORING_LOOKUP_CYCLES
+            yield clock.cycles_to_seconds(qwait)
+            activity.busy_cycles += qwait
+            activity.useful_instructions += QWAIT_PATH_INSTRUCTIONS
+
+            has_work, verify_cycles = accelerator.qwait_verify(self.core, qid)
+            yield clock.cycles_to_seconds(verify_cycles)
+            activity.busy_cycles += verify_cycles
+            if not has_work:
+                self.spurious_filtered += 1
+                self.servicing = None
+                continue
+
+            queue = machine.queues[qid]
+            item = queue.dequeue(sim.now)
+            dequeue_cycles = machine.dequeue_memory_cycles(self.core, qid)
+            yield clock.cycles_to_seconds(dequeue_cycles)
+            activity.busy_cycles += dequeue_cycles
+
+            reconsider_cycles = accelerator.qwait_reconsider(self.core, qid)
+            yield clock.cycles_to_seconds(reconsider_cycles)
+            activity.busy_cycles += reconsider_cycles
+            self.servicing = None
+
+            service_cycles = clock.seconds_to_cycles(item.service_time)
+            yield clock.cycles_to_seconds(service_cycles)
+            machine.complete(item)
+            activity.busy_cycles += service_cycles
+            activity.useful_instructions += service_cycles * USEFUL_TASK_IPC
+            activity.tasks += 1

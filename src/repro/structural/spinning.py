@@ -1,0 +1,55 @@
+"""Execution-driven spinning core: one real memory access per poll.
+
+No fast-forwarding, no cost curves — the poll loop literally reads each
+doorbell through the hierarchy and pays whatever the coherence model
+returns. Usable up to a few dozen queues / thousands of tasks; its
+purpose is validating the fast model's behaviour, not figure sweeps.
+"""
+
+from __future__ import annotations
+
+from repro.sdp.config import INSTRUCTIONS_PER_POLL, USEFUL_TASK_IPC
+from repro.structural.machine import StructuralMachine
+
+
+class StructuralSpinningCore:
+    """A spin-polling consumer on the structural machine."""
+
+    def __init__(self, machine: StructuralMachine, consumer_index: int = 0):
+        self.machine = machine
+        self.core = machine.consumer_core(consumer_index)
+        self.activity = machine.metrics.activities[self.core]
+        self.pos = 0
+        self.polls = 0
+        self.process = machine.sim.spawn(
+            self._run(), name=f"structural-spin-{self.core}"
+        )
+
+    def _run(self):
+        machine = self.machine
+        sim = machine.sim
+        clock = machine.clock
+        activity = self.activity
+        n = machine.num_queues
+        while True:
+            qid = self.pos
+            self.pos = (self.pos + 1) % n
+            # The poll: a real read of the doorbell line.
+            cycles = machine.read_doorbell(self.core, qid)
+            self.polls += 1
+            yield clock.cycles_to_seconds(cycles)
+            activity.busy_cycles += cycles
+            activity.useless_instructions += INSTRUCTIONS_PER_POLL
+            queue = machine.queues[qid]
+            if queue.is_empty():
+                continue
+            # Found work: dequeue through the memory system and process.
+            item = queue.dequeue(sim.now)
+            dequeue_cycles = machine.dequeue_memory_cycles(self.core, qid)
+            service_cycles = clock.seconds_to_cycles(item.service_time)
+            total = dequeue_cycles + service_cycles
+            yield clock.cycles_to_seconds(total)
+            machine.complete(item)
+            activity.busy_cycles += total
+            activity.useful_instructions += service_cycles * USEFUL_TASK_IPC
+            activity.tasks += 1

@@ -1,0 +1,46 @@
+"""Traffic generation: shapes, arrival processes, and generators.
+
+The paper evaluates four traffic shapes (Sections II-C and V-A):
+
+- **FB** (fully balanced) — traffic through all queues;
+- **PC** (proportionally concentrated) — 20% of queues hot all the time,
+  the rest carrying traffic with probability 5%;
+- **NC** (non-proportionally concentrated) — a fixed 100 queues hot, the
+  rest at 5%;
+- **SQ** (single queue) — everything through one queue.
+
+Arrivals are open-loop Poisson (the paper notes "our arrivals follow a
+Poisson process"); peak-throughput experiments use a closed-loop refill
+generator that keeps the shape's hot set saturated.
+"""
+
+from repro.traffic.arrivals import (
+    DeterministicArrivals,
+    PoissonArrivals,
+    load_to_rate,
+)
+from repro.traffic.generator import ClosedLoopRefill, OpenLoopGenerator
+from repro.traffic.shapes import (
+    SHAPES,
+    FullyBalanced,
+    NonproportionallyConcentrated,
+    ProportionallyConcentrated,
+    SingleQueue,
+    TrafficShape,
+    shape_by_name,
+)
+
+__all__ = [
+    "SHAPES",
+    "ClosedLoopRefill",
+    "DeterministicArrivals",
+    "FullyBalanced",
+    "NonproportionallyConcentrated",
+    "OpenLoopGenerator",
+    "PoissonArrivals",
+    "ProportionallyConcentrated",
+    "SingleQueue",
+    "TrafficShape",
+    "load_to_rate",
+    "shape_by_name",
+]

@@ -1,0 +1,72 @@
+"""Arrival processes.
+
+Open-loop arrivals are Poisson (memoryless inter-arrival times, as in the
+paper's evaluation); a deterministic process is provided for tests and
+for isolating queueing variance from arrival variance.
+"""
+
+from __future__ import annotations
+
+import abc
+import random
+
+
+class ArrivalProcess(abc.ABC):
+    """Draws successive inter-arrival times, in seconds."""
+
+    @abc.abstractmethod
+    def next_interarrival(self) -> float:
+        """Time until the next arrival."""
+
+    @property
+    @abc.abstractmethod
+    def rate(self) -> float:
+        """Mean arrival rate (per second)."""
+
+
+class PoissonArrivals(ArrivalProcess):
+    """Exponential inter-arrival times with the given mean rate."""
+
+    def __init__(self, rate: float, rng: random.Random):
+        if rate <= 0:
+            raise ValueError("arrival rate must be positive")
+        self._rate = rate
+        self._rng = rng
+
+    @property
+    def rate(self) -> float:
+        return self._rate
+
+    def next_interarrival(self) -> float:
+        return self._rng.expovariate(self._rate)
+
+
+class DeterministicArrivals(ArrivalProcess):
+    """Fixed inter-arrival times (rate = 1/interval)."""
+
+    def __init__(self, rate: float):
+        if rate <= 0:
+            raise ValueError("arrival rate must be positive")
+        self._rate = rate
+
+    @property
+    def rate(self) -> float:
+        return self._rate
+
+    def next_interarrival(self) -> float:
+        return 1.0 / self._rate
+
+
+def load_to_rate(load: float, mean_service_seconds: float, servers: int = 1) -> float:
+    """Convert a utilisation target to an arrival rate.
+
+    ``load`` is the paper's x-axis (0..1 of saturation); saturation for
+    ``servers`` cores is ``servers / mean_service``. Notification overheads
+    push true saturation slightly below this, which is faithful to how the
+    paper normalises load (to the *ideal* service capacity).
+    """
+    if not 0.0 < load:
+        raise ValueError("load must be positive")
+    if mean_service_seconds <= 0:
+        raise ValueError("mean service time must be positive")
+    return load * servers / mean_service_seconds

@@ -1,0 +1,153 @@
+"""The paper's four traffic shapes.
+
+A shape maps a queue count to per-queue arrival weights. "Hot" queues
+carry traffic all the time; "cold" queues carry traffic with probability
+5% (paper, Section II-C). In steady state that makes a cold queue's
+arrival weight 5% of a hot queue's.
+
+Shapes also report their *hot set* — the queues that are essentially
+always ready at saturation — which the closed-loop peak-throughput
+generator keeps filled, and from which the expected number of empty
+polls per task follows (n ~= 5 for PC, n = total for SQ, ...).
+"""
+
+from __future__ import annotations
+
+import abc
+import random
+from bisect import bisect_right
+from itertools import accumulate
+from typing import Dict, List, Sequence, Type
+
+COLD_ACTIVITY = 0.05  # cold queues see traffic 5% of the time
+
+
+class TrafficShape(abc.ABC):
+    """Base class: per-queue arrival weights for a given queue count."""
+
+    name: str = "abstract"
+
+    @abc.abstractmethod
+    def weights(self, num_queues: int) -> List[float]:
+        """Unnormalised per-queue arrival weights (length ``num_queues``)."""
+
+    @abc.abstractmethod
+    def hot_queue_ids(self, num_queues: int) -> List[int]:
+        """Queues that carry traffic continuously."""
+
+    def normalized_weights(self, num_queues: int) -> List[float]:
+        """Weights scaled to sum to 1 (a probability distribution)."""
+        raw = self.weights(num_queues)
+        total = sum(raw)
+        if total <= 0:
+            raise ValueError(f"shape {self.name}: weights sum to zero")
+        return [w / total for w in raw]
+
+    def sampler(self, num_queues: int, rng: random.Random):
+        """Return a zero-argument callable drawing a queue id per arrival."""
+        cumulative = list(accumulate(self.weights(num_queues)))
+        total = cumulative[-1]
+
+        def draw() -> int:
+            return bisect_right(cumulative, rng.random() * total)
+
+        return draw
+
+    def empty_polls_per_task(self, num_queues: int) -> float:
+        """Expected empty queue heads a spinning core interrogates per task
+        at saturation (the paper's ``n``: ~5 for PC, 1 for FB, total/hot
+        for SQ and NC)."""
+        hot = len(self.hot_queue_ids(num_queues))
+        if hot == 0:
+            raise ValueError("shape has no hot queues")
+        return (num_queues - hot) / hot
+
+    def _validate(self, num_queues: int) -> None:
+        if num_queues <= 0:
+            raise ValueError("queue count must be positive")
+
+
+class FullyBalanced(TrafficShape):
+    """FB: traffic through every queue, equally."""
+
+    name = "FB"
+
+    def weights(self, num_queues: int) -> List[float]:
+        self._validate(num_queues)
+        return [1.0] * num_queues
+
+    def hot_queue_ids(self, num_queues: int) -> List[int]:
+        self._validate(num_queues)
+        return list(range(num_queues))
+
+
+class ProportionallyConcentrated(TrafficShape):
+    """PC: 20% of queues hot; the rest at 5% activity."""
+
+    name = "PC"
+    hot_fraction = 0.20
+
+    def weights(self, num_queues: int) -> List[float]:
+        self._validate(num_queues)
+        hot = set(self.hot_queue_ids(num_queues))
+        return [1.0 if q in hot else COLD_ACTIVITY for q in range(num_queues)]
+
+    def hot_queue_ids(self, num_queues: int) -> List[int]:
+        self._validate(num_queues)
+        count = max(1, round(num_queues * self.hot_fraction))
+        # Spread the hot queues evenly across the id space so scale-out
+        # partitions receive proportionate hot sets by default.
+        stride = num_queues / count
+        ids = sorted({min(num_queues - 1, int(i * stride)) for i in range(count)})
+        return ids
+
+
+class NonproportionallyConcentrated(TrafficShape):
+    """NC: a fixed 100 queues hot; the rest at 5% activity."""
+
+    name = "NC"
+    hot_count = 100
+
+    def weights(self, num_queues: int) -> List[float]:
+        self._validate(num_queues)
+        hot = set(self.hot_queue_ids(num_queues))
+        return [1.0 if q in hot else COLD_ACTIVITY for q in range(num_queues)]
+
+    def hot_queue_ids(self, num_queues: int) -> List[int]:
+        self._validate(num_queues)
+        count = min(self.hot_count, num_queues)
+        stride = num_queues / count
+        return sorted({min(num_queues - 1, int(i * stride)) for i in range(count)})
+
+
+class SingleQueue(TrafficShape):
+    """SQ: everything through queue 0."""
+
+    name = "SQ"
+
+    def weights(self, num_queues: int) -> List[float]:
+        self._validate(num_queues)
+        return [1.0] + [0.0] * (num_queues - 1)
+
+    def hot_queue_ids(self, num_queues: int) -> List[int]:
+        self._validate(num_queues)
+        return [0]
+
+
+SHAPES: Dict[str, Type[TrafficShape]] = {
+    cls.name: cls
+    for cls in (
+        FullyBalanced,
+        ProportionallyConcentrated,
+        NonproportionallyConcentrated,
+        SingleQueue,
+    )
+}
+
+
+def shape_by_name(name: str) -> TrafficShape:
+    """Instantiate a shape from its paper abbreviation (FB/PC/NC/SQ)."""
+    try:
+        return SHAPES[name.upper()]()
+    except KeyError:
+        raise ValueError(f"unknown traffic shape {name!r}; expected one of {sorted(SHAPES)}")

@@ -1,0 +1,56 @@
+"""The six evaluation workloads (paper, Section V-A).
+
+Each workload exists in two forms:
+
+1. a **functional kernel** — a real implementation operating on real
+   bytes (GRE-in-IPv6 encapsulation, AES-CBC-256, hash-table packet
+   steering, Reed–Solomon erasure coding over GF(256) with a Cauchy
+   matrix, RAID-6 P+Q parity, and an RPC request dispatcher); and
+2. a **service-time model** — the distribution of per-item processing
+   time the cycle-approximate simulation consumes, with means calibrated
+   to the throughput magnitudes of the paper's Fig. 8.
+
+The kernels are exercised by the examples and tests; the simulator uses
+the calibrated distributions (running real AES per simulated packet
+would make figure sweeps intractable without changing any trend).
+"""
+
+from repro.workloads.crypto import AesCbc, aes_cbc_decrypt, aes_cbc_encrypt
+from repro.workloads.dispatch import Request, RequestDispatcher, RpcCall
+from repro.workloads.encapsulation import (
+    gre_decapsulate,
+    gre_encapsulate,
+)
+from repro.workloads.erasure import CauchyReedSolomon, GF256
+from repro.workloads.packet import Ipv4Packet, Ipv6Packet, ipv4_header_checksum
+from repro.workloads.raid import RaidPQ
+from repro.workloads.service import (
+    WORKLOADS,
+    ServiceTimeModel,
+    WorkloadSpec,
+    workload_by_name,
+)
+from repro.workloads.steering import PacketSteerer, five_tuple_hash
+
+__all__ = [
+    "AesCbc",
+    "CauchyReedSolomon",
+    "GF256",
+    "Ipv4Packet",
+    "Ipv6Packet",
+    "PacketSteerer",
+    "RaidPQ",
+    "Request",
+    "RequestDispatcher",
+    "RpcCall",
+    "ServiceTimeModel",
+    "WORKLOADS",
+    "WorkloadSpec",
+    "aes_cbc_decrypt",
+    "aes_cbc_encrypt",
+    "five_tuple_hash",
+    "gre_decapsulate",
+    "gre_encapsulate",
+    "ipv4_header_checksum",
+    "workload_by_name",
+]

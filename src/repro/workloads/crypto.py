@@ -1,0 +1,224 @@
+"""Crypto forwarding workload: AES-CBC-256, implemented from scratch.
+
+Paper, Section V-A: "network packets are encrypted through AES-CBC-256."
+This is a complete FIPS-197 AES implementation (S-box derived from the
+GF(2^8) inverse + affine transform rather than pasted tables), a 256-bit
+key schedule (Nk=8, Nr=14), and CBC mode with PKCS#7 padding. It is a
+functional reference, not a constant-time production cipher.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+BLOCK_BYTES = 16
+KEY_BYTES_256 = 32
+ROUNDS_256 = 14
+_AES_POLY = 0x11B  # x^8 + x^4 + x^3 + x + 1
+
+
+def _gf_mul(a: int, b: int) -> int:
+    """Multiply in GF(2^8) modulo the AES polynomial."""
+    result = 0
+    while b:
+        if b & 1:
+            result ^= a
+        a <<= 1
+        if a & 0x100:
+            a ^= _AES_POLY
+        b >>= 1
+    return result
+
+
+def _gf_inverse(a: int) -> int:
+    """Multiplicative inverse in GF(2^8); 0 maps to 0 (AES convention)."""
+    if a == 0:
+        return 0
+    # a^(254) = a^(-1) in GF(2^8); square-and-multiply.
+    result = 1
+    power = a
+    exponent = 254
+    while exponent:
+        if exponent & 1:
+            result = _gf_mul(result, power)
+        power = _gf_mul(power, power)
+        exponent >>= 1
+    return result
+
+
+def _build_sbox() -> bytes:
+    """Derive the AES S-box: inverse followed by the affine transform."""
+    sbox = bytearray(256)
+    for value in range(256):
+        inv = _gf_inverse(value)
+        transformed = 0
+        for bit in range(8):
+            parity = (
+                (inv >> bit)
+                ^ (inv >> ((bit + 4) % 8))
+                ^ (inv >> ((bit + 5) % 8))
+                ^ (inv >> ((bit + 6) % 8))
+                ^ (inv >> ((bit + 7) % 8))
+                ^ (0x63 >> bit)
+            ) & 1
+            transformed |= parity << bit
+        sbox[value] = transformed
+    return bytes(sbox)
+
+
+SBOX = _build_sbox()
+INV_SBOX = bytes(SBOX.index(i) for i in range(256))
+RCON = [0x01, 0x02, 0x04, 0x08, 0x10, 0x20, 0x40, 0x80, 0x1B, 0x36, 0x6C, 0xD8, 0xAB, 0x4D]
+
+
+def _expand_key_256(key: bytes) -> List[List[int]]:
+    """FIPS-197 key expansion for AES-256: 60 four-byte words."""
+    if len(key) != KEY_BYTES_256:
+        raise ValueError("AES-256 requires a 32-byte key")
+    words = [list(key[4 * i : 4 * i + 4]) for i in range(8)]
+    for i in range(8, 4 * (ROUNDS_256 + 1)):
+        temp = list(words[i - 1])
+        if i % 8 == 0:
+            temp = temp[1:] + temp[:1]  # RotWord
+            temp = [SBOX[b] for b in temp]  # SubWord
+            temp[0] ^= RCON[i // 8 - 1]
+        elif i % 8 == 4:
+            temp = [SBOX[b] for b in temp]
+        words.append([w ^ t for w, t in zip(words[i - 8], temp)])
+    return words
+
+
+def _round_keys(words: List[List[int]]) -> List[bytes]:
+    return [
+        bytes(b for word in words[4 * r : 4 * r + 4] for b in word)
+        for r in range(ROUNDS_256 + 1)
+    ]
+
+
+def _add_round_key(state: bytearray, round_key: bytes) -> None:
+    for i in range(BLOCK_BYTES):
+        state[i] ^= round_key[i]
+
+
+def _sub_bytes(state: bytearray, box: bytes) -> None:
+    for i in range(BLOCK_BYTES):
+        state[i] = box[state[i]]
+
+
+def _shift_rows(state: bytearray) -> None:
+    # State is column-major: byte (row, col) lives at 4*col + row.
+    for row in range(1, 4):
+        row_bytes = [state[4 * col + row] for col in range(4)]
+        shifted = row_bytes[row:] + row_bytes[:row]
+        for col in range(4):
+            state[4 * col + row] = shifted[col]
+
+
+def _inv_shift_rows(state: bytearray) -> None:
+    for row in range(1, 4):
+        row_bytes = [state[4 * col + row] for col in range(4)]
+        shifted = row_bytes[-row:] + row_bytes[:-row]
+        for col in range(4):
+            state[4 * col + row] = shifted[col]
+
+
+def _mix_columns(state: bytearray, inverse: bool) -> None:
+    matrix = (
+        (0x0E, 0x0B, 0x0D, 0x09) if inverse else (0x02, 0x03, 0x01, 0x01)
+    )
+    for col in range(4):
+        column = state[4 * col : 4 * col + 4]
+        for row in range(4):
+            state[4 * col + row] = (
+                _gf_mul(matrix[(0 - row) % 4], column[0])
+                ^ _gf_mul(matrix[(1 - row) % 4], column[1])
+                ^ _gf_mul(matrix[(2 - row) % 4], column[2])
+                ^ _gf_mul(matrix[(3 - row) % 4], column[3])
+            )
+
+
+class AesCbc:
+    """AES-256 in CBC mode with PKCS#7 padding."""
+
+    def __init__(self, key: bytes):
+        self._round_keys = _round_keys(_expand_key_256(key))
+
+    # -- block primitives ---------------------------------------------------
+
+    def encrypt_block(self, block: bytes) -> bytes:
+        """Encrypt one 16-byte block (ECB primitive)."""
+        if len(block) != BLOCK_BYTES:
+            raise ValueError("block must be 16 bytes")
+        state = bytearray(block)
+        _add_round_key(state, self._round_keys[0])
+        for round_index in range(1, ROUNDS_256):
+            _sub_bytes(state, SBOX)
+            _shift_rows(state)
+            _mix_columns(state, inverse=False)
+            _add_round_key(state, self._round_keys[round_index])
+        _sub_bytes(state, SBOX)
+        _shift_rows(state)
+        _add_round_key(state, self._round_keys[ROUNDS_256])
+        return bytes(state)
+
+    def decrypt_block(self, block: bytes) -> bytes:
+        """Decrypt one 16-byte block (ECB primitive)."""
+        if len(block) != BLOCK_BYTES:
+            raise ValueError("block must be 16 bytes")
+        state = bytearray(block)
+        _add_round_key(state, self._round_keys[ROUNDS_256])
+        for round_index in range(ROUNDS_256 - 1, 0, -1):
+            _inv_shift_rows(state)
+            _sub_bytes(state, INV_SBOX)
+            _add_round_key(state, self._round_keys[round_index])
+            _mix_columns(state, inverse=True)
+        _inv_shift_rows(state)
+        _sub_bytes(state, INV_SBOX)
+        _add_round_key(state, self._round_keys[0])
+        return bytes(state)
+
+    # -- CBC mode -----------------------------------------------------------
+
+    def encrypt(self, plaintext: bytes, iv: bytes) -> bytes:
+        """CBC-encrypt with PKCS#7 padding."""
+        if len(iv) != BLOCK_BYTES:
+            raise ValueError("IV must be 16 bytes")
+        pad = BLOCK_BYTES - (len(plaintext) % BLOCK_BYTES)
+        padded = plaintext + bytes([pad] * pad)
+        previous = iv
+        out = bytearray()
+        for offset in range(0, len(padded), BLOCK_BYTES):
+            block = bytes(
+                a ^ b for a, b in zip(padded[offset : offset + BLOCK_BYTES], previous)
+            )
+            previous = self.encrypt_block(block)
+            out += previous
+        return bytes(out)
+
+    def decrypt(self, ciphertext: bytes, iv: bytes) -> bytes:
+        """CBC-decrypt and strip PKCS#7 padding."""
+        if len(iv) != BLOCK_BYTES:
+            raise ValueError("IV must be 16 bytes")
+        if not ciphertext or len(ciphertext) % BLOCK_BYTES:
+            raise ValueError("ciphertext must be a positive multiple of 16 bytes")
+        previous = iv
+        out = bytearray()
+        for offset in range(0, len(ciphertext), BLOCK_BYTES):
+            block = ciphertext[offset : offset + BLOCK_BYTES]
+            plain = self.decrypt_block(block)
+            out += bytes(a ^ b for a, b in zip(plain, previous))
+            previous = block
+        pad = out[-1]
+        if not 1 <= pad <= BLOCK_BYTES or out[-pad:] != bytearray([pad] * pad):
+            raise ValueError("bad PKCS#7 padding")
+        return bytes(out[:-pad])
+
+
+def aes_cbc_encrypt(key: bytes, iv: bytes, plaintext: bytes) -> bytes:
+    """One-shot AES-CBC-256 encryption."""
+    return AesCbc(key).encrypt(plaintext, iv)
+
+
+def aes_cbc_decrypt(key: bytes, iv: bytes, ciphertext: bytes) -> bytes:
+    """One-shot AES-CBC-256 decryption."""
+    return AesCbc(key).decrypt(ciphertext, iv)

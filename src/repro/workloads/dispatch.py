@@ -1,0 +1,132 @@
+"""Request dispatching workload: microservice RPC preparation.
+
+Paper, Section V-A: "Our dispatcher task identifies request types and
+prepares the remote procedure calls to be dispatched." Requests arrive
+as a compact wire format; the dispatcher parses them, classifies the
+request type, picks the downstream tier, and builds an RPC call object.
+"""
+
+from __future__ import annotations
+
+import enum
+import struct
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+_MAGIC = 0x5250  # "RP"
+_HEADER = struct.Struct("!HBBIQ")  # magic, version, type, tenant, request id
+
+
+class RequestType(enum.Enum):
+    """The microservice request classes the dispatcher recognises."""
+
+    GET = 0
+    PUT = 1
+    DELETE = 2
+    SCAN = 3
+    COMPUTE = 4
+
+
+# Downstream service tier per request type (paper: "dispatch microservices
+# between servers at different tiers").
+_TIER_FOR_TYPE: Dict[RequestType, str] = {
+    RequestType.GET: "cache-tier",
+    RequestType.PUT: "storage-tier",
+    RequestType.DELETE: "storage-tier",
+    RequestType.SCAN: "analytics-tier",
+    RequestType.COMPUTE: "compute-tier",
+}
+
+
+@dataclass(frozen=True)
+class Request:
+    """A parsed inbound request."""
+
+    request_type: RequestType
+    tenant_id: int
+    request_id: int
+    body: bytes = b""
+
+    def to_bytes(self) -> bytes:
+        """Serialise to the wire format the dispatcher parses."""
+        return _HEADER.pack(
+            _MAGIC, 1, self.request_type.value, self.tenant_id, self.request_id
+        ) + self.body
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "Request":
+        """Parse and validate the wire format."""
+        if len(data) < _HEADER.size:
+            raise ValueError("truncated request")
+        magic, version, type_value, tenant_id, request_id = _HEADER.unpack(
+            data[: _HEADER.size]
+        )
+        if magic != _MAGIC:
+            raise ValueError(f"bad magic {magic:#06x}")
+        if version != 1:
+            raise ValueError(f"unsupported version {version}")
+        try:
+            request_type = RequestType(type_value)
+        except ValueError:
+            raise ValueError(f"unknown request type {type_value}")
+        return cls(request_type, tenant_id, request_id, data[_HEADER.size :])
+
+
+@dataclass(frozen=True)
+class RpcCall:
+    """A prepared outbound RPC."""
+
+    target_tier: str
+    target_shard: int
+    method: str
+    tenant_id: int
+    request_id: int
+    payload: bytes
+
+
+class RequestDispatcher:
+    """Classifies requests and prepares downstream RPC calls.
+
+    Parameters
+    ----------
+    shards_per_tier:
+        How many shards each downstream tier has; requests spread over
+        shards by tenant id so a tenant's requests stay shard-affine.
+    """
+
+    def __init__(self, shards_per_tier: int = 16):
+        if shards_per_tier <= 0:
+            raise ValueError("need at least one shard per tier")
+        self.shards_per_tier = shards_per_tier
+        self.dispatched_by_type: Dict[RequestType, int] = {t: 0 for t in RequestType}
+        self.parse_errors = 0
+
+    def dispatch(self, wire: bytes) -> RpcCall:
+        """Parse one wire request and return the prepared RPC."""
+        try:
+            request = Request.from_bytes(wire)
+        except ValueError:
+            self.parse_errors += 1
+            raise
+        tier = _TIER_FOR_TYPE[request.request_type]
+        shard = request.tenant_id % self.shards_per_tier
+        self.dispatched_by_type[request.request_type] += 1
+        return RpcCall(
+            target_tier=tier,
+            target_shard=shard,
+            method=request.request_type.name.lower(),
+            tenant_id=request.tenant_id,
+            request_id=request.request_id,
+            payload=request.body,
+        )
+
+    def dispatch_batch(self, wires: List[bytes]) -> Tuple[List[RpcCall], int]:
+        """Dispatch many requests; returns (calls, error count)."""
+        calls = []
+        errors = 0
+        for wire in wires:
+            try:
+                calls.append(self.dispatch(wire))
+            except ValueError:
+                errors += 1
+        return calls, errors

@@ -1,0 +1,62 @@
+"""Packet encapsulation workload: GRE-in-IPv6 tunnelling.
+
+Paper, Section V-A: "We use the GRE protocol [RFC 2784] to encapsulate
+IPv4 packets within IPv6 packets." The GRE header here is the base RFC
+2784 form (no checksum, key, or sequence options — all optional bits
+zero), with the protocol type carrying EtherType 0x0800 (IPv4).
+"""
+
+from __future__ import annotations
+
+import struct
+
+from repro.workloads.packet import Ipv4Packet, Ipv6Packet, PROTO_GRE
+
+GRE_HEADER_LEN = 4
+ETHERTYPE_IPV4 = 0x0800
+
+
+def build_gre_header(protocol_type: int = ETHERTYPE_IPV4) -> bytes:
+    """The 4-byte base GRE header: flags/version zero + protocol type."""
+    return struct.pack("!HH", 0, protocol_type)
+
+
+def parse_gre_header(data: bytes) -> int:
+    """Validate a base GRE header; returns the inner protocol type."""
+    if len(data) < GRE_HEADER_LEN:
+        raise ValueError("truncated GRE header")
+    flags_version, protocol_type = struct.unpack("!HH", data[:GRE_HEADER_LEN])
+    if flags_version & 0x8000:
+        raise ValueError("GRE checksum option unsupported")
+    if flags_version & 0x0007:
+        raise ValueError(f"unsupported GRE version {flags_version & 7}")
+    return protocol_type
+
+
+def gre_encapsulate(
+    inner: Ipv4Packet,
+    tunnel_src: int,
+    tunnel_dst: int,
+    hop_limit: int = 64,
+    flow_label: int = 0,
+) -> Ipv6Packet:
+    """Wrap an IPv4 packet in GRE inside an IPv6 delivery packet."""
+    payload = build_gre_header() + inner.to_bytes()
+    return Ipv6Packet(
+        src=tunnel_src,
+        dst=tunnel_dst,
+        next_header=PROTO_GRE,
+        hop_limit=hop_limit,
+        flow_label=flow_label,
+        payload=payload,
+    )
+
+
+def gre_decapsulate(outer: Ipv6Packet) -> Ipv4Packet:
+    """Recover the inner IPv4 packet from a GRE-in-IPv6 tunnel packet."""
+    if outer.next_header != PROTO_GRE:
+        raise ValueError(f"outer next-header {outer.next_header} is not GRE")
+    protocol_type = parse_gre_header(outer.payload)
+    if protocol_type != ETHERTYPE_IPV4:
+        raise ValueError(f"inner protocol {protocol_type:#06x} is not IPv4")
+    return Ipv4Packet.from_bytes(outer.payload[GRE_HEADER_LEN:])

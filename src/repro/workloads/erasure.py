@@ -1,0 +1,189 @@
+"""Erasure coding workload: Reed–Solomon over GF(256) with a Cauchy matrix.
+
+Paper, Section V-A: "We use Reed-Solomon erasure coding to encode data
+blocks/fragments using a Cauchy matrix." ``k`` data fragments produce
+``m`` parity fragments; any ``k`` of the ``k+m`` reconstruct the data
+(matrix inversion over GF(256)).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+_RS_POLY = 0x11D  # x^8 + x^4 + x^3 + x^2 + 1, the usual RS polynomial
+
+
+class GF256:
+    """Arithmetic in GF(2^8) with log/antilog tables for speed."""
+
+    def __init__(self, polynomial: int = _RS_POLY):
+        self.polynomial = polynomial
+        self.exp = [0] * 512
+        self.log = [0] * 256
+        value = 1
+        for power in range(255):
+            self.exp[power] = value
+            self.log[value] = power
+            value <<= 1
+            if value & 0x100:
+                value ^= polynomial
+        for power in range(255, 512):
+            self.exp[power] = self.exp[power - 255]
+
+    def add(self, a: int, b: int) -> int:
+        """Addition = XOR in characteristic 2."""
+        return a ^ b
+
+    def mul(self, a: int, b: int) -> int:
+        """Table-based multiplication."""
+        if a == 0 or b == 0:
+            return 0
+        return self.exp[self.log[a] + self.log[b]]
+
+    def div(self, a: int, b: int) -> int:
+        """Division; raises on division by zero."""
+        if b == 0:
+            raise ZeroDivisionError("GF(256) division by zero")
+        if a == 0:
+            return 0
+        return self.exp[(self.log[a] - self.log[b]) % 255]
+
+    def inverse(self, a: int) -> int:
+        """Multiplicative inverse."""
+        if a == 0:
+            raise ZeroDivisionError("zero has no inverse")
+        return self.exp[255 - self.log[a]]
+
+    def pow(self, a: int, n: int) -> int:
+        """a**n in the field."""
+        if a == 0:
+            return 0 if n else 1
+        return self.exp[(self.log[a] * n) % 255]
+
+    # -- matrix helpers ------------------------------------------------------
+
+    def matmul(self, a: Sequence[Sequence[int]], b: Sequence[Sequence[int]]) -> List[List[int]]:
+        """Matrix product over the field."""
+        rows, inner, cols = len(a), len(b), len(b[0])
+        if any(len(row) != inner for row in a):
+            raise ValueError("dimension mismatch")
+        out = [[0] * cols for _ in range(rows)]
+        for i in range(rows):
+            for j in range(cols):
+                acc = 0
+                for t in range(inner):
+                    acc ^= self.mul(a[i][t], b[t][j])
+                out[i][j] = acc
+        return out
+
+    def invert_matrix(self, matrix: Sequence[Sequence[int]]) -> List[List[int]]:
+        """Gauss–Jordan inversion over the field."""
+        n = len(matrix)
+        if any(len(row) != n for row in matrix):
+            raise ValueError("matrix must be square")
+        work = [list(row) + [int(i == j) for j in range(n)] for i, row in enumerate(matrix)]
+        for col in range(n):
+            pivot_row = next((r for r in range(col, n) if work[r][col]), None)
+            if pivot_row is None:
+                raise ValueError("matrix is singular")
+            work[col], work[pivot_row] = work[pivot_row], work[col]
+            pivot_inv = self.inverse(work[col][col])
+            work[col] = [self.mul(value, pivot_inv) for value in work[col]]
+            for row in range(n):
+                if row != col and work[row][col]:
+                    factor = work[row][col]
+                    work[row] = [
+                        value ^ self.mul(factor, pivot_value)
+                        for value, pivot_value in zip(work[row], work[col])
+                    ]
+        return [row[n:] for row in work]
+
+
+class CauchyReedSolomon:
+    """Systematic RS(k, m) erasure code built from a Cauchy matrix.
+
+    Fragment ``i < k`` is the i-th data fragment; fragments ``k..k+m-1``
+    are parity. Any ``k`` surviving fragments reconstruct the data.
+    """
+
+    def __init__(self, data_fragments: int, parity_fragments: int):
+        if data_fragments < 1 or parity_fragments < 1:
+            raise ValueError("need at least one data and one parity fragment")
+        if data_fragments + parity_fragments > 256:
+            raise ValueError("k + m must not exceed the field size")
+        self.k = data_fragments
+        self.m = parity_fragments
+        self.field = GF256()
+        self.parity_matrix = self._build_cauchy()
+
+    def _build_cauchy(self) -> List[List[int]]:
+        """Cauchy matrix C[i][j] = 1 / (x_i + y_j) with disjoint x, y sets."""
+        field = self.field
+        xs = list(range(self.k, self.k + self.m))
+        ys = list(range(self.k))
+        return [
+            [field.inverse(field.add(x, y)) for y in ys]
+            for x in xs
+        ]
+
+    def encode(self, data: bytes) -> List[bytes]:
+        """Split ``data`` into k fragments and append m parity fragments.
+
+        Data is zero-padded to a multiple of k; the original length is the
+        caller's to remember (as in real storage systems' metadata).
+        """
+        fragment_len = (len(data) + self.k - 1) // self.k
+        fragment_len = max(fragment_len, 1)
+        padded = data.ljust(self.k * fragment_len, b"\x00")
+        fragments = [
+            bytearray(padded[i * fragment_len : (i + 1) * fragment_len])
+            for i in range(self.k)
+        ]
+        mul = self.field.mul
+        parity = []
+        for row in self.parity_matrix:
+            out = bytearray(fragment_len)
+            for coefficient, fragment in zip(row, fragments):
+                if coefficient == 0:
+                    continue
+                for index, byte in enumerate(fragment):
+                    out[index] ^= mul(coefficient, byte)
+            parity.append(bytes(out))
+        return [bytes(f) for f in fragments] + parity
+
+    def decode(self, fragments: Sequence[Optional[bytes]]) -> bytes:
+        """Reconstruct the padded data from any k surviving fragments.
+
+        ``fragments`` has length k+m with ``None`` marking erasures.
+        """
+        if len(fragments) != self.k + self.m:
+            raise ValueError(f"expected {self.k + self.m} fragment slots")
+        survivors = [(i, f) for i, f in enumerate(fragments) if f is not None]
+        if len(survivors) < self.k:
+            raise ValueError(
+                f"unrecoverable: {len(survivors)} survivors < k={self.k}"
+            )
+        survivors = survivors[: self.k]
+        fragment_len = len(survivors[0][1])
+        if any(len(f) != fragment_len for _, f in survivors):
+            raise ValueError("fragment length mismatch")
+        # Row i of the generator: identity for data rows, Cauchy for parity.
+        matrix = []
+        for index, _fragment in survivors:
+            if index < self.k:
+                matrix.append([int(j == index) for j in range(self.k)])
+            else:
+                matrix.append(list(self.parity_matrix[index - self.k]))
+        decode_matrix = self.field.invert_matrix(matrix)
+        mul = self.field.mul
+        data = bytearray(self.k * fragment_len)
+        for out_row in range(self.k):
+            row = decode_matrix[out_row]
+            segment = bytearray(fragment_len)
+            for coefficient, (_, fragment) in zip(row, survivors):
+                if coefficient == 0:
+                    continue
+                for index, byte in enumerate(fragment):
+                    segment[index] ^= mul(coefficient, byte)
+            data[out_row * fragment_len : (out_row + 1) * fragment_len] = segment
+        return bytes(data)

@@ -1,0 +1,158 @@
+"""Byte-level IPv4/IPv6 packet construction and parsing.
+
+Just enough of RFC 791 / RFC 8200 to support the encapsulation, steering
+and dispatch workloads with real header bytes: fixed headers, the IPv4
+checksum, and round-trippable serialisation.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass, field
+
+IPV4_HEADER_LEN = 20
+IPV6_HEADER_LEN = 40
+PROTO_TCP = 6
+PROTO_UDP = 17
+PROTO_GRE = 47
+PROTO_IPV4 = 4  # IPv4-in-something encapsulation
+
+
+def ipv4_header_checksum(header: bytes) -> int:
+    """RFC 791 ones'-complement checksum over a header with zeroed field."""
+    if len(header) % 2:
+        header += b"\x00"
+    total = sum(struct.unpack(f"!{len(header) // 2}H", header))
+    while total >> 16:
+        total = (total & 0xFFFF) + (total >> 16)
+    return ~total & 0xFFFF
+
+
+@dataclass
+class Ipv4Packet:
+    """A minimal IPv4 packet (no options)."""
+
+    src: int  # 32-bit address
+    dst: int
+    protocol: int = PROTO_UDP
+    ttl: int = 64
+    identification: int = 0
+    payload: bytes = b""
+
+    def __post_init__(self):
+        for name in ("src", "dst"):
+            value = getattr(self, name)
+            if not 0 <= value <= 0xFFFFFFFF:
+                raise ValueError(f"{name} must be a 32-bit value")
+        if not 0 <= self.protocol <= 0xFF:
+            raise ValueError("protocol must fit in one byte")
+
+    @property
+    def total_length(self) -> int:
+        return IPV4_HEADER_LEN + len(self.payload)
+
+    def to_bytes(self) -> bytes:
+        """Serialise with a correct header checksum."""
+        header_wo_checksum = struct.pack(
+            "!BBHHHBBH4s4s",
+            (4 << 4) | 5,  # version 4, IHL 5 words
+            0,  # DSCP/ECN
+            self.total_length,
+            self.identification,
+            0,  # flags/fragment offset
+            self.ttl,
+            self.protocol,
+            0,  # checksum placeholder
+            self.src.to_bytes(4, "big"),
+            self.dst.to_bytes(4, "big"),
+        )
+        checksum = ipv4_header_checksum(header_wo_checksum)
+        header = header_wo_checksum[:10] + struct.pack("!H", checksum) + header_wo_checksum[12:]
+        return header + self.payload
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "Ipv4Packet":
+        """Parse and verify an IPv4 packet."""
+        if len(data) < IPV4_HEADER_LEN:
+            raise ValueError("truncated IPv4 packet")
+        version_ihl = data[0]
+        if version_ihl >> 4 != 4:
+            raise ValueError("not an IPv4 packet")
+        ihl_bytes = (version_ihl & 0xF) * 4
+        if ihl_bytes != IPV4_HEADER_LEN:
+            raise ValueError("IPv4 options unsupported")
+        header = data[:IPV4_HEADER_LEN]
+        if ipv4_header_checksum(header) != 0:
+            raise ValueError("bad IPv4 header checksum")
+        (total_length, identification) = struct.unpack("!HH", data[2:6])
+        ttl, protocol = data[8], data[9]
+        src = int.from_bytes(data[12:16], "big")
+        dst = int.from_bytes(data[16:20], "big")
+        if total_length > len(data):
+            raise ValueError("IPv4 total length exceeds buffer")
+        payload = data[IPV4_HEADER_LEN:total_length]
+        return cls(
+            src=src,
+            dst=dst,
+            protocol=protocol,
+            ttl=ttl,
+            identification=identification,
+            payload=payload,
+        )
+
+
+@dataclass
+class Ipv6Packet:
+    """A minimal IPv6 packet (no extension headers)."""
+
+    src: int  # 128-bit address
+    dst: int
+    next_header: int = PROTO_UDP
+    hop_limit: int = 64
+    traffic_class: int = 0
+    flow_label: int = 0
+    payload: bytes = b""
+
+    def __post_init__(self):
+        for name in ("src", "dst"):
+            value = getattr(self, name)
+            if not 0 <= value < (1 << 128):
+                raise ValueError(f"{name} must be a 128-bit value")
+        if not 0 <= self.flow_label < (1 << 20):
+            raise ValueError("flow label must fit in 20 bits")
+
+    def to_bytes(self) -> bytes:
+        """Serialise the fixed 40-byte header plus payload."""
+        first_word = (6 << 28) | (self.traffic_class << 20) | self.flow_label
+        header = struct.pack(
+            "!IHBB16s16s",
+            first_word,
+            len(self.payload),
+            self.next_header,
+            self.hop_limit,
+            self.src.to_bytes(16, "big"),
+            self.dst.to_bytes(16, "big"),
+        )
+        return header + self.payload
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "Ipv6Packet":
+        """Parse an IPv6 packet."""
+        if len(data) < IPV6_HEADER_LEN:
+            raise ValueError("truncated IPv6 packet")
+        (first_word, payload_length, next_header, hop_limit) = struct.unpack(
+            "!IHBB", data[:8]
+        )
+        if first_word >> 28 != 6:
+            raise ValueError("not an IPv6 packet")
+        if IPV6_HEADER_LEN + payload_length > len(data):
+            raise ValueError("IPv6 payload length exceeds buffer")
+        return cls(
+            src=int.from_bytes(data[8:24], "big"),
+            dst=int.from_bytes(data[24:40], "big"),
+            next_header=next_header,
+            hop_limit=hop_limit,
+            traffic_class=(first_word >> 20) & 0xFF,
+            flow_label=first_word & 0xFFFFF,
+            payload=data[IPV6_HEADER_LEN : IPV6_HEADER_LEN + payload_length],
+        )

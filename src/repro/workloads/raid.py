@@ -1,0 +1,110 @@
+"""RAID protection workload: P+Q (RAID-6) parity.
+
+Paper, Section V-A: "RAID with P+Q redundancy is used to calculate
+parity bytes of input data blocks." P is the XOR parity; Q is the
+GF(256) weighted parity (Q = sum g^i * D_i with generator g = 2). The
+pair tolerates any two block losses.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from repro.workloads.erasure import GF256
+
+
+class RaidPQ:
+    """P+Q parity over ``num_data`` equally sized blocks."""
+
+    def __init__(self, num_data: int):
+        if not 2 <= num_data <= 255:
+            raise ValueError("P+Q supports 2..255 data blocks")
+        self.num_data = num_data
+        self.field = GF256()
+        # g^i coefficients for the Q parity.
+        self.q_coefficients = [self.field.pow(2, i) for i in range(num_data)]
+
+    def _check_blocks(self, blocks: Sequence[Optional[bytes]], expect: int) -> int:
+        if len(blocks) != expect:
+            raise ValueError(f"expected {expect} blocks, got {len(blocks)}")
+        lengths = {len(b) for b in blocks if b is not None}
+        if len(lengths) != 1:
+            raise ValueError("blocks must all be the same length")
+        return lengths.pop()
+
+    def compute_parity(self, blocks: Sequence[bytes]) -> Tuple[bytes, bytes]:
+        """Return the (P, Q) parity blocks."""
+        length = self._check_blocks(blocks, self.num_data)
+        p = bytearray(length)
+        q = bytearray(length)
+        mul = self.field.mul
+        for coefficient, block in zip(self.q_coefficients, blocks):
+            for index, byte in enumerate(block):
+                p[index] ^= byte
+                q[index] ^= mul(coefficient, byte)
+        return bytes(p), bytes(q)
+
+    def verify(self, blocks: Sequence[bytes], p: bytes, q: bytes) -> bool:
+        """Whether stored parity matches the data."""
+        expected_p, expected_q = self.compute_parity(blocks)
+        return expected_p == p and expected_q == q
+
+    def recover_one(
+        self, blocks: Sequence[Optional[bytes]], p: bytes
+    ) -> List[bytes]:
+        """Recover a single missing data block using P only."""
+        length = self._check_blocks(list(blocks) + [p], self.num_data + 1)
+        missing = [i for i, b in enumerate(blocks) if b is None]
+        if len(missing) != 1:
+            raise ValueError(f"recover_one needs exactly one erasure, got {len(missing)}")
+        target = missing[0]
+        restored = bytearray(p)
+        for index, block in enumerate(blocks):
+            if index == target:
+                continue
+            for offset, byte in enumerate(block):
+                restored[offset] ^= byte
+        result = list(blocks)
+        result[target] = bytes(restored)
+        return result  # type: ignore[return-value]
+
+    def recover_two(
+        self, blocks: Sequence[Optional[bytes]], p: bytes, q: bytes
+    ) -> List[bytes]:
+        """Recover two missing data blocks using P and Q.
+
+        Standard RAID-6 reconstruction: with losses at x < y,
+        D_x = (g^y * P' + Q') / (g^x + g^y) and D_y = P' + D_x, where P'
+        and Q' are the parities of the syndrome (known blocks removed).
+        """
+        length = self._check_blocks(list(blocks) + [p, q], self.num_data + 2)
+        missing = [i for i, b in enumerate(blocks) if b is None]
+        if len(missing) != 2:
+            raise ValueError(f"recover_two needs exactly two erasures, got {len(missing)}")
+        x, y = missing
+        field = self.field
+        mul = field.mul
+        # Syndromes: parity of the surviving blocks XOR stored parity.
+        p_syndrome = bytearray(p)
+        q_syndrome = bytearray(q)
+        for index, block in enumerate(blocks):
+            if block is None:
+                continue
+            coefficient = self.q_coefficients[index]
+            for offset, byte in enumerate(block):
+                p_syndrome[offset] ^= byte
+                q_syndrome[offset] ^= mul(coefficient, byte)
+        gx = self.q_coefficients[x]
+        gy = self.q_coefficients[y]
+        denominator = field.add(gx, gy)
+        denominator_inv = field.inverse(denominator)
+        dx = bytearray(length)
+        dy = bytearray(length)
+        for offset in range(length):
+            numerator = field.add(mul(gy, p_syndrome[offset]), q_syndrome[offset])
+            dx[offset] = mul(numerator, denominator_inv)
+            dy[offset] = field.add(p_syndrome[offset], dx[offset])
+        result = list(blocks)
+        result[x] = bytes(dx)
+        result[y] = bytes(dy)
+        return result  # type: ignore[return-value]

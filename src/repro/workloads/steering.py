@@ -1,0 +1,148 @@
+"""Packet steering workload: session-affine work distribution.
+
+Paper, Section V-A: "We employ a packet steerer that redirects the
+traffic by obtaining a session affinity from a hash table." The steerer
+hashes the flow five-tuple; known sessions go to their pinned worker,
+new sessions are assigned by consistent bucketing and remembered.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+FiveTuple = Tuple[int, int, int, int, int]  # src, dst, sport, dport, proto
+
+_FNV_OFFSET = 0xCBF29CE484222325
+_FNV_PRIME = 0x100000001B3
+
+# The de-facto standard RSS hash key (Microsoft's verification key, as
+# shipped by most NIC drivers), 40 bytes.
+RSS_DEFAULT_KEY = bytes.fromhex(
+    "6d5a56da255b0ec24167253d43a38fb0"
+    "d0ca2bcbae7b30b477cb2da38030f20c"
+    "6a42b73bbeac01fa"
+)
+
+
+def fnv1a_64(data: bytes) -> int:
+    """FNV-1a 64-bit hash."""
+    value = _FNV_OFFSET
+    for byte in data:
+        value ^= byte
+        value = (value * _FNV_PRIME) & 0xFFFFFFFFFFFFFFFF
+    return value
+
+
+def toeplitz_hash(data: bytes, key: bytes = RSS_DEFAULT_KEY) -> int:
+    """The Toeplitz hash NIC RSS uses (32-bit result).
+
+    For each set bit of ``data`` (MSB first), XOR in the 32-bit window of
+    the key starting at that bit position. The function is linear over
+    GF(2): ``H(a ^ b) == H(a) ^ H(b)`` for equal-length inputs — the
+    property the tests pin.
+    """
+    if len(key) * 8 < len(data) * 8 + 32:
+        raise ValueError("key too short for input length")
+    key_bits = int.from_bytes(key, "big")
+    key_bit_length = len(key) * 8
+    result = 0
+    for bit_index in range(len(data) * 8):
+        byte = data[bit_index // 8]
+        if byte & (0x80 >> (bit_index % 8)):
+            window = (key_bits >> (key_bit_length - 32 - bit_index)) & 0xFFFFFFFF
+            result ^= window
+    return result
+
+
+def _flow_bytes(flow: FiveTuple) -> bytes:
+    src, dst, sport, dport, proto = flow
+    return (
+        src.to_bytes(4, "big")
+        + dst.to_bytes(4, "big")
+        + sport.to_bytes(2, "big")
+        + dport.to_bytes(2, "big")
+        + proto.to_bytes(1, "big")
+    )
+
+
+def five_tuple_hash(flow: FiveTuple, algorithm: str = "fnv") -> int:
+    """Hash a flow five-tuple to a session key.
+
+    ``algorithm`` is "fnv" (64-bit, the software default) or "toeplitz"
+    (32-bit, what NIC RSS computes).
+    """
+    data = _flow_bytes(flow)
+    if algorithm == "fnv":
+        return fnv1a_64(data)
+    if algorithm == "toeplitz":
+        return toeplitz_hash(data)
+    raise ValueError(f"unknown hash algorithm {algorithm!r}")
+
+
+@dataclass
+class SteeringStats:
+    """Hit/miss counters for the session table."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+
+
+class PacketSteerer:
+    """Steers flows to workers with session affinity.
+
+    Parameters
+    ----------
+    num_workers:
+        Size of the worker pool flows are spread over.
+    table_capacity:
+        Maximum sessions remembered; beyond it the oldest session is
+        evicted (FIFO), modelling a bounded flow table.
+    """
+
+    def __init__(
+        self, num_workers: int, table_capacity: int = 65536, algorithm: str = "fnv"
+    ):
+        if num_workers <= 0:
+            raise ValueError("need at least one worker")
+        if table_capacity <= 0:
+            raise ValueError("table capacity must be positive")
+        if algorithm not in ("fnv", "toeplitz"):
+            raise ValueError(f"unknown hash algorithm {algorithm!r}")
+        self.num_workers = num_workers
+        self.table_capacity = table_capacity
+        self.algorithm = algorithm
+        self._sessions: Dict[int, int] = {}
+        self.stats = SteeringStats()
+
+    def steer(self, flow: FiveTuple) -> int:
+        """Return the worker for ``flow``, pinning new sessions."""
+        key = five_tuple_hash(flow, self.algorithm)
+        worker = self._sessions.get(key)
+        if worker is not None:
+            self.stats.hits += 1
+            return worker
+        self.stats.misses += 1
+        worker = key % self.num_workers
+        if len(self._sessions) >= self.table_capacity:
+            oldest = next(iter(self._sessions))
+            del self._sessions[oldest]
+            self.stats.evictions += 1
+        self._sessions[key] = worker
+        return worker
+
+    def rebalance(self, num_workers: int) -> None:
+        """Resize the pool; existing sessions keep their affinity if the
+        pinned worker still exists, otherwise they are re-steered lazily."""
+        if num_workers <= 0:
+            raise ValueError("need at least one worker")
+        self.num_workers = num_workers
+        stale = [key for key, worker in self._sessions.items() if worker >= num_workers]
+        for key in stale:
+            del self._sessions[key]
+
+    @property
+    def session_count(self) -> int:
+        """Number of pinned sessions."""
+        return len(self._sessions)

@@ -1,0 +1,136 @@
+"""Validation: closed-form models against the simulator."""
+
+import pytest
+
+from repro.analysis import (
+    AnalyticInputs,
+    hyperplane_peak_throughput,
+    hyperplane_response_time,
+    hyperplane_zero_load_latency,
+    spinning_peak_throughput,
+    spinning_zero_load_latency,
+)
+from repro.core.runner import run_hyperplane
+from repro.sdp.config import SDPConfig
+from repro.sdp.runner import run_spinning
+
+
+def inputs(**overrides):
+    defaults = dict(
+        workload="packet-encapsulation", shape="SQ", num_queues=200, num_cores=1
+    )
+    defaults.update(overrides)
+    return AnalyticInputs(**defaults)
+
+
+def config(**overrides):
+    defaults = dict(num_queues=200, workload="packet-encapsulation", shape="SQ", seed=2)
+    defaults.update(overrides)
+    return SDPConfig(**defaults)
+
+
+# -- peak throughput -----------------------------------------------------------------
+
+
+@pytest.mark.parametrize("shape", ["SQ", "NC", "PC", "FB"])
+def test_spinning_peak_matches_simulation(shape):
+    predicted = spinning_peak_throughput(inputs(shape=shape)) / 1e6
+    simulated = run_spinning(
+        config(shape=shape), closed_loop=True, target_completions=2500,
+        max_seconds=2.0,
+    ).throughput_mtps
+    assert simulated == pytest.approx(predicted, rel=0.25)
+
+
+@pytest.mark.parametrize("num_queues", [8, 200, 1000])
+def test_hyperplane_peak_matches_simulation(num_queues):
+    predicted = hyperplane_peak_throughput(inputs(num_queues=num_queues)) / 1e6
+    simulated = run_hyperplane(
+        config(num_queues=num_queues), closed_loop=True,
+        target_completions=2500, max_seconds=2.0,
+    ).throughput_mtps
+    assert simulated == pytest.approx(predicted, rel=0.15)
+
+
+def test_analytic_fig8_ordering():
+    # The formulas alone reproduce Fig. 8's ordering at 1000 queues.
+    sq = spinning_peak_throughput(inputs(shape="SQ", num_queues=1000))
+    nc = spinning_peak_throughput(inputs(shape="NC", num_queues=1000))
+    fb = spinning_peak_throughput(inputs(shape="FB", num_queues=1000))
+    hyper = hyperplane_peak_throughput(inputs(num_queues=1000))
+    assert sq < nc < fb
+    assert hyper > 10 * sq
+
+
+# -- zero-load latency --------------------------------------------------------------
+
+
+@pytest.mark.parametrize("num_queues", [64, 512, 1000])
+def test_spinning_zero_load_latency_matches_simulation(num_queues):
+    predicted = spinning_zero_load_latency(inputs(shape="FB", num_queues=num_queues))
+    simulated = run_spinning(
+        config(shape="FB", num_queues=num_queues, service_scv=0.0),
+        load=0.01, target_completions=250, max_seconds=10.0,
+    ).latency.mean
+    assert simulated == pytest.approx(predicted, rel=0.30)
+
+
+def test_spinning_tail_percentile_formula():
+    p50 = spinning_zero_load_latency(inputs(num_queues=1000), percentile=0.5)
+    p99 = spinning_zero_load_latency(inputs(num_queues=1000), percentile=0.99)
+    mean = spinning_zero_load_latency(inputs(num_queues=1000))
+    assert p50 == pytest.approx(mean, rel=0.01)  # uniform scan distance
+    assert p99 > 1.8 * mean
+
+
+def test_hyperplane_zero_load_latency_matches_simulation():
+    predicted = hyperplane_zero_load_latency(inputs(shape="FB"))
+    simulated = run_hyperplane(
+        config(shape="FB", service_scv=0.0), load=0.01,
+        target_completions=250, max_seconds=5.0,
+    ).latency.mean
+    assert simulated == pytest.approx(predicted, rel=0.10)
+
+
+def test_power_optimized_adds_c1_wakeup():
+    regular = hyperplane_zero_load_latency(inputs())
+    powered = hyperplane_zero_load_latency(inputs(), power_optimized=True)
+    assert powered - regular == pytest.approx(0.5e-6, rel=0.01)
+
+
+# -- loaded response time --------------------------------------------------------------
+
+
+@pytest.mark.parametrize("load", [0.3, 0.6])
+def test_hyperplane_response_time_matches_simulation(load):
+    model = inputs(shape="FB", num_queues=64, num_cores=4)
+    predicted = hyperplane_response_time(model, load)
+    simulated = run_hyperplane(
+        config(shape="FB", num_queues=64, num_cores=4, cluster_cores=4),
+        load=load, target_completions=12000, max_seconds=3.0,
+    ).latency.mean
+    assert simulated == pytest.approx(predicted, rel=0.30)
+
+
+def test_response_time_percentile_exceeds_mean():
+    model = inputs(shape="FB", num_queues=64, num_cores=4)
+    assert hyperplane_response_time(model, 0.6, percentile=0.99) > (
+        hyperplane_response_time(model, 0.6)
+    )
+
+
+def test_response_time_validation():
+    model = inputs()
+    with pytest.raises(ValueError):
+        hyperplane_response_time(model, 0.0)
+    with pytest.raises(ValueError):
+        hyperplane_response_time(model, 1.0)
+    with pytest.raises(ValueError):
+        spinning_zero_load_latency(model, percentile=1.5)
+
+
+def test_inputs_accept_strings_and_derive_locality():
+    model = AnalyticInputs(workload="crypto", shape="pc", num_queues=100)
+    assert model.workload.name == "crypto-forwarding"
+    assert model.shape.name == "PC"
+    assert model.locality is not None

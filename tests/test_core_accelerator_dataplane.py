@@ -1,0 +1,243 @@
+"""End-to-end tests of the HyperPlane accelerator and data plane."""
+
+import pytest
+
+from repro.core.accelerator import HyperPlaneAccelerator
+from repro.core.dataplane import build_hyperplane
+from repro.core.runner import run_hyperplane
+from repro.sdp.config import SDPConfig
+from repro.sdp.system import DataPlaneSystem
+
+
+def small_config(**overrides):
+    defaults = dict(num_queues=8, workload="packet-encapsulation", shape="FB", seed=0)
+    defaults.update(overrides)
+    return SDPConfig(**defaults)
+
+
+def build_system(**overrides):
+    system = DataPlaneSystem(small_config(**overrides))
+    accelerator, cores = build_hyperplane(system)
+    return system, accelerator, cores
+
+
+# -- accelerator unit-level behaviour ---------------------------------------------
+
+
+def test_all_doorbells_registered():
+    system, accelerator, _ = build_system(num_queues=32)
+    assert accelerator.monitoring.occupancy == 32
+    accelerator.monitoring.check_invariants()
+
+
+def test_doorbell_write_activates_ready_set():
+    system, accelerator, _ = build_system()
+    system.doorbells[5].producer_increment()
+    assert accelerator.ready_sets[0].is_ready(5)
+
+
+def test_writes_while_disarmed_do_not_reactivate():
+    system, accelerator, _ = build_system()
+    system.doorbells[5].producer_increment()
+    ready_set = accelerator.ready_sets[0]
+    assert ready_set.select_and_take() == 5
+    # Entry is disarmed now; another write must not re-activate.
+    system.doorbells[5].producer_increment()
+    assert not ready_set.is_ready(5)
+    # RECONSIDER on a non-empty doorbell re-activates directly.
+    accelerator.qwait_reconsider(5)
+    assert ready_set.is_ready(5)
+
+
+def test_verify_filters_empty_queue_and_rearms():
+    system, accelerator, _ = build_system()
+    tag = accelerator._tag_of_qid[3]
+    accelerator.monitoring.snoop_write(tag)  # simulate spurious activation
+    assert not accelerator.qwait_verify(3)
+    assert accelerator.monitoring.is_armed(tag)
+
+
+def test_verify_passes_nonempty_queue():
+    system, accelerator, _ = build_system()
+    system.doorbells[3].producer_increment()
+    assert accelerator.qwait_verify(3)
+
+
+def test_reconsider_rearms_empty_queue():
+    system, accelerator, _ = build_system()
+    tag = accelerator._tag_of_qid[2]
+    system.doorbells[2].producer_increment()
+    assert accelerator.ready_sets[0].select_and_take() == 2  # QWAIT
+    system.doorbells[2].consumer_decrement()  # dequeue
+    accelerator.qwait_reconsider(2)
+    assert accelerator.monitoring.is_armed(tag)
+    assert not accelerator.ready_sets[0].is_ready(2)
+
+
+def test_enable_disable_passthrough():
+    system, accelerator, _ = build_system()
+    accelerator.qwait_disable(4)
+    system.doorbells[4].producer_increment()
+    assert accelerator.qwait_try(system.clusters[0]) is None
+    accelerator.qwait_enable(4)
+    assert accelerator.qwait_try(system.clusters[0]) == 4
+
+
+def test_remove_queue():
+    system, accelerator, _ = build_system()
+    accelerator.remove_queue(6)
+    with pytest.raises(KeyError):
+        accelerator.remove_queue(6)
+    system.doorbells[6].producer_increment()
+    assert not accelerator.ready_sets[0].is_ready(6)
+
+
+def test_partitioned_ready_sets_for_scale_out():
+    system, accelerator, _ = build_system(num_queues=8, num_cores=2, cluster_cores=1)
+    assert len(accelerator.ready_sets) == 2
+    qid = system.clusters[1].queue_ids[0]
+    system.doorbells[qid].producer_increment()
+    assert accelerator.ready_sets[1].is_ready(qid)
+    assert not accelerator.ready_sets[0].is_ready(qid)
+
+
+def test_preexisting_work_discovered_at_registration():
+    system = DataPlaneSystem(small_config())
+    system.attach_closed_loop(depth=2)  # rings doorbells before the accel
+    accelerator, _cores = build_hyperplane(system)
+    for qid in range(8):
+        assert accelerator.ready_sets[0].is_ready(qid)
+
+
+# -- end-to-end runs -----------------------------------------------------------------
+
+
+def test_open_loop_run_completes():
+    metrics = run_hyperplane(
+        small_config(), load=0.3, target_completions=300, max_seconds=1.0
+    )
+    assert metrics.latency.count >= 300
+    chip = metrics.chip_activity
+    assert chip.halted_cycles > 0  # HyperPlane halts when idle
+    assert chip.useless_instructions == 0  # and never spins
+
+
+def test_closed_loop_peak_close_to_ideal():
+    metrics = run_hyperplane(
+        small_config(shape="SQ"), closed_loop=True, target_completions=1000,
+        max_seconds=1.0,
+    )
+    ideal = 1.0 / 1.4
+    assert metrics.throughput_mtps > 0.9 * ideal
+
+
+def test_latency_flat_in_queue_count():
+    few = run_hyperplane(
+        small_config(num_queues=2, service_scv=0.0), load=0.01,
+        target_completions=150, max_seconds=3.0,
+    )
+    many = run_hyperplane(
+        small_config(num_queues=1000, service_scv=0.0), load=0.01,
+        target_completions=150, max_seconds=3.0,
+    )
+    assert many.latency.mean_us < 2.5 * few.latency.mean_us
+    assert many.latency.mean_us < 10.0  # the paper's <10 us claim
+
+
+def test_deterministic_same_seed():
+    a = run_hyperplane(small_config(seed=9), load=0.5, target_completions=300, max_seconds=1.0)
+    b = run_hyperplane(small_config(seed=9), load=0.5, target_completions=300, max_seconds=1.0)
+    assert a.latency.mean == b.latency.mean
+
+
+def test_spurious_wakes_are_filtered_not_serviced():
+    metrics = run_hyperplane(
+        small_config(spurious_wake_rate=0.3), load=0.4,
+        target_completions=400, max_seconds=1.5,
+    )
+    assert metrics.spurious_wakeups > 0
+    assert metrics.latency.count >= 400  # correctness unaffected
+
+
+def test_power_optimized_adds_wakeup_latency_at_low_load():
+    regular = run_hyperplane(
+        small_config(service_scv=0.0), load=0.01, target_completions=200,
+        max_seconds=3.0,
+    )
+    powered = run_hyperplane(
+        small_config(service_scv=0.0, power_optimized=True), load=0.01,
+        target_completions=200, max_seconds=3.0,
+    )
+    delta_us = powered.latency.mean_us - regular.latency.mean_us
+    assert 0.3 < delta_us < 0.7  # ~0.5 us C1 wake-up
+    assert powered.chip_activity.c1_cycles > 0
+
+
+def test_power_optimized_gap_shrinks_with_load():
+    def gap(load):
+        regular = run_hyperplane(
+            small_config(), load=load, target_completions=2000, max_seconds=2.0
+        )
+        powered = run_hyperplane(
+            small_config(power_optimized=True), load=load,
+            target_completions=2000, max_seconds=2.0,
+        )
+        return powered.latency.mean_us / regular.latency.mean_us
+
+    assert gap(0.02) > gap(0.7)
+
+
+def test_multicore_scale_up_shares_all_queues():
+    metrics = run_hyperplane(
+        small_config(num_queues=16, num_cores=4, cluster_cores=4),
+        load=0.6,
+        target_completions=1000,
+        max_seconds=1.0,
+    )
+    assert metrics.latency.count >= 1000
+    workers = [a for a in metrics.activities if a.tasks > 0]
+    assert len(workers) == 4
+
+
+def test_wrr_policy_end_to_end():
+    metrics = run_hyperplane(
+        small_config(shape="FB"),
+        closed_loop=True,
+        policy="wrr",
+        weights={0: 4},
+        target_completions=800,
+        max_seconds=1.0,
+    )
+    assert metrics.latency.count >= 800
+
+
+def test_strict_policy_end_to_end():
+    metrics = run_hyperplane(
+        small_config(shape="FB"), closed_loop=True, policy="strict",
+        target_completions=500, max_seconds=1.0,
+    )
+    assert metrics.latency.count >= 500
+
+
+def test_software_ready_set_slower_at_scale():
+    hardware = run_hyperplane(
+        small_config(num_queues=1000, shape="FB"), closed_loop=True,
+        target_completions=1200, max_seconds=2.0,
+    )
+    software = run_hyperplane(
+        small_config(num_queues=1000, shape="FB"), closed_loop=True,
+        software_ready_set=True, target_completions=1200, max_seconds=2.0,
+    )
+    assert software.throughput_mtps < 0.85 * hardware.throughput_mtps
+
+
+def test_lost_wakeup_invariant_holds_after_runs():
+    # The invariant checker runs inside run_hyperplane; exercise it over
+    # several stressy configurations.
+    for shape in ("SQ", "PC", "FB"):
+        run_hyperplane(
+            small_config(num_queues=32, shape=shape, spurious_wake_rate=0.2),
+            load=0.8,
+            target_completions=800,
+            max_seconds=1.5,
+        )

@@ -1,0 +1,104 @@
+"""Tests for the banked monitoring set and driver-side spreading."""
+
+import pytest
+
+from repro.core.banked import BankedMonitoringSet, spread_doorbells
+from repro.mem.address import CACHE_LINE_BYTES, DoorbellRegion, line_address
+
+
+def tags_interleaved(n):
+    return [0x1000_0000 + i * CACHE_LINE_BYTES for i in range(n)]
+
+
+def test_bank_selection_follows_address_interleave():
+    banked = BankedMonitoringSet(capacity=64, num_banks=4)
+    for i, tag in enumerate(tags_interleaved(16)):
+        assert banked.bank_of(tag) == i % 4
+
+
+def test_insert_lookup_snoop_roundtrip():
+    banked = BankedMonitoringSet(capacity=64, num_banks=4)
+    for i, tag in enumerate(tags_interleaved(32)):
+        assert banked.insert(tag, i)
+    assert banked.occupancy == 32
+    entry = banked.lookup(tags_interleaved(32)[5])
+    assert entry.qid == 5
+    assert banked.snoop_write(entry.tag) == 5
+    assert not banked.is_armed(entry.tag)
+    banked.arm(entry.tag)
+    assert banked.is_armed(entry.tag)
+    banked.check_invariants()
+
+
+def test_remove():
+    banked = BankedMonitoringSet(capacity=64, num_banks=2)
+    tag = 0x2000
+    banked.insert(tag, 0)
+    assert banked.remove(tag)
+    assert not banked.remove(tag)
+    assert banked.lookup(tag) is None
+
+
+def test_consecutive_lines_balance_across_banks():
+    banked = BankedMonitoringSet(capacity=256, num_banks=4)
+    for i, tag in enumerate(tags_interleaved(128)):
+        assert banked.insert(tag, i)
+    occupancies = banked.bank_occupancies()
+    assert occupancies == [32, 32, 32, 32]
+
+
+def test_single_bank_can_saturate_while_others_are_empty():
+    # The failure mode that motivates driver-side spreading: all tags
+    # mapping to one bank exhaust it long before total capacity.
+    banked = BankedMonitoringSet(capacity=64, num_banks=4)
+    stride = 4 * CACHE_LINE_BYTES  # every tag lands in bank 0
+    placed = 0
+    for i in range(32):
+        if banked.insert(0x1000_0000 + i * stride, i):
+            placed += 1
+    assert placed <= 16  # one bank's share
+    assert banked.occupancy == placed
+    assert banked.bank_occupancies()[1:] == [0, 0, 0]
+
+
+def test_spread_doorbells_places_every_queue():
+    region = DoorbellRegion(size_bytes=1 << 16)
+    banked = BankedMonitoringSet(capacity=1024, num_banks=8)
+    assignment = spread_doorbells(region, banked, num_queues=500)
+    assert len(assignment) == 500
+    assert banked.occupancy == 500
+    occupancies = banked.bank_occupancies()
+    assert max(occupancies) - min(occupancies) <= 8
+    # Every assigned address is really monitored in the right bank.
+    for qid, addr in assignment.items():
+        entry = banked.lookup(line_address(addr))
+        assert entry is not None and entry.qid == qid
+    banked.check_invariants()
+
+
+def test_spread_doorbells_raises_when_banks_full():
+    region = DoorbellRegion(size_bytes=1 << 16)
+    banked = BankedMonitoringSet(capacity=16, num_banks=2, ways=4)
+    with pytest.raises(RuntimeError, match="banks full"):
+        spread_doorbells(region, banked, num_queues=64, max_attempts_per_queue=8)
+
+
+def test_geometry_validation():
+    with pytest.raises(ValueError):
+        BankedMonitoringSet(capacity=100, num_banks=3)  # not power of two
+    with pytest.raises(ValueError):
+        BankedMonitoringSet(capacity=30, num_banks=4)  # not a multiple
+    with pytest.raises(ValueError):
+        BankedMonitoringSet(capacity=64, num_banks=0)
+
+
+def test_aggregate_counters():
+    banked = BankedMonitoringSet(capacity=64, num_banks=2)
+    tag0, tag1 = 0x0, 0x40
+    banked.insert(tag0, 0)
+    banked.insert(tag1, 1)
+    banked.snoop_write(tag0)
+    banked.snoop_write(tag0)  # disarmed: a miss
+    assert banked.snoop_hits == 1
+    assert banked.snoop_misses == 1
+    assert banked.load_factor == pytest.approx(2 / 64)

@@ -1,0 +1,143 @@
+"""Tests for the Cuckoo-hash monitoring set."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.monitoring_set import CuckooMonitoringSet
+
+
+def tags(n, stride=64, base=0x1000_0000):
+    return [base + i * stride for i in range(n)]
+
+
+def test_insert_lookup_remove():
+    ms = CuckooMonitoringSet(capacity=64)
+    assert ms.insert(0x1000, qid=7)
+    entry = ms.lookup(0x1000)
+    assert entry.qid == 7 and entry.armed
+    assert ms.remove(0x1000)
+    assert ms.lookup(0x1000) is None
+    assert not ms.remove(0x1000)
+
+
+def test_duplicate_insert_rejected():
+    ms = CuckooMonitoringSet(capacity=64)
+    ms.insert(0x40, 0)
+    with pytest.raises(ValueError):
+        ms.insert(0x40, 1)
+
+
+def test_snoop_disarms_and_returns_qid_once():
+    ms = CuckooMonitoringSet(capacity=64)
+    ms.insert(0x40, qid=3)
+    assert ms.snoop_write(0x40) == 3
+    # Disarmed: further writes do not re-notify (paper's protocol).
+    assert ms.snoop_write(0x40) is None
+    assert not ms.is_armed(0x40)
+    ms.arm(0x40)
+    assert ms.snoop_write(0x40) == 3
+
+
+def test_snoop_miss_on_unmonitored_tag():
+    ms = CuckooMonitoringSet(capacity=64)
+    assert ms.snoop_write(0x9999) is None
+    assert ms.snoop_misses == 1
+
+
+def test_arm_unknown_tag_raises():
+    ms = CuckooMonitoringSet(capacity=64)
+    with pytest.raises(KeyError):
+        ms.arm(0x123)
+
+
+def test_insert_unarmed():
+    ms = CuckooMonitoringSet(capacity=64)
+    ms.insert(0x40, 0, armed=False)
+    assert ms.snoop_write(0x40) is None
+    ms.arm(0x40)
+    assert ms.snoop_write(0x40) == 0
+
+
+def test_fills_to_high_load_factor():
+    # The ZCache-style walk must sustain ~90% occupancy (the paper's
+    # 5-10% over-provisioning claim).
+    ms = CuckooMonitoringSet(capacity=1024, ways=4, seed=3)
+    inserted = 0
+    for i, tag in enumerate(tags(920, stride=64)):
+        if ms.insert(tag, i):
+            inserted += 1
+    assert inserted == 920
+    assert ms.load_factor == pytest.approx(920 / 1024)
+    ms.check_invariants()
+
+
+def test_walk_lengths_stay_short_at_moderate_load():
+    ms = CuckooMonitoringSet(capacity=1024, ways=4, seed=1)
+    for i, tag in enumerate(tags(512)):
+        ms.insert(tag, i)
+    assert ms.mean_walk_length < 2.0
+
+
+def test_failed_insert_restores_table_exactly():
+    ms = CuckooMonitoringSet(capacity=8, ways=2, max_walk=4, seed=0)
+    placed = []
+    tag = 0
+    rng = random.Random(0)
+    failed_tag = None
+    while failed_tag is None:
+        tag += 64 * rng.randint(1, 97)
+        if ms.insert(tag, tag):
+            placed.append(tag)
+        else:
+            failed_tag = tag
+    # Every previously placed tag must still be present and intact.
+    for old in placed:
+        entry = ms.lookup(old)
+        assert entry is not None and entry.tag == old
+    assert ms.lookup(failed_tag) is None
+    ms.check_invariants()
+    assert ms.occupancy == len(placed)
+
+
+def test_capacity_full_insert_fails_cleanly():
+    ms = CuckooMonitoringSet(capacity=4, ways=2, seed=0)
+    inserted = [t for t in tags(32) if ms.insert(t, t)]
+    assert len(inserted) <= 4
+    assert not ms.insert(0xDEAD_0000, 1)
+    ms.check_invariants()
+
+
+def test_geometry_validation():
+    with pytest.raises(ValueError):
+        CuckooMonitoringSet(capacity=0)
+    with pytest.raises(ValueError):
+        CuckooMonitoringSet(capacity=10, ways=4)  # not a multiple
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    st.lists(
+        st.tuples(st.integers(min_value=0, max_value=500), st.booleans()),
+        min_size=1,
+        max_size=300,
+    )
+)
+def test_property_insert_remove_sequence_consistent(operations):
+    ms = CuckooMonitoringSet(capacity=256, ways=4, seed=7)
+    live = {}
+    for tag_index, is_insert in operations:
+        tag = 0x1000 + tag_index * 64
+        if is_insert and tag not in live:
+            if ms.insert(tag, tag_index):
+                live[tag] = tag_index
+        elif not is_insert and tag in live:
+            assert ms.remove(tag)
+            del live[tag]
+    ms.check_invariants()
+    assert ms.occupancy == len(live)
+    for tag, qid in live.items():
+        entry = ms.lookup(tag)
+        assert entry is not None and entry.qid == qid

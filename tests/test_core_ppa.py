@@ -1,0 +1,113 @@
+"""Tests for the Programmable Priority Arbiter models."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.ppa import brent_kung_ppa, ppa_select, ripple_ppa
+
+
+def one_hot(index):
+    return 1 << index
+
+
+def test_select_first_ready_at_priority():
+    select, _ = ripple_ppa(ready=0b0100, priority=one_hot(2), width=4)
+    assert select == 0b0100
+
+
+def test_select_propagates_past_unready_bits():
+    select, delay = ripple_ppa(ready=0b1000, priority=one_hot(1), width=4)
+    assert select == 0b1000
+    assert delay == 3  # rippled through bits 1, 2, 3
+
+
+def test_wraparound():
+    select, _ = ripple_ppa(ready=0b0001, priority=one_hot(2), width=4)
+    assert select == 0b0001
+
+
+def test_nothing_ready_selects_zero():
+    for ppa in (ripple_ppa, brent_kung_ppa):
+        select, _ = ppa(0, one_hot(1), 8)
+        assert select == 0
+    assert ppa_select(0, one_hot(1), 8) == 0
+
+
+def test_zero_priority_treated_as_bit0():
+    select, _ = ripple_ppa(0b0110, 0, 4)
+    assert select == 0b0010
+    assert ppa_select(0b0110, 0, 4) == 0b0010
+
+
+def test_input_validation():
+    with pytest.raises(ValueError):
+        ripple_ppa(1 << 8, one_hot(0), 8)  # ready too wide
+    with pytest.raises(ValueError):
+        brent_kung_ppa(1, 0b0110, 8)  # priority not one-hot
+    with pytest.raises(ValueError):
+        ppa_select(1, 1, 0)  # zero width
+
+
+def test_brent_kung_delay_is_logarithmic():
+    _, delay_64 = brent_kung_ppa(one_hot(63), one_hot(0), 64)
+    _, delay_1024 = brent_kung_ppa(one_hot(1023), one_hot(0), 1024)
+    # 2 log2 n + fixed stages.
+    assert delay_64 <= 2 * 6 + 3
+    assert delay_1024 <= 2 * 10 + 3
+    # Ripple through the same width is linear: far worse.
+    _, ripple_delay = ripple_ppa(one_hot(1023), one_hot(0), 1024)
+    assert ripple_delay == 1024
+    assert delay_1024 < ripple_delay / 10
+
+
+def test_round_robin_coverage_by_rotating_priority():
+    # Rotating the priority after each grant must cycle through all
+    # ready requesters (the fairness property round robin needs).
+    width = 8
+    ready = 0b10110101
+    priority = 1
+    granted = []
+    for _ in range(bin(ready).count("1")):
+        select, _ = brent_kung_ppa(ready, priority, width)
+        index = select.bit_length() - 1
+        granted.append(index)
+        ready &= ~select
+        priority = one_hot((index + 1) % width)
+    assert sorted(granted) == [0, 2, 4, 5, 7]
+
+
+@settings(max_examples=300, deadline=None)
+@given(
+    width=st.integers(min_value=1, max_value=64),
+    data=st.data(),
+)
+def test_property_all_three_implementations_agree(width, data):
+    ready = data.draw(st.integers(min_value=0, max_value=(1 << width) - 1))
+    position = data.draw(st.integers(min_value=0, max_value=width - 1))
+    priority = 1 << position
+    ripple_result, _ = ripple_ppa(ready, priority, width)
+    bk_result, _ = brent_kung_ppa(ready, priority, width)
+    fast_result = ppa_select(ready, priority, width)
+    assert ripple_result == bk_result == fast_result
+
+
+@settings(max_examples=200, deadline=None)
+@given(
+    width=st.integers(min_value=1, max_value=64),
+    data=st.data(),
+)
+def test_property_select_is_valid(width, data):
+    ready = data.draw(st.integers(min_value=0, max_value=(1 << width) - 1))
+    position = data.draw(st.integers(min_value=0, max_value=width - 1))
+    select = ppa_select(ready, 1 << position, width)
+    if ready == 0:
+        assert select == 0
+    else:
+        # One-hot, a subset of ready, and the *first* ready bit at or
+        # after the priority position in circular order.
+        assert select & (select - 1) == 0
+        assert select & ready == select
+        distance = ((select.bit_length() - 1) - position) % width
+        for skipped in range(distance):
+            assert not ready & (1 << ((position + skipped) % width))

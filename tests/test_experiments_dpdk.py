@@ -1,0 +1,192 @@
+"""Tests for the experiment harness and the DPDK case study."""
+
+import pytest
+
+from repro.dpdk.casestudy import BASE_RTT_US, DPDK_TASK, DpdkCaseStudy
+from repro.experiments.base import ExperimentResult
+from repro.experiments.hwcost import (
+    costs_for,
+    ready_set_depth,
+    ready_set_gate_count,
+    run_hwcost,
+)
+from repro.experiments.registry import REGISTRY, run_experiment
+
+PAPER_EXPERIMENT_IDS = {
+    "fig3a", "fig3b", "fig3c", "fig8", "fig9a", "fig9b", "fig10a", "fig10b",
+    "fig11a", "fig11b", "fig12a", "fig12b", "fig13", "hwcost", "headline",
+}
+
+
+def test_registry_covers_every_paper_artifact():
+    assert set(REGISTRY) == PAPER_EXPERIMENT_IDS
+
+
+def test_unknown_experiment_rejected():
+    with pytest.raises(ValueError, match="unknown experiment"):
+        run_experiment("fig99")
+
+
+def test_result_table_formatting():
+    result = ExperimentResult("x", "Title")
+    result.rows.append({"a": 1, "b": 2.5})
+    result.rows.append({"a": 10, "c": "text"})
+    result.notes.append("a note")
+    table = result.format_table(float_digits=1)
+    assert "Title" in table
+    assert "2.5" in table
+    assert "* a note" in table
+    assert result.columns == ["a", "b", "c"]
+
+
+def test_result_series_extraction():
+    result = ExperimentResult("x", "t")
+    result.rows = [{"q": 1, "v": 10.0}, {"q": 2, "v": 20.0}]
+    assert result.series("q", "v") == {1: 10.0, 2: 20.0}
+
+
+def test_empty_result_table():
+    assert "(no rows)" in ExperimentResult("x", "t").format_table()
+
+
+# -- hardware cost model -------------------------------------------------------------
+
+
+def test_hwcost_anchors_match_paper():
+    costs = costs_for(1024)
+    assert costs.ready_set_area == pytest.approx(0.13)
+    assert costs.ready_set_latency_ns == pytest.approx(12.25)
+    assert costs.monitoring_area == pytest.approx(0.21)
+    assert costs.chip_area_overhead == pytest.approx(0.0026, abs=0.0002)
+    assert costs.single_core_power_fraction == pytest.approx(0.062)
+    assert costs.chip_power_overhead == pytest.approx(0.062 / 16)
+
+
+def test_hwcost_scales_sublinearly_in_latency():
+    # Brent-Kung depth is logarithmic: doubling entries adds ~2 stages.
+    assert ready_set_depth(2048) <= ready_set_depth(1024) + 2
+    assert ready_set_gate_count(2048) > ready_set_gate_count(1024)
+
+
+def test_hwcost_experiment_runs():
+    result = run_hwcost(fast=True)
+    assert len(result.rows) == 3
+    assert any("0.26" in note or "0.25" in note for note in result.notes)
+
+
+def test_hwcost_validation():
+    with pytest.raises(ValueError):
+        ready_set_gate_count(0)
+
+
+# -- DPDK case study -------------------------------------------------------------------
+
+
+def test_dpdk_task_parameters():
+    assert DPDK_TASK.mean_service_us == pytest.approx(0.5)
+    assert DPDK_TASK.scv == 0.0
+
+
+def test_dpdk_roundtrip_includes_wire_time():
+    study = DpdkCaseStudy(target_completions=200, max_seconds=2.0)
+    avg, p99 = study.roundtrip(num_queues=1)
+    assert avg > BASE_RTT_US
+    assert p99 >= avg * 0.99
+
+
+def test_dpdk_throughput_degrades_for_sq():
+    study = DpdkCaseStudy(target_completions=600, max_seconds=2.0)
+    small = study.peak_throughput(1, "SQ")
+    large = study.peak_throughput(600, "SQ")
+    assert large < small / 5
+
+
+def test_dpdk_latency_grows_with_queue_count():
+    study = DpdkCaseStudy(target_completions=300, max_seconds=3.0)
+    avg_small, _ = study.roundtrip(num_queues=1)
+    avg_large, p99_large = study.roundtrip(num_queues=512)
+    assert avg_large > 2 * avg_small
+    assert p99_large > 1.3 * avg_large
+
+
+def test_dpdk_cdf_widens():
+    study = DpdkCaseStudy(target_completions=400, max_seconds=3.0)
+    narrow = study.latency_cdf(1)
+    wide = study.latency_cdf(256)
+
+    def spread(cdf):
+        return cdf[-1][0] - cdf[0][0]
+
+    assert spread(wide) > spread(narrow)
+
+
+# -- result serialisation ---------------------------------------------------------------
+
+
+def test_result_json_roundtrip():
+    result = ExperimentResult("x", "Title")
+    result.rows = [{"queues": 1, "value": 2.5}, {"queues": 2, "value": 5.0}]
+    result.notes = ["a note"]
+    restored = ExperimentResult.from_json(result.to_json())
+    assert restored.experiment_id == "x"
+    assert restored.rows == result.rows
+    assert restored.notes == result.notes
+    assert restored.series("queues", "value") == {1: 2.5, 2: 5.0}
+
+
+def test_cli_json_export(tmp_path):
+    from repro.experiments.__main__ import main
+
+    assert main(["hwcost", "--json", str(tmp_path)]) == 0
+    payload = (tmp_path / "hwcost.json").read_text()
+    restored = ExperimentResult.from_json(payload)
+    assert restored.experiment_id == "hwcost"
+    assert restored.rows
+
+
+def test_cli_list():
+    from repro.experiments.__main__ import main
+
+    assert main(["list"]) == 0
+
+
+# -- parallel sweep helper -----------------------------------------------------------
+
+
+def _square(x):
+    return x * x
+
+
+def test_parallel_map_preserves_order_inline():
+    from repro.experiments.parallel import parallel_map
+
+    assert parallel_map(_square, [3, 1, 2], processes=1) == [9, 1, 4]
+
+
+def test_parallel_map_across_processes():
+    from repro.experiments.parallel import parallel_map
+
+    points = list(range(12))
+    assert parallel_map(_square, points, processes=2) == [x * x for x in points]
+
+
+def test_parallel_map_simulation_points_deterministic():
+    from repro.experiments.parallel import parallel_map
+    from repro.experiments.fig8_peak_throughput import peak_point
+
+    point = ("packet-encapsulation", "SQ", 64, 0, 400)
+    inline = parallel_map(_peak_star, [point], processes=1)
+    forked = parallel_map(_peak_star, [point, point], processes=2)
+    assert forked[0] == forked[1] == inline[0]
+
+
+def _peak_star(args):
+    from repro.experiments.fig8_peak_throughput import peak_point
+
+    return peak_point(*args)
+
+
+def test_default_processes_positive():
+    from repro.experiments.parallel import default_processes
+
+    assert default_processes() >= 1

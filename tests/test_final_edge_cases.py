@@ -1,0 +1,119 @@
+"""Late-added coverage: structural scale-up, WRR share properties, and
+engine/runner edge cases."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.policies import WeightedRoundRobinPolicy
+from repro.sdp.config import SDPConfig
+from repro.sdp.runner import run_spinning
+from repro.structural import (
+    StructuralHyperPlane,
+    StructuralHyperPlaneCore,
+    StructuralMachine,
+)
+
+
+# -- structural scale-up --------------------------------------------------------------
+
+
+def test_structural_two_consumers_share_all_queues():
+    machine = StructuralMachine(
+        num_queues=8, num_producers=1, num_consumers=2,
+        mean_service_seconds=2e-6, seed=3,
+    )
+    accelerator = StructuralHyperPlane(machine)
+    cores = [
+        StructuralHyperPlaneCore(machine, accelerator, consumer_index=i)
+        for i in range(2)
+    ]
+    # Offered load needs both cores: ~1.4x one core's capacity.
+    machine.start_producers(total_rate=7e5, max_items=600)
+    metrics = machine.run(duration=0.01, target_completions=600)
+    assert metrics.latency.count == 600
+    for core in cores:
+        assert machine.metrics.activities[core.core].tasks > 100
+    accelerator.check_no_lost_wakeups(
+        {c.servicing for c in cores if c.servicing is not None}
+    )
+
+
+def test_structural_scale_up_outpaces_single_consumer():
+    def throughput(consumers):
+        machine = StructuralMachine(
+            num_queues=8, num_consumers=consumers,
+            mean_service_seconds=2e-6, seed=3,
+        )
+        accelerator = StructuralHyperPlane(machine)
+        for i in range(consumers):
+            StructuralHyperPlaneCore(machine, accelerator, consumer_index=i)
+        machine.start_producers(total_rate=9e5, max_items=800)
+        metrics = machine.run(duration=0.01, target_completions=800)
+        return metrics.latency.count / metrics.measure_end
+
+    assert throughput(2) > 1.4 * throughput(1)
+
+
+# -- WRR long-run share property ---------------------------------------------------------
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    weight_a=st.integers(min_value=1, max_value=8),
+    weight_b=st.integers(min_value=1, max_value=8),
+)
+def test_property_wrr_long_run_shares(weight_a, weight_b):
+    policy = WeightedRoundRobinPolicy(4, weights={0: weight_a, 1: weight_b})
+    ready = 0b0011  # both queues always backlogged
+    served = [policy.take(ready) for _ in range(60 * (weight_a + weight_b))]
+    share_a = served.count(0) / len(served)
+    expected = weight_a / (weight_a + weight_b)
+    assert share_a == pytest.approx(expected, abs=0.03)
+
+
+# -- runner / engine edges ------------------------------------------------------------------
+
+
+def test_run_with_zero_duration_rejected():
+    from repro.sdp.system import DataPlaneSystem
+
+    system = DataPlaneSystem(SDPConfig(num_queues=2))
+    with pytest.raises(ValueError):
+        system.run(duration=0.0)
+    with pytest.raises(ValueError):
+        system.run(duration=1.0, warmup=-1.0)
+
+
+def test_open_loop_requires_exactly_one_rate_spec():
+    from repro.sdp.system import DataPlaneSystem
+
+    system = DataPlaneSystem(SDPConfig(num_queues=2))
+    with pytest.raises(ValueError):
+        system.attach_open_loop()
+    with pytest.raises(ValueError):
+        system.attach_open_loop(load=0.5, rate=1e5)
+
+
+def test_double_closed_loop_rejected():
+    from repro.sdp.system import DataPlaneSystem
+
+    system = DataPlaneSystem(SDPConfig(num_queues=2))
+    system.attach_closed_loop()
+    with pytest.raises(RuntimeError):
+        system.attach_closed_loop()
+
+
+def test_spinning_run_survives_queue_capacity_pressure():
+    # Tiny rings at overload: drops happen, metrics stay consistent.
+    metrics = run_spinning(
+        SDPConfig(num_queues=4, queue_capacity=8, workload="packet-encapsulation",
+                  shape="SQ", seed=1),
+        load=3.0,  # 3x overload
+        target_completions=1000,
+        max_seconds=1.0,
+    )
+    assert metrics.dropped > 0
+    assert metrics.latency.count >= 1000
+    # Completions are bounded by capacity, not by offered load.
+    assert metrics.throughput_mtps < 3.0 / 1.4

@@ -1,0 +1,108 @@
+"""Golden-number regression tests.
+
+Simulations are deterministic for a given seed, so these canonical
+configurations are pinned to their recorded outcomes with a small
+tolerance (covering float-ordering differences across Python builds,
+not model changes). If a deliberate model change moves a number, update
+the golden value *and* re-validate EXPERIMENTS.md — these tests exist
+to make silent drift impossible, not to freeze the models.
+
+Recorded with seed 42 on the calibrated models (see docs/modeling.md).
+"""
+
+import pytest
+
+from repro.core.runner import run_hyperplane
+from repro.sdp.config import SDPConfig
+from repro.sdp.runner import run_interrupts, run_mwait, run_spinning
+
+GOLDEN = {
+    "spin_sq200_peak_mtps": 0.12207,
+    "hp_sq200_peak_mtps": 0.69167,
+    "spin_fb512_zeroload_avg_us": 18.3026,
+    "hp_fb512_zeroload_avg_us": 1.7823,
+    "hp_fb400_4c_load50_p99_us": 6.9251,
+    "spin_fb400_4c_load50_p99_us": 40.6246,
+    "mwait_sq200_peak_mtps": 0.12207,
+    "irq_fb64_zeroload_avg_us": 2.7706,
+}
+
+TOLERANCE = 0.02  # 2%
+
+
+def config(**overrides):
+    defaults = dict(
+        num_queues=200, workload="packet-encapsulation", shape="SQ", seed=42
+    )
+    defaults.update(overrides)
+    return SDPConfig(**defaults)
+
+
+def test_golden_spinning_sq_peak():
+    measured = run_spinning(
+        config(), closed_loop=True, target_completions=2000, max_seconds=2.0
+    ).throughput_mtps
+    assert measured == pytest.approx(GOLDEN["spin_sq200_peak_mtps"], rel=TOLERANCE)
+
+
+def test_golden_hyperplane_sq_peak():
+    measured = run_hyperplane(
+        config(), closed_loop=True, target_completions=2000, max_seconds=2.0
+    ).throughput_mtps
+    assert measured == pytest.approx(GOLDEN["hp_sq200_peak_mtps"], rel=TOLERANCE)
+
+
+def test_golden_mwait_peak_equals_spinning():
+    measured = run_mwait(
+        config(), closed_loop=True, target_completions=2000, max_seconds=2.0
+    ).throughput_mtps
+    assert measured == pytest.approx(GOLDEN["mwait_sq200_peak_mtps"], rel=TOLERANCE)
+
+
+def test_golden_zero_load_latencies():
+    spin = run_spinning(
+        config(num_queues=512, shape="FB", service_scv=0.0),
+        load=0.01, target_completions=300, max_seconds=5.0,
+    ).latency.mean_us
+    hyper = run_hyperplane(
+        config(num_queues=512, shape="FB", service_scv=0.0),
+        load=0.01, target_completions=300, max_seconds=5.0,
+    ).latency.mean_us
+    assert spin == pytest.approx(GOLDEN["spin_fb512_zeroload_avg_us"], rel=TOLERANCE)
+    assert hyper == pytest.approx(GOLDEN["hp_fb512_zeroload_avg_us"], rel=TOLERANCE)
+
+
+def test_golden_multicore_tails():
+    def p99(runner):
+        return runner(
+            config(num_queues=400, shape="FB", num_cores=4, cluster_cores=4),
+            load=0.5, target_completions=4000, max_seconds=2.0,
+        ).latency.p99_us
+
+    assert p99(run_hyperplane) == pytest.approx(
+        GOLDEN["hp_fb400_4c_load50_p99_us"], rel=TOLERANCE
+    )
+    assert p99(run_spinning) == pytest.approx(
+        GOLDEN["spin_fb400_4c_load50_p99_us"], rel=TOLERANCE
+    )
+
+
+def test_golden_interrupt_latency():
+    measured = run_interrupts(
+        config(num_queues=64, shape="FB", service_scv=0.0),
+        load=0.01, target_completions=300, max_seconds=5.0,
+    ).latency.mean_us
+    assert measured == pytest.approx(GOLDEN["irq_fb64_zeroload_avg_us"], rel=TOLERANCE)
+
+
+def test_golden_ratios_tell_the_paper_story():
+    # Derived directly from the goldens: the headline directions.
+    assert GOLDEN["hp_sq200_peak_mtps"] > 5 * GOLDEN["spin_sq200_peak_mtps"]
+    assert (
+        GOLDEN["spin_fb512_zeroload_avg_us"]
+        > 10 * GOLDEN["hp_fb512_zeroload_avg_us"]
+    )
+    assert (
+        GOLDEN["spin_fb400_4c_load50_p99_us"]
+        > 5 * GOLDEN["hp_fb400_4c_load50_p99_us"]
+    )

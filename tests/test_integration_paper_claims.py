@@ -1,0 +1,172 @@
+"""Integration tests asserting the paper's qualitative claims.
+
+Each test runs small-but-real simulations and checks a *shape* the paper
+reports: who wins, in which direction, roughly by how much. These are
+the acceptance criteria listed in DESIGN.md.
+"""
+
+import pytest
+
+from repro.core.runner import run_hyperplane
+from repro.sdp.config import SDPConfig
+from repro.sdp.runner import run_spinning
+
+
+def config(**overrides):
+    defaults = dict(num_queues=200, workload="packet-encapsulation", shape="FB", seed=11)
+    defaults.update(overrides)
+    return SDPConfig(**defaults)
+
+
+# -- queue scalability (Figs. 3, 8, 9) ---------------------------------------------
+
+
+def test_claim_spinning_throughput_collapses_under_sq():
+    small = run_spinning(
+        config(num_queues=1, shape="SQ"), closed_loop=True,
+        target_completions=1500, max_seconds=2.0,
+    )
+    large = run_spinning(
+        config(num_queues=1000, shape="SQ"), closed_loop=True,
+        target_completions=1500, max_seconds=2.0,
+    )
+    assert large.throughput_mtps < small.throughput_mtps / 20
+
+
+def test_claim_hyperplane_flat_under_sq_and_nc():
+    for shape in ("SQ", "NC"):
+        small = run_hyperplane(
+            config(num_queues=200, shape=shape), closed_loop=True,
+            target_completions=1500, max_seconds=2.0,
+        )
+        large = run_hyperplane(
+            config(num_queues=1000, shape=shape), closed_loop=True,
+            target_completions=1500, max_seconds=2.0,
+        )
+        # Only the mild LLC-pressure droop is allowed (paper: slight).
+        assert large.throughput_mtps > 0.5 * small.throughput_mtps
+
+
+def test_claim_hyperplane_large_gain_at_1000_queues():
+    spin = run_spinning(
+        config(num_queues=1000, shape="SQ"), closed_loop=True,
+        target_completions=1500, max_seconds=2.0,
+    )
+    hyper = run_hyperplane(
+        config(num_queues=1000, shape="SQ"), closed_loop=True,
+        target_completions=1500, max_seconds=2.0,
+    )
+    assert hyper.throughput_mtps / spin.throughput_mtps > 10
+
+
+def test_claim_spinning_tail_grows_steeper_than_average():
+    metrics = run_spinning(
+        config(num_queues=1000, service_scv=0.0), load=0.01,
+        target_completions=250, max_seconds=10.0,
+    )
+    assert metrics.latency.p99 > 1.8 * metrics.latency.mean
+
+
+def test_claim_hyperplane_beats_spinning_from_few_queues():
+    # Paper: HyperPlane loses by at most ~3% at one queue and wins from
+    # about two queues on.
+    one_spin = run_spinning(
+        config(num_queues=1, service_scv=0.0), load=0.01,
+        target_completions=250, max_seconds=5.0,
+    )
+    one_hyper = run_hyperplane(
+        config(num_queues=1, service_scv=0.0), load=0.01,
+        target_completions=250, max_seconds=5.0,
+    )
+    assert one_hyper.latency.mean <= 1.05 * one_spin.latency.mean
+    many_spin = run_spinning(
+        config(num_queues=64, service_scv=0.0), load=0.01,
+        target_completions=250, max_seconds=5.0,
+    )
+    many_hyper = run_hyperplane(
+        config(num_queues=64, service_scv=0.0), load=0.01,
+        target_completions=250, max_seconds=5.0,
+    )
+    assert many_hyper.latency.mean < many_spin.latency.mean
+
+
+# -- multicore organisations (Fig. 10) ------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def multicore_results():
+    results = {}
+    for system, runner in (("spin", run_spinning), ("hp", run_hyperplane)):
+        for cluster_cores in (1, 4):
+            metrics = runner(
+                config(num_queues=400, num_cores=4, cluster_cores=cluster_cores),
+                load=0.5,
+                target_completions=3000,
+                max_seconds=2.0,
+            )
+            results[(system, cluster_cores)] = metrics.latency.p99_us
+    return results
+
+
+def test_claim_scale_up_helps_hyperplane(multicore_results):
+    assert multicore_results[("hp", 4)] < multicore_results[("hp", 1)]
+
+
+def test_claim_scale_up_hurts_spinning(multicore_results):
+    assert multicore_results[("spin", 4)] > multicore_results[("spin", 1)]
+
+
+def test_claim_hyperplane_scale_up_is_best_overall(multicore_results):
+    best_hp = multicore_results[("hp", 4)]
+    assert all(
+        best_hp <= value
+        for key, value in multicore_results.items()
+        if key != ("hp", 4)
+    )
+
+
+def test_claim_imbalance_hurts_scale_out_not_scale_up():
+    def mean_latency(cluster_cores, imbalance):
+        return run_spinning(
+            config(
+                num_queues=400, num_cores=4, cluster_cores=cluster_cores,
+                shape="PC", imbalance=imbalance,
+            ),
+            load=0.8,
+            target_completions=6000,
+            max_seconds=2.0,
+        ).latency.mean_us
+
+    # At high load the overloaded scale-out cluster dominates latency.
+    assert mean_latency(1, 0.10) > 1.1 * mean_latency(1, 0.0)
+
+
+# -- work proportionality (Figs. 11, 12) ------------------------------------------------
+
+
+def test_claim_spinning_ipc_decreases_with_load_hyperplane_increases():
+    def activities(load):
+        spin = run_spinning(
+            config(shape="PC"), load=load, target_completions=1500, max_seconds=2.0
+        ).chip_activity
+        hyper = run_hyperplane(
+            config(shape="PC"), load=load, target_completions=1500, max_seconds=2.0
+        ).chip_activity
+        return spin, hyper
+
+    spin_low, hp_low = activities(0.02)
+    spin_high, hp_high = activities(0.85)
+    assert spin_low.ipc > spin_high.ipc  # disproportional
+    assert hp_low.ipc < hp_high.ipc  # proportional
+    assert spin_low.useless_instructions > 20 * spin_low.useful_instructions
+
+
+def test_claim_hyperplane_halts_proportionally():
+    low = run_hyperplane(
+        config(), load=0.05, target_completions=500, max_seconds=2.0
+    ).chip_activity
+    high = run_hyperplane(
+        config(), load=0.9, target_completions=2000, max_seconds=2.0
+    ).chip_activity
+    assert low.halt_fraction > 0.8
+    assert high.halt_fraction < 0.3

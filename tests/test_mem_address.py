@@ -1,0 +1,110 @@
+"""Tests for address helpers and the doorbell region."""
+
+import pytest
+
+from repro.mem.address import (
+    CACHE_LINE_BYTES,
+    AddressAllocator,
+    DoorbellRegion,
+    line_address,
+    line_offset,
+)
+
+
+def test_line_address_and_offset():
+    assert line_address(0) == 0
+    assert line_address(63) == 0
+    assert line_address(64) == 64
+    assert line_address(130) == 128
+    assert line_offset(130) == 2
+
+
+def test_region_allocates_line_spaced_doorbells():
+    region = DoorbellRegion(base=0x1000, size_bytes=4096)
+    first = region.allocate()
+    second = region.allocate()
+    assert first == 0x1000
+    assert second - first == CACHE_LINE_BYTES
+    assert region.allocated_count == 2
+
+
+def test_region_capacity_and_exhaustion():
+    region = DoorbellRegion(base=0, size_bytes=256)  # 4 lines
+    assert region.capacity == 4
+    for _ in range(4):
+        region.allocate()
+    with pytest.raises(MemoryError):
+        region.allocate()
+
+
+def test_region_free_and_reuse():
+    region = DoorbellRegion(base=0, size_bytes=256)
+    addr = region.allocate()
+    region.free(addr)
+    assert region.allocate() == addr
+
+
+def test_region_free_unallocated_rejected():
+    region = DoorbellRegion(base=0, size_bytes=256)
+    with pytest.raises(ValueError):
+        region.free(0)
+
+
+def test_region_contains():
+    region = DoorbellRegion(base=0x1000, size_bytes=256)
+    assert region.contains(0x1000)
+    assert region.contains(0x10FF)
+    assert not region.contains(0x1100)
+    assert not region.contains(0xFFF)
+
+
+def test_packed_doorbells_share_lines():
+    region = DoorbellRegion(base=0, size_bytes=256, doorbells_per_line=4)
+    addrs = [region.allocate() for _ in range(5)]
+    assert line_address(addrs[0]) == line_address(addrs[3])
+    assert line_address(addrs[4]) != line_address(addrs[0])
+    assert region.capacity == 16
+
+
+def test_packed_free_slot_roundtrip():
+    region = DoorbellRegion(base=0, size_bytes=256, doorbells_per_line=2)
+    addrs = [region.allocate() for _ in range(4)]
+    region.free(addrs[2])
+    assert region.allocate() == addrs[2]
+
+
+def test_unaligned_base_rejected():
+    with pytest.raises(ValueError):
+        DoorbellRegion(base=7)
+
+
+def test_bad_packing_rejected():
+    with pytest.raises(ValueError):
+        DoorbellRegion(doorbells_per_line=0)
+    with pytest.raises(ValueError):
+        DoorbellRegion(doorbells_per_line=64)
+
+
+def test_allocator_keeps_regions_disjoint():
+    region = DoorbellRegion(base=0x1000_0000, size_bytes=1 << 20)
+    allocator = AddressAllocator(base=0x4000_0000, doorbell_region=region)
+    addr = allocator.allocate(4096)
+    assert not region.contains(addr)
+
+
+def test_allocator_alignment():
+    allocator = AddressAllocator()
+    addr = allocator.allocate(10, align=256)
+    assert addr % 256 == 0
+    second = allocator.allocate(10, align=256)
+    assert second > addr
+
+
+def test_allocator_rejects_bad_input():
+    allocator = AddressAllocator()
+    with pytest.raises(ValueError):
+        allocator.allocate(0)
+    with pytest.raises(ValueError):
+        allocator.allocate(8, align=3)
+    with pytest.raises(ValueError):
+        AddressAllocator(base=0x1000_0000)  # inside default doorbell region

@@ -1,0 +1,114 @@
+"""Tests for the set-associative cache model."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mem.cache import CacheConfig, SetAssociativeCache
+
+
+def make_cache(size=1024, ways=2, line=64):
+    return SetAssociativeCache(size_bytes=size, ways=ways, line_bytes=line)
+
+
+def test_miss_then_hit():
+    cache = make_cache()
+    assert cache.access(0x100) is False
+    assert cache.access(0x100) is True
+    assert cache.stats.hits == 1
+    assert cache.stats.misses == 1
+
+
+def test_same_line_different_offsets_hit():
+    cache = make_cache()
+    cache.access(0x100)
+    assert cache.access(0x13F) is True  # same 64B line
+    assert cache.access(0x140) is False  # next line
+
+
+def test_lru_eviction_order():
+    # 2-way cache: third distinct line in one set evicts the LRU one.
+    cache = make_cache(size=256, ways=2, line=64)  # 2 sets
+    set_stride = 2 * 64  # lines mapping to set 0 are 128B apart
+    a, b, c = 0, set_stride, 2 * set_stride
+    cache.access(a)
+    cache.access(b)
+    cache.access(a)  # a is now MRU
+    cache.access(c)  # evicts b (LRU)
+    assert cache.last_evicted == b
+    assert cache.contains(a)
+    assert not cache.contains(b)
+    assert cache.contains(c)
+
+
+def test_invalidate():
+    cache = make_cache()
+    cache.access(0x100)
+    assert cache.invalidate(0x100) is True
+    assert cache.invalidate(0x100) is False
+    assert not cache.contains(0x100)
+    assert cache.stats.invalidations == 1
+
+
+def test_flush_preserves_stats():
+    cache = make_cache()
+    cache.access(0x0)
+    cache.flush()
+    assert cache.resident_lines() == 0
+    assert cache.stats.misses == 1
+
+
+def test_capacity_lines():
+    cache = make_cache(size=32 * 1024, ways=4)
+    assert cache.capacity_lines == 512
+
+
+def test_geometry_validation():
+    with pytest.raises(ValueError):
+        SetAssociativeCache(size_bytes=1000, ways=3)  # not whole sets
+    with pytest.raises(ValueError):
+        SetAssociativeCache(size_bytes=3 * 64 * 2, ways=2)  # 3 sets, not pow2
+
+
+def test_table1_configs():
+    l1 = CacheConfig.l1d()
+    llc = CacheConfig.llc_per_core()
+    assert l1.size_bytes == 32 * 1024 and l1.ways == 4
+    assert llc.size_bytes == 1024 * 1024 and llc.ways == 16
+    assert l1.build("x").capacity_lines == 512
+
+
+def test_hit_rate():
+    cache = make_cache()
+    cache.access(0)
+    cache.access(0)
+    cache.access(0)
+    assert cache.stats.hit_rate == pytest.approx(2 / 3)
+
+
+def test_stats_reset():
+    cache = make_cache()
+    cache.access(0)
+    cache.stats.reset()
+    assert cache.stats.accesses == 0
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.lists(st.integers(min_value=0, max_value=1 << 16), min_size=1, max_size=300))
+def test_property_residency_never_exceeds_capacity(addresses):
+    cache = make_cache(size=512, ways=2, line=64)
+    for addr in addresses:
+        cache.access(addr)
+        assert cache.resident_lines() <= cache.capacity_lines
+    # The most recent access is always resident.
+    assert cache.contains(addresses[-1])
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.lists(st.integers(min_value=0, max_value=1 << 14), min_size=1, max_size=200))
+def test_property_hits_plus_misses_equals_accesses(addresses):
+    cache = make_cache()
+    for addr in addresses:
+        cache.access(addr)
+    assert cache.stats.accesses == len(addresses)
+    assert cache.stats.hits + cache.stats.misses == len(addresses)

@@ -1,0 +1,158 @@
+"""Tests for the directory-based MESI protocol."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mem.coherence import Directory, MESIState, TransactionKind
+
+LINE = 0x1000
+
+
+def test_first_read_grants_exclusive():
+    directory = Directory(num_cores=2)
+    result = directory.read(0, LINE, in_llc=False)
+    assert result.level == "DRAM"
+    assert directory.state_of(0, LINE) == MESIState.EXCLUSIVE
+
+
+def test_read_after_read_is_l1_hit():
+    directory = Directory(num_cores=2)
+    directory.read(0, LINE, in_llc=False)
+    result = directory.read(0, LINE, in_llc=True)
+    assert result.hit
+    assert result.level == "L1"
+    assert result.latency == directory.latencies.l1_hit
+
+
+def test_second_reader_downgrades_owner():
+    directory = Directory(num_cores=2)
+    directory.write(0, LINE, in_llc=False)
+    result = directory.read(1, LINE, in_llc=True)
+    assert result.level == "remote-L1"
+    assert directory.state_of(0, LINE) == MESIState.SHARED
+    assert directory.state_of(1, LINE) == MESIState.SHARED
+
+
+def test_write_invalidates_sharers():
+    directory = Directory(num_cores=4)
+    for core in range(3):
+        directory.read(core, LINE, in_llc=True)
+    result = directory.write(3, LINE, in_llc=True)
+    assert result.invalidated == 3
+    assert directory.state_of(3, LINE) == MESIState.MODIFIED
+    for core in range(3):
+        assert directory.state_of(core, LINE) == MESIState.INVALID
+
+
+def test_write_hit_when_already_owner():
+    directory = Directory(num_cores=2)
+    directory.write(0, LINE, in_llc=False)
+    result = directory.write(0, LINE, in_llc=True)
+    assert result.hit
+    assert result.level == "L1"
+
+
+def test_upgrade_from_shared():
+    directory = Directory(num_cores=2)
+    directory.read(0, LINE, in_llc=True)
+    directory.read(1, LINE, in_llc=True)
+    seen = []
+    directory.add_snooper(lambda line: True, lambda l, c, k: seen.append(k))
+    result = directory.write(0, LINE, in_llc=True)
+    assert TransactionKind.UPGRADE in seen
+    assert result.invalidated == 1
+
+
+def test_dirty_transfer_on_write_after_remote_write():
+    directory = Directory(num_cores=2)
+    directory.write(0, LINE, in_llc=False)
+    result = directory.write(1, LINE, in_llc=False)
+    assert result.level == "remote-L1"
+    assert result.invalidated == 1
+    assert directory.state_of(0, LINE) == MESIState.INVALID
+
+
+def test_snooper_filter_and_kinds():
+    directory = Directory(num_cores=2)
+    seen = []
+    directory.add_snooper(
+        lambda line: line == LINE,
+        lambda line, core, kind: seen.append((line, core, kind)),
+    )
+    directory.write(0, LINE, in_llc=False)  # GetM
+    directory.write(0, LINE + 64, in_llc=False)  # filtered out
+    directory.read(1, LINE, in_llc=True)  # GetS
+    kinds = [kind for _, _, kind in seen]
+    assert kinds == [TransactionKind.GET_M, TransactionKind.GET_S]
+    assert all(line == LINE for line, _, _ in seen)
+
+
+def test_evict_dirty_notifies_putm():
+    directory = Directory(num_cores=1)
+    seen = []
+    directory.add_snooper(lambda line: True, lambda l, c, k: seen.append(k))
+    directory.write(0, LINE, in_llc=False)
+    directory.evict(0, LINE)
+    assert seen[-1] == TransactionKind.PUT_M
+    assert directory.state_of(0, LINE) == MESIState.INVALID
+    assert directory.sharer_count(LINE) == 0
+
+
+def test_evict_clean_silent():
+    directory = Directory(num_cores=2)
+    directory.read(0, LINE, in_llc=True)
+    directory.read(1, LINE, in_llc=True)
+    directory.evict(0, LINE)
+    assert directory.sharer_count(LINE) == 1
+
+
+def test_transactions_counted():
+    directory = Directory(num_cores=2)
+    directory.write(0, LINE, in_llc=False)
+    directory.read(1, LINE, in_llc=True)
+    assert directory.transactions[TransactionKind.GET_M] == 1
+    assert directory.transactions[TransactionKind.GET_S] == 1
+
+
+def test_invalid_core_rejected():
+    directory = Directory(num_cores=2)
+    with pytest.raises(ValueError):
+        directory.read(2, LINE, in_llc=False)
+    with pytest.raises(ValueError):
+        Directory(num_cores=0)
+
+
+def test_latency_ordering():
+    lat = Directory(num_cores=1).latencies
+    assert lat.l1_hit < lat.llc_hit < lat.dram
+    assert lat.l1_hit < lat.remote_transfer
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    st.lists(
+        st.tuples(
+            st.integers(min_value=0, max_value=3),  # core
+            st.integers(min_value=0, max_value=7),  # line index
+            st.booleans(),  # write?
+        ),
+        min_size=1,
+        max_size=200,
+    )
+)
+def test_property_single_writer_multiple_readers(operations):
+    directory = Directory(num_cores=4)
+    for core, line_index, is_write in operations:
+        line = line_index * 64
+        if is_write:
+            directory.write(core, line, in_llc=True)
+            assert directory.state_of(core, line) == MESIState.MODIFIED
+        else:
+            directory.read(core, line, in_llc=True)
+            assert directory.state_of(core, line) in (
+                MESIState.SHARED,
+                MESIState.EXCLUSIVE,
+                MESIState.MODIFIED,
+            )
+        directory.check_invariants()

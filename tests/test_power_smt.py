@@ -1,0 +1,135 @@
+"""Tests for the power model and SMT co-runner model."""
+
+import pytest
+
+from repro.power import CStats, PowerModel
+from repro.sdp.metrics import CoreActivity
+from repro.smt.corunner import CoRunnerModel, MatrixMultiplyCoRunner
+
+
+def busy_activity(ipc: float, cycles: float = 1e6) -> CoreActivity:
+    return CoreActivity(busy_cycles=cycles, useful_instructions=ipc * cycles)
+
+
+def halted_activity(c1: bool, cycles: float = 1e6) -> CoreActivity:
+    return CoreActivity(halted_cycles=cycles, c1_cycles=cycles if c1 else 0.0)
+
+
+def test_power_grows_with_ipc():
+    model = PowerModel()
+    low = model.normalized_power(busy_activity(0.5)).total
+    high = model.normalized_power(busy_activity(2.0)).total
+    assert high > low
+    assert 0.0 < low < high <= 1.0
+
+
+def test_halted_c0_power_floor():
+    model = PowerModel()
+    power = model.normalized_power(halted_activity(c1=False)).total
+    assert power == pytest.approx(model.cstats.c0_halt)
+
+
+def test_c1_power_is_paper_floor():
+    model = PowerModel()
+    power = model.normalized_power(halted_activity(c1=True)).total
+    assert power == pytest.approx(0.162)
+
+
+def test_mixed_busy_halted_weighting():
+    model = PowerModel()
+    activity = CoreActivity(
+        busy_cycles=5e5, halted_cycles=5e5, c1_cycles=5e5,
+        useful_instructions=1.0 * 5e5,
+    )
+    pure_busy = model.normalized_power(busy_activity(1.0)).total
+    expected = 0.5 * pure_busy + 0.5 * 0.162
+    assert model.normalized_power(activity).total == pytest.approx(expected)
+
+
+def test_spinning_disproportionality_scenario():
+    # High-IPC useless spinning at idle vs. moderate-IPC real work: the
+    # idle core must burn more (the Fig. 12(a) anomaly).
+    model = PowerModel()
+    idle_spin = CoreActivity(busy_cycles=1e6, useless_instructions=2.0e6)
+    working = CoreActivity(busy_cycles=1e6, useful_instructions=1.1e6)
+    gap = model.energy_proportionality_gap(idle_spin, working)
+    assert gap > 1.0
+
+
+def test_dynamic_share_saturates_at_peak_ipc():
+    model = PowerModel(peak_ipc=2.0)
+    at_peak = model.normalized_power(busy_activity(2.0)).total
+    beyond = model.normalized_power(busy_activity(5.0)).total
+    assert beyond == pytest.approx(at_peak)
+    assert at_peak == pytest.approx(1.0)
+
+
+def test_power_model_validation():
+    with pytest.raises(ValueError):
+        PowerModel(peak_ipc=0.0)
+
+
+def test_zero_activity_draws_halt_floor():
+    # A core that recorded no cycles reports the shallow-halt floor, not
+    # zero (a powered-on core never draws nothing).
+    model = PowerModel()
+    assert model.normalized_power(CoreActivity()).total == pytest.approx(
+        model.cstats.c0_halt
+    )
+
+
+def test_breakdown_components_sum():
+    model = PowerModel()
+    breakdown = model.normalized_power(busy_activity(1.5))
+    assert breakdown.total == pytest.approx(
+        breakdown.static + breakdown.dynamic + breakdown.halt
+    )
+
+
+# -- co-runner ---------------------------------------------------------------------
+
+
+def test_corunner_solo_when_partner_halted():
+    model = CoRunnerModel()
+    assert model.corunner_ipc(halted_activity(c1=False)) == pytest.approx(model.solo_ipc)
+    assert model.corunner_ipc(CoreActivity()) == pytest.approx(model.solo_ipc)
+
+
+def test_corunner_hurt_more_by_spinning_than_by_work():
+    model = CoRunnerModel()
+    spinning = CoreActivity(busy_cycles=1e6, useless_instructions=2.0e6)
+    working = CoreActivity(busy_cycles=1e6, useful_instructions=1.1e6)
+    assert model.corunner_ipc(spinning) < model.corunner_ipc(working)
+
+
+def test_corunner_degrades_as_hyperplane_load_rises():
+    model = CoRunnerModel()
+    low_load = CoreActivity(
+        busy_cycles=1e5, halted_cycles=9e5, useful_instructions=1.2e5
+    )
+    high_load = CoreActivity(
+        busy_cycles=9e5, halted_cycles=1e5, useful_instructions=1.08e6
+    )
+    assert model.corunner_ipc(low_load) > model.corunner_ipc(high_load)
+
+
+def test_corunner_never_below_floor():
+    model = CoRunnerModel()
+    pathological = CoreActivity(busy_cycles=1e6, useless_instructions=1e7)
+    assert model.corunner_ipc(pathological) >= 0.2 * model.solo_ipc
+
+
+def test_matrix_multiply_correctness():
+    mm = MatrixMultiplyCoRunner(size=32)
+    identity = [[float(i == j) for j in range(32)] for i in range(32)]
+    a = [[float((i * 7 + j) % 5) for j in range(32)] for i in range(32)]
+    assert mm.multiply(a, identity) == a
+    assert mm.multiply(identity, a) == a
+
+
+def test_matrix_multiply_validation():
+    with pytest.raises(ValueError):
+        MatrixMultiplyCoRunner(0)
+    mm = MatrixMultiplyCoRunner(4)
+    with pytest.raises(ValueError):
+        mm.multiply([[1.0] * 3] * 3, [[1.0] * 3] * 3)

@@ -1,0 +1,189 @@
+"""Model-based property test of the notification protocol.
+
+Drives the real components (Cuckoo monitoring set + PPA ready set,
+composed exactly as the accelerator composes them) with random event
+sequences — producer writes, QWAIT selections, VERIFY/RECONSIDER,
+spurious line writes — and checks them step by step against a tiny
+reference model whose correctness is obvious. The central safety
+property: **a non-empty queue is never invisible** (it is ready, held by
+a consumer, or its count only exceeds zero in states from which
+RECONSIDER/VERIFY provably re-activates it).
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.monitoring_set import CuckooMonitoringSet
+from repro.core.policies import RoundRobinPolicy
+from repro.core.ready_set import HardwareReadySet
+
+NUM_QUEUES = 6
+
+
+class ReferenceModel:
+    """The obviously-correct spec of one queue's notification state."""
+
+    def __init__(self, num_queues):
+        self.count = [0] * num_queues  # doorbell counter
+        self.armed = [True] * num_queues
+        self.ready = [False] * num_queues
+        self.held = [False] * num_queues  # selected, pre-RECONSIDER
+
+    def producer_write(self, qid):
+        self.count[qid] += 1
+        if self.armed[qid]:
+            self.armed[qid] = False
+            self.ready[qid] = True
+
+    def qwait(self, qid):
+        assert self.ready[qid]
+        self.ready[qid] = False
+        self.held[qid] = True
+
+    def verify(self, qid):
+        assert self.held[qid]
+        if self.count[qid] == 0:
+            self.armed[qid] = True
+            self.held[qid] = False
+            return False
+        return True
+
+    def dequeue(self, qid):
+        assert self.held[qid] and self.count[qid] > 0
+        self.count[qid] -= 1
+
+    def reconsider(self, qid):
+        assert self.held[qid]
+        self.held[qid] = False
+        if self.count[qid] == 0:
+            self.armed[qid] = True
+        else:
+            self.ready[qid] = True
+
+class RealComposition:
+    """The production components wired the way the accelerator wires them."""
+
+    def __init__(self, num_queues, seed):
+        self.monitoring = CuckooMonitoringSet(capacity=64, ways=4, seed=seed)
+        self.ready_set = HardwareReadySet(num_queues, RoundRobinPolicy(num_queues))
+        self.count = [0] * num_queues
+        self.tags = {}
+        for qid in range(num_queues):
+            tag = 0x1000 + qid * 64
+            assert self.monitoring.insert(tag, qid)
+            self.tags[qid] = tag
+
+    def producer_write(self, qid):
+        self.count[qid] += 1
+        woken = self.monitoring.snoop_write(self.tags[qid])
+        if woken is not None:
+            self.ready_set.activate(woken)
+
+    def qwait(self):
+        return self.ready_set.select_and_take()
+
+    def verify(self, qid):
+        if self.count[qid] == 0:
+            self.monitoring.arm(self.tags[qid])
+            return False
+        return True
+
+    def dequeue(self, qid):
+        self.count[qid] -= 1
+
+    def reconsider(self, qid):
+        if self.count[qid] == 0:
+            self.monitoring.arm(self.tags[qid])
+        else:
+            self.ready_set.activate(qid)
+
+    def is_armed(self, qid):
+        return self.monitoring.is_armed(self.tags[qid])
+
+
+@settings(max_examples=200, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=100),
+    script=st.lists(
+        st.tuples(
+            st.sampled_from(["write", "service"]),
+            st.integers(min_value=0, max_value=NUM_QUEUES - 1),
+        ),
+        min_size=1,
+        max_size=120,
+    ),
+)
+def test_protocol_composition_matches_reference(seed, script):
+    real = RealComposition(NUM_QUEUES, seed)
+    spec = ReferenceModel(NUM_QUEUES)
+
+    for action, qid in script:
+        if action == "write":
+            real.producer_write(qid)
+            spec.producer_write(qid)
+        else:
+            # A full consumer service round: QWAIT -> VERIFY ->
+            # dequeue -> RECONSIDER (the atomic instructions collapse to
+            # single steps here, which is exactly their semantics).
+            selected = real.qwait()
+            if selected is None:
+                # Spec must agree nothing is ready.
+                assert not any(spec.ready)
+                continue
+            spec.qwait(selected)
+            real_has = real.verify(selected)
+            spec_has = spec.verify(selected)
+            assert real_has == spec_has
+            if not real_has:
+                continue
+            real.dequeue(selected)
+            spec.dequeue(selected)
+            real.reconsider(selected)
+            spec.reconsider(selected)
+
+        # Lock-step state agreement after every event.
+        assert real.count == spec.count
+        for q in range(NUM_QUEUES):
+            assert real.ready_set.is_ready(q) == spec.ready[q], f"queue {q} ready"
+            assert real.is_armed(q) == spec.armed[q], f"queue {q} armed"
+
+    # Global liveness: drain everything; nothing may be stranded.
+    for _ in range(sum(real.count) + NUM_QUEUES):
+        selected = real.qwait()
+        if selected is None:
+            break
+        if real.verify(selected):
+            real.dequeue(selected)
+            real.reconsider(selected)
+    assert sum(real.count) == 0, "items stranded: lost wake-up"
+    # And at quiescence every queue is armed again, watching for arrivals.
+    assert all(real.is_armed(q) for q in range(NUM_QUEUES))
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    writes=st.lists(st.integers(min_value=0, max_value=NUM_QUEUES - 1), max_size=60),
+    spurious=st.lists(st.integers(min_value=0, max_value=NUM_QUEUES - 1), max_size=20),
+)
+def test_spurious_writes_never_lose_or_duplicate_work(writes, spurious):
+    """Spurious activations (false sharing) are filtered by VERIFY and
+    re-arm correctly: total serviced == total written, always."""
+    real = RealComposition(NUM_QUEUES, seed=1)
+    for qid in spurious:
+        # A write transaction on the doorbell line with no enqueue.
+        woken = real.monitoring.snoop_write(real.tags[qid])
+        if woken is not None:
+            real.ready_set.activate(woken)
+    for qid in writes:
+        real.producer_write(qid)
+    serviced = 0
+    for _ in range(len(writes) + len(spurious) + NUM_QUEUES):
+        selected = real.qwait()
+        if selected is None:
+            break
+        if real.verify(selected):
+            real.dequeue(selected)
+            real.reconsider(selected)
+            serviced += 1
+    assert serviced == len(writes)
+    assert sum(real.count) == 0

@@ -1,0 +1,153 @@
+"""Tests for doorbells, task queues, and the spinlock model."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.queueing import Doorbell, QueueFullError, SpinLock, TaskQueue, WorkItem
+
+
+def make_queue(qid=0, capacity=8):
+    return TaskQueue(qid, Doorbell(qid, 0x1000), capacity=capacity)
+
+
+def item(i, qid=0, t=0.0):
+    return WorkItem(item_id=i, qid=qid, arrival_time=t, service_time=1e-6)
+
+
+def test_doorbell_counter_semantics():
+    doorbell = Doorbell(0, 0x1000)
+    assert doorbell.is_empty()
+    doorbell.producer_increment()
+    doorbell.producer_increment(2)
+    assert doorbell.count == 3
+    doorbell.consumer_decrement()
+    assert doorbell.count == 2
+
+
+def test_doorbell_rejects_underflow_and_bad_amounts():
+    doorbell = Doorbell(0, 0)
+    with pytest.raises(ValueError):
+        doorbell.consumer_decrement()
+    with pytest.raises(ValueError):
+        doorbell.producer_increment(0)
+    with pytest.raises(ValueError):
+        doorbell.producer_increment(-1)
+
+
+def test_write_hooks_fire_on_producer_only():
+    doorbell = Doorbell(0, 0)
+    calls = []
+    doorbell.add_write_hook(lambda db: calls.append(db.count))
+    doorbell.producer_increment()
+    doorbell.producer_increment()
+    doorbell.consumer_decrement()
+    assert calls == [1, 2]  # decrement did not fire
+
+
+def test_enqueue_rings_doorbell_and_dequeue_decrements():
+    queue = make_queue()
+    queue.enqueue(item(0))
+    assert queue.doorbell.count == 1
+    out = queue.dequeue(now=2.0)
+    assert out.item_id == 0
+    assert out.dequeue_time == 2.0
+    assert queue.doorbell.count == 0
+    queue.check_invariants()
+
+
+def test_fifo_order():
+    queue = make_queue()
+    for i in range(5):
+        queue.enqueue(item(i))
+    assert [queue.dequeue(0.0).item_id for i in range(5)] == list(range(5))
+
+
+def test_drop_on_full():
+    queue = make_queue(capacity=2)
+    assert queue.enqueue(item(0))
+    assert queue.enqueue(item(1))
+    assert not queue.enqueue(item(2))
+    assert queue.stats.dropped == 1
+    assert queue.doorbell.count == 2  # dropped item did not ring
+
+
+def test_raise_on_full_when_requested():
+    queue = make_queue(capacity=1)
+    queue.enqueue(item(0))
+    with pytest.raises(QueueFullError):
+        queue.enqueue(item(1), drop_on_full=False)
+
+
+def test_wrong_qid_rejected():
+    queue = make_queue(qid=3)
+    with pytest.raises(ValueError):
+        queue.enqueue(item(0, qid=4))
+    with pytest.raises(ValueError):
+        TaskQueue(1, Doorbell(2, 0))
+
+
+def test_dequeue_empty_raises():
+    queue = make_queue()
+    with pytest.raises(IndexError):
+        queue.dequeue(0.0)
+
+
+def test_latency_and_wait_require_completion():
+    work = item(0, t=1.0)
+    with pytest.raises(ValueError):
+        _ = work.latency
+    with pytest.raises(ValueError):
+        _ = work.wait
+    work.dequeue_time = 2.0
+    work.completion_time = 3.0
+    assert work.wait == pytest.approx(1.0)
+    assert work.latency == pytest.approx(2.0)
+
+
+def test_stats_max_depth():
+    queue = make_queue()
+    for i in range(3):
+        queue.enqueue(item(i))
+    queue.dequeue(0.0)
+    queue.enqueue(item(9))
+    assert queue.stats.max_depth == 3
+    assert queue.stats.enqueued == 4
+    assert queue.stats.dequeued == 1
+
+
+def test_peek_arrival_time():
+    queue = make_queue()
+    assert queue.peek_arrival_time() is None
+    queue.enqueue(item(0, t=5.0))
+    assert queue.peek_arrival_time() == 5.0
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.lists(st.booleans(), min_size=1, max_size=200))
+def test_property_doorbell_always_matches_occupancy(operations):
+    queue = make_queue(capacity=1000)
+    next_id = 0
+    for is_enqueue in operations:
+        if is_enqueue or queue.is_empty():
+            queue.enqueue(item(next_id))
+            next_id += 1
+        else:
+            queue.dequeue(0.0)
+        queue.check_invariants()
+
+
+def test_spinlock_costs():
+    lock = SpinLock(uncontended_cycles=40, transfer_cycles=80)
+    first = lock.acquire_cost(0, contenders=1)
+    assert first == 120  # new owner pays a transfer
+    again = lock.acquire_cost(0, contenders=1)
+    assert again == 40  # lock line stays local
+    contended = lock.acquire_cost(1, contenders=4)
+    assert contended == 40 + 80 + 3 * 40
+    assert lock.contention_rate == pytest.approx(1 / 3)
+
+
+def test_spinlock_validates_contenders():
+    with pytest.raises(ValueError):
+        SpinLock().acquire_cost(0, contenders=0)

@@ -1,0 +1,115 @@
+"""Tests for the queueing-theory closed forms."""
+
+import math
+
+import pytest
+
+from repro.queueing.theory import (
+    erlang_c,
+    mg1_mean_wait,
+    mm1_mean_wait,
+    mm1_wait_percentile,
+    mmc_mean_wait,
+    mmc_wait_percentile,
+    scale_up_advantage,
+)
+
+
+def test_mm1_known_value():
+    # rho = 0.5, mu = 1: W_q = 0.5 / 0.5 = 1.
+    assert mm1_mean_wait(0.5, 1.0) == pytest.approx(1.0)
+
+
+def test_mm1_blows_up_near_saturation():
+    assert mm1_mean_wait(0.99, 1.0) > mm1_mean_wait(0.9, 1.0) > mm1_mean_wait(0.5, 1.0)
+
+
+def test_mm1_unstable_rejected():
+    with pytest.raises(ValueError):
+        mm1_mean_wait(1.0, 1.0)
+    with pytest.raises(ValueError):
+        mm1_mean_wait(2.0, 1.0)
+
+
+def test_mm1_percentile_zero_below_idle_mass():
+    # rho = 0.5: half of arrivals do not wait at all.
+    assert mm1_wait_percentile(0.5, 1.0, 0.5) == 0.0
+    assert mm1_wait_percentile(0.5, 1.0, 0.99) > 0.0
+
+
+def test_mm1_percentile_monotone():
+    values = [mm1_wait_percentile(0.8, 1.0, p) for p in (0.5, 0.9, 0.99, 0.999)]
+    assert values == sorted(values)
+
+
+def test_mm1_percentile_closed_form():
+    # P(W > t) = rho * exp(-(mu - lambda) t); invert for p99 at rho=0.8.
+    lam, mu, p = 0.8, 1.0, 0.99
+    t = mm1_wait_percentile(lam, mu, p)
+    assert lam / mu * math.exp(-(mu - lam) * t) == pytest.approx(1 - p)
+
+
+def test_erlang_c_single_server_equals_rho():
+    assert erlang_c(1, 0.7) == pytest.approx(0.7)
+
+
+def test_erlang_c_decreases_with_servers_at_fixed_utilisation():
+    # Same per-server utilisation, more servers => lower wait probability.
+    one = erlang_c(1, 0.8)
+    four = erlang_c(4, 3.2)
+    sixteen = erlang_c(16, 12.8)
+    assert one > four > sixteen
+
+
+def test_erlang_c_validation():
+    with pytest.raises(ValueError):
+        erlang_c(0, 0.5)
+    with pytest.raises(ValueError):
+        erlang_c(2, 2.0)
+    with pytest.raises(ValueError):
+        erlang_c(2, -1.0)
+
+
+def test_mmc_reduces_to_mm1():
+    assert mmc_mean_wait(0.6, 1.0, 1) == pytest.approx(mm1_mean_wait(0.6, 1.0))
+
+
+def test_mmc_percentile_reduces_to_mm1():
+    assert mmc_wait_percentile(0.6, 1.0, 1, 0.99) == pytest.approx(
+        mm1_wait_percentile(0.6, 1.0, 0.99)
+    )
+
+
+def test_scale_up_beats_scale_out():
+    # The theoretical core of the paper's Section II-B argument: one
+    # shared M/M/c queue beats c private M/M/1 queues at every load.
+    for load in (0.4, 0.6, 0.8, 0.9, 0.95):
+        assert scale_up_advantage(load * 4, 1.0, 4) > 1.0
+    # With more servers the pooling advantage is larger.
+    assert scale_up_advantage(0.8 * 8, 1.0, 8) > scale_up_advantage(0.8 * 2, 1.0, 2)
+
+
+def test_mg1_deterministic_halves_exponential_wait():
+    exponential = mg1_mean_wait(0.5, 1.0, service_scv=1.0)
+    deterministic = mg1_mean_wait(0.5, 1.0, service_scv=0.0)
+    assert deterministic == pytest.approx(exponential / 2)
+
+
+def test_mg1_matches_mm1_at_scv_one():
+    assert mg1_mean_wait(0.7, 1.0, 1.0) == pytest.approx(mm1_mean_wait(0.7, 1.0))
+
+
+def test_mg1_validation():
+    with pytest.raises(ValueError):
+        mg1_mean_wait(0.5, 0.0, 1.0)
+    with pytest.raises(ValueError):
+        mg1_mean_wait(0.5, 1.0, -0.1)
+    with pytest.raises(ValueError):
+        mg1_mean_wait(1.1, 1.0, 1.0)
+
+
+def test_percentile_bounds_rejected():
+    with pytest.raises(ValueError):
+        mm1_wait_percentile(0.5, 1.0, 0.0)
+    with pytest.raises(ValueError):
+        mmc_wait_percentile(0.5, 1.0, 2, 1.0)

@@ -1,0 +1,67 @@
+"""Tests for the ``python -m repro.sdp`` command-line interface."""
+
+import json
+
+import pytest
+
+from repro.sdp.__main__ import build_parser, main
+
+
+def test_cli_peak_run(capsys):
+    assert main(
+        [
+            "--system", "hyperplane", "--queues", "32", "--shape", "SQ",
+            "--peak", "--completions", "500", "--max-seconds", "1.0",
+        ]
+    ) == 0
+    out = capsys.readouterr().out
+    assert "throughput" in out
+    assert "hyperplane" in out
+
+
+def test_cli_load_run_json(capsys):
+    assert main(
+        [
+            "--system", "spinning", "--queues", "16", "--load", "0.4",
+            "--completions", "400", "--max-seconds", "1.0", "--json",
+        ]
+    ) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["label"] == "spinning/scale-out"
+    assert payload["throughput_mtps"] > 0
+    assert payload["completed"] >= 400
+
+
+def test_cli_all_systems(capsys):
+    for system in ("spinning", "mwait", "interrupts", "hyperplane"):
+        assert main(
+            [
+                "--system", system, "--queues", "8", "--load", "0.3",
+                "--completions", "200", "--max-seconds", "1.0", "--json",
+            ]
+        ) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["completed"] >= 200
+
+
+def test_cli_multicore_and_policy(capsys):
+    assert main(
+        [
+            "--system", "hyperplane", "--queues", "16", "--cores", "4",
+            "--cluster-cores", "4", "--policy", "wrr", "--load", "0.5",
+            "--completions", "400", "--max-seconds", "1.0",
+        ]
+    ) == 0
+    assert "scale-up-4" in capsys.readouterr().out
+
+
+def test_cli_requires_load_or_peak():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["--queues", "8"])
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["--load", "0.5", "--peak"])
+
+
+def test_cli_rejects_unknown_system():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["--system", "magic", "--load", "0.5"])

@@ -1,0 +1,85 @@
+"""Tests for the functional-payload mode."""
+
+import pytest
+
+from repro.core.dataplane import build_hyperplane
+from repro.sdp.config import SDPConfig
+from repro.sdp.functional import FunctionalAdapter, attach_functional_payloads
+from repro.sdp.spinning import build_spinning_cores
+from repro.sdp.system import DataPlaneSystem
+from repro.workloads.service import WORKLOADS
+
+
+def build_system(workload="packet-encapsulation", **overrides):
+    defaults = dict(num_queues=8, workload=workload, shape="FB", seed=0)
+    defaults.update(overrides)
+    return DataPlaneSystem(SDPConfig(**defaults))
+
+
+@pytest.mark.parametrize("workload", sorted(WORKLOADS))
+def test_every_workload_verifies_end_to_end(workload):
+    system = build_system(workload=workload)
+    adapter = attach_functional_payloads(system, sample_rate=0.3)
+    build_hyperplane(system)
+    system.attach_open_loop(load=0.3, max_items=150)
+    system.run(duration=0.05, warmup=0.0)
+    adapter.assert_clean()
+    assert adapter.stats.produced == 150
+    assert adapter.stats.processed >= 140
+    assert adapter.stats.verified > 10
+
+
+def test_functional_mode_does_not_change_timing():
+    def mean_latency(functional):
+        system = build_system(service_scv=0.0, seed=3)
+        if functional:
+            attach_functional_payloads(system, sample_rate=1.0)
+        build_hyperplane(system)
+        system.attach_open_loop(load=0.2, max_items=200)
+        system.run(duration=0.05, warmup=0.0)
+        return system.metrics.latency.mean
+
+    assert mean_latency(True) == mean_latency(False)
+
+
+def test_functional_with_spinning_plane():
+    system = build_system(workload="crypto-forwarding")
+    adapter = attach_functional_payloads(system)
+    build_spinning_cores(system)
+    system.attach_open_loop(load=0.3, max_items=60)
+    system.run(duration=0.05, warmup=0.0)
+    adapter.assert_clean()
+
+
+def test_assert_clean_requires_verification():
+    system = build_system()
+    adapter = attach_functional_payloads(system)
+    with pytest.raises(AssertionError, match="nothing was verified"):
+        adapter.assert_clean()
+
+
+def test_corruption_is_detected():
+    system = build_system()
+    adapter = attach_functional_payloads(system)
+    build_hyperplane(system)
+    system.attach_open_loop(load=0.3, max_items=50)
+    # Corrupt payloads mid-flight: swap every item's payload for a
+    # packet with a different destination after generation.
+    original_build = adapter._build
+
+    def corrupt_process(payload):
+        return False  # pretend the kernel output failed verification
+
+    adapter._process = corrupt_process
+    system.run(duration=0.05, warmup=0.0)
+    assert adapter.stats.failures > 0
+    with pytest.raises(AssertionError, match="failed kernel verification"):
+        adapter.assert_clean()
+
+
+def test_sample_rate_validation():
+    system = build_system()
+    with pytest.raises(ValueError):
+        attach_functional_payloads(system, sample_rate=0.0)
+    with pytest.raises(ValueError):
+        attach_functional_payloads(system, sample_rate=1.5)

@@ -1,0 +1,162 @@
+"""Tests for metrics recorders and cluster planning."""
+
+import pytest
+
+from repro.sdp.metrics import CoreActivity, LatencyRecorder, RunMetrics
+from repro.sdp.organizations import plan_clusters
+
+
+# -- latency recorder ----------------------------------------------------------
+
+
+def test_recorder_mean_and_percentiles():
+    recorder = LatencyRecorder()
+    for value in range(1, 101):
+        recorder.record(now=1.0, latency=value * 1e-6)
+    assert recorder.mean_us == pytest.approx(50.5)
+    assert recorder.percentile(50) == pytest.approx(50.5e-6)
+    assert recorder.p99_us == pytest.approx(99.01, rel=0.01)
+
+
+def test_recorder_warmup_discards_early_samples():
+    recorder = LatencyRecorder(warmup_time=10.0)
+    recorder.record(now=5.0, latency=100e-6)
+    recorder.record(now=15.0, latency=1e-6)
+    assert recorder.count == 1
+    assert recorder.mean_us == pytest.approx(1.0)
+
+
+def test_recorder_empty_is_zero():
+    recorder = LatencyRecorder()
+    assert recorder.mean == 0.0
+    assert recorder.p99 == 0.0
+    assert recorder.cdf() == []
+
+
+def test_recorder_validation():
+    recorder = LatencyRecorder()
+    with pytest.raises(ValueError):
+        recorder.record(0.0, -1.0)
+    with pytest.raises(ValueError):
+        recorder.percentile(0.0)
+    with pytest.raises(ValueError):
+        recorder.percentile(100.0)
+
+
+def test_recorder_cdf_monotone_and_complete():
+    recorder = LatencyRecorder()
+    for value in (5, 1, 9, 3, 7):
+        recorder.record(1.0, value * 1e-6)
+    cdf = recorder.cdf(points=5)
+    fractions = [f for _, f in cdf]
+    assert fractions == sorted(fractions)
+    assert cdf[-1][1] == 1.0
+    latencies = [l for l, _ in cdf]
+    assert latencies == sorted(latencies)
+
+
+# -- core activity ----------------------------------------------------------------
+
+
+def test_activity_ipc_split():
+    activity = CoreActivity(
+        busy_cycles=1000.0,
+        halted_cycles=1000.0,
+        useful_instructions=600.0,
+        useless_instructions=400.0,
+    )
+    assert activity.ipc == pytest.approx(0.5)
+    assert activity.useful_ipc == pytest.approx(0.3)
+    assert activity.useless_ipc == pytest.approx(0.2)
+    assert activity.halt_fraction == pytest.approx(0.5)
+
+
+def test_activity_zero_cycles_safe():
+    activity = CoreActivity()
+    assert activity.ipc == 0.0
+    assert activity.halt_fraction == 0.0
+
+
+def test_activity_merge():
+    a = CoreActivity(busy_cycles=10, useful_instructions=5, tasks=1)
+    b = CoreActivity(busy_cycles=20, useless_instructions=8, wakeups=2)
+    merged = a.merge(b)
+    assert merged.busy_cycles == 30
+    assert merged.useful_instructions == 5
+    assert merged.useless_instructions == 8
+    assert merged.tasks == 1 and merged.wakeups == 2
+
+
+def test_run_metrics_throughput():
+    recorder = LatencyRecorder()
+    for _ in range(100):
+        recorder.record(1.0, 1e-6)
+    metrics = RunMetrics(
+        latency=recorder, activities=[CoreActivity()], measure_start=0.0, measure_end=1e-3
+    )
+    assert metrics.throughput == pytest.approx(1e5)
+    assert metrics.throughput_mtps == pytest.approx(0.1)
+    summary = metrics.summary()
+    assert summary["completed"] == 100.0
+
+
+def test_run_metrics_empty_window():
+    metrics = RunMetrics(latency=LatencyRecorder(), activities=[])
+    assert metrics.throughput == 0.0
+
+
+# -- cluster planning ---------------------------------------------------------------
+
+
+def test_scale_out_partitions_are_disjoint_and_complete():
+    plans = plan_clusters(num_queues=40, num_cores=4, cluster_cores=1)
+    assert len(plans) == 4
+    all_queues = sorted(q for plan in plans for q in plan.queue_ids)
+    assert all_queues == list(range(40))
+    assert [plan.core_ids for plan in plans] == [(0,), (1,), (2,), (3,)]
+
+
+def test_scale_up_single_cluster():
+    plans = plan_clusters(num_queues=10, num_cores=4, cluster_cores=4)
+    assert len(plans) == 1
+    assert plans[0].core_ids == (0, 1, 2, 3)
+    assert plans[0].queue_ids == tuple(range(10))
+
+
+def test_scale_up_2_clusters():
+    plans = plan_clusters(num_queues=8, num_cores=4, cluster_cores=2)
+    assert len(plans) == 2
+    assert plans[0].core_ids == (0, 1)
+    assert plans[1].core_ids == (2, 3)
+
+
+def test_hot_queues_dealt_fairly():
+    hot = list(range(0, 40, 2))  # 20 hot queues
+    plans = plan_clusters(40, 4, 1, hot_queue_ids=hot)
+    hot_set = set(hot)
+    shares = [sum(1 for q in plan.queue_ids if q in hot_set) for plan in plans]
+    assert shares == [5, 5, 5, 5]
+
+
+def test_imbalance_moves_hot_share_to_cluster_zero():
+    hot = list(range(0, 400, 5))  # 80 hot queues
+    balanced = plan_clusters(400, 4, 1, hot_queue_ids=hot)
+    skewed = plan_clusters(400, 4, 1, hot_queue_ids=hot, imbalance=0.10)
+    hot_set = set(hot)
+
+    def hot_count(plan):
+        return sum(1 for q in plan.queue_ids if q in hot_set)
+
+    assert hot_count(skewed[0]) > hot_count(balanced[0])
+    assert hot_count(skewed[-1]) < hot_count(balanced[-1])
+    # Total conserved.
+    assert sum(map(hot_count, skewed)) == 80
+
+
+def test_plan_validation():
+    with pytest.raises(ValueError):
+        plan_clusters(10, 4, 3)  # cluster size does not divide cores
+    with pytest.raises(ValueError):
+        plan_clusters(2, 4, 1)  # more clusters than queues
+    with pytest.raises(ValueError):
+        plan_clusters(10, 2, 1, imbalance=1.5)

@@ -1,0 +1,140 @@
+"""Tests for the MWAIT and interrupt notification baselines."""
+
+import pytest
+
+from repro.core.runner import run_hyperplane
+from repro.sdp import SDPConfig, run_interrupts, run_mwait, run_spinning
+from repro.sdp.interrupts import InterruptController, build_interrupt_cores
+from repro.sdp.system import DataPlaneSystem
+
+
+def config(**overrides):
+    defaults = dict(num_queues=64, workload="packet-encapsulation", shape="FB", seed=0)
+    defaults.update(overrides)
+    return SDPConfig(**defaults)
+
+
+# -- MWAIT ------------------------------------------------------------------------
+
+
+def test_mwait_completes_work():
+    metrics = run_mwait(config(), load=0.4, target_completions=500, max_seconds=1.5)
+    assert metrics.latency.count >= 500
+
+
+def test_mwait_halts_when_idle_unlike_spinning():
+    mwait = run_mwait(config(), load=0.05, target_completions=150, max_seconds=2.0)
+    spin = run_spinning(config(), load=0.05, target_completions=150, max_seconds=2.0)
+    assert mwait.chip_activity.halt_fraction > 0.7
+    assert spin.chip_activity.halt_fraction == 0.0
+    # And commits orders of magnitude fewer useless instructions.
+    assert (
+        mwait.chip_activity.useless_instructions
+        < spin.chip_activity.useless_instructions / 50
+    )
+
+
+def test_mwait_still_scans_like_spinning():
+    # The paper's point: halting fixes energy, not latency — the MWAIT
+    # plane's latency still grows with queue count like spinning's.
+    few = run_mwait(
+        config(num_queues=4, service_scv=0.0), load=0.01,
+        target_completions=150, max_seconds=3.0,
+    )
+    many = run_mwait(
+        config(num_queues=1000, service_scv=0.0), load=0.01,
+        target_completions=150, max_seconds=3.0,
+    )
+    assert many.latency.mean > 5 * few.latency.mean
+
+
+def test_mwait_peak_matches_spinning():
+    # At saturation MWAIT never halts; throughput equals spinning's.
+    mwait = run_mwait(
+        config(shape="SQ"), closed_loop=True, target_completions=1500, max_seconds=1.5
+    )
+    spin = run_spinning(
+        config(shape="SQ"), closed_loop=True, target_completions=1500, max_seconds=1.5
+    )
+    assert mwait.throughput_mtps == pytest.approx(spin.throughput_mtps, rel=0.05)
+
+
+def test_mwait_multicore():
+    metrics = run_mwait(
+        config(num_cores=4, cluster_cores=4), load=0.5,
+        target_completions=800, max_seconds=1.5,
+    )
+    assert metrics.latency.count >= 800
+
+
+# -- interrupts ----------------------------------------------------------------------
+
+
+def test_interrupts_complete_work():
+    metrics = run_interrupts(config(), load=0.4, target_completions=500, max_seconds=1.5)
+    assert metrics.latency.count >= 500
+
+
+def test_interrupts_are_queue_scalable_at_zero_load():
+    few = run_interrupts(
+        config(num_queues=4, service_scv=0.0), load=0.01,
+        target_completions=150, max_seconds=3.0,
+    )
+    many = run_interrupts(
+        config(num_queues=1000, service_scv=0.0), load=0.01,
+        target_completions=150, max_seconds=3.0,
+    )
+    # The vector names the queue: latency does not grow with count.
+    assert many.latency.mean < 1.5 * few.latency.mean
+
+
+def test_interrupt_overhead_dominates_low_load_latency_vs_hyperplane():
+    irq = run_interrupts(
+        config(service_scv=0.0), load=0.01, target_completions=200, max_seconds=3.0
+    )
+    hyper = run_hyperplane(
+        config(service_scv=0.0), load=0.01, target_completions=200, max_seconds=3.0
+    )
+    # ~1.3 us of kernel path per wake-up.
+    assert irq.latency.mean_us - hyper.latency.mean_us > 0.8
+
+
+def test_interrupt_coalescing_counts():
+    system = DataPlaneSystem(config(shape="SQ"))
+    cores = build_interrupt_cores(system)
+    system.attach_closed_loop(depth=4)
+    system.run(duration=0.002, warmup=0.0)
+    controller = cores[0].controller
+    # Backlogged queue: one delivery, then the drain coalesces refills.
+    assert controller.delivered >= 1
+    assert controller.coalesced > 10
+    assert controller.delivered < controller.coalesced
+
+
+def test_interrupt_saturation_converges_to_polling():
+    # NAPI at saturation = polling a known-ready ring: throughput within
+    # a few percent of HyperPlane's.
+    irq = run_interrupts(
+        config(shape="SQ"), closed_loop=True, target_completions=1500, max_seconds=1.5
+    )
+    hyper = run_hyperplane(
+        config(shape="SQ"), closed_loop=True, target_completions=1500, max_seconds=1.5
+    )
+    assert irq.throughput_mtps == pytest.approx(hyper.throughput_mtps, rel=0.1)
+
+
+def test_interrupt_unmask_race_is_closed():
+    # Open-loop at moderate load long enough that arrival-vs-unmask races
+    # occur; nothing may be stranded (system invariants + completions).
+    metrics = run_interrupts(
+        config(num_queues=8), load=0.7, target_completions=2000, max_seconds=2.0
+    )
+    assert metrics.latency.count >= 2000
+
+
+def test_controller_single_waiter():
+    system = DataPlaneSystem(config())
+    controller = InterruptController(system, system.clusters[0])
+    controller.wait()
+    with pytest.raises(RuntimeError):
+        controller.wait()

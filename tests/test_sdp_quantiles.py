@@ -1,0 +1,100 @@
+"""Tests for the P² streaming quantile estimator."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sdp.quantiles import P2Quantile, StreamingLatencySummary
+
+
+def exact_percentile(samples, p):
+    ordered = sorted(samples)
+    rank = p * (len(ordered) - 1)
+    low = int(rank)
+    frac = rank - low
+    if low + 1 < len(ordered):
+        return ordered[low] * (1 - frac) + ordered[low + 1] * frac
+    return ordered[low]
+
+
+@pytest.mark.parametrize("quantile", [0.5, 0.9, 0.99])
+@pytest.mark.parametrize(
+    "sampler",
+    [
+        lambda rng: rng.random(),  # uniform
+        lambda rng: rng.expovariate(1.0),  # exponential
+        lambda rng: rng.lognormvariate(0.0, 1.0),  # heavy-ish tail
+    ],
+    ids=["uniform", "exponential", "lognormal"],
+)
+def test_p2_tracks_exact_percentiles(quantile, sampler):
+    rng = random.Random(42)
+    estimator = P2Quantile(quantile)
+    samples = []
+    for _ in range(20000):
+        value = sampler(rng)
+        estimator.add(value)
+        samples.append(value)
+    exact = exact_percentile(samples, quantile)
+    assert estimator.value == pytest.approx(exact, rel=0.12)
+
+
+def test_p2_small_sample_fallback():
+    estimator = P2Quantile(0.5)
+    assert estimator.value == 0.0
+    for value in (3.0, 1.0, 2.0):
+        estimator.add(value)
+    assert estimator.value in (1.0, 2.0, 3.0)
+    assert estimator.count == 3
+
+
+def test_p2_constant_stream():
+    estimator = P2Quantile(0.99)
+    for _ in range(1000):
+        estimator.add(7.0)
+    assert estimator.value == pytest.approx(7.0)
+
+
+def test_p2_validation():
+    with pytest.raises(ValueError):
+        P2Quantile(0.0)
+    with pytest.raises(ValueError):
+        P2Quantile(1.0)
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.lists(st.floats(min_value=0.0, max_value=1e6), min_size=100, max_size=500))
+def test_property_p2_estimate_within_range(samples):
+    estimator = P2Quantile(0.9)
+    for value in samples:
+        estimator.add(value)
+    assert min(samples) <= estimator.value <= max(samples)
+
+
+def test_streaming_summary_matches_exact_recorder():
+    from repro.sdp.metrics import LatencyRecorder
+
+    rng = random.Random(0)
+    exact = LatencyRecorder()
+    summary = StreamingLatencySummary()
+    for _ in range(30000):
+        value = rng.expovariate(1.0 / 2e-6)
+        exact.record(1.0, value)
+        summary.record(1.0, value)
+    assert summary.count == exact.count
+    assert summary.mean == pytest.approx(exact.mean, rel=1e-9)
+    assert summary.p99 == pytest.approx(exact.p99, rel=0.10)
+    assert summary.p50 == pytest.approx(exact.percentile(50), rel=0.10)
+    assert summary.max > summary.p99
+
+
+def test_streaming_summary_warmup_and_validation():
+    summary = StreamingLatencySummary(warmup_time=1.0)
+    summary.record(0.5, 100.0)  # discarded
+    summary.record(2.0, 1.0)
+    assert summary.count == 1
+    assert summary.mean == 1.0
+    with pytest.raises(ValueError):
+        summary.record(2.0, -1.0)

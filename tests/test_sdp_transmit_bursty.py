@@ -1,0 +1,130 @@
+"""Tests for the transmit side and bursty traffic."""
+
+import pytest
+
+from repro.core.dataplane import build_hyperplane
+from repro.sdp.config import SDPConfig
+from repro.sdp.system import DataPlaneSystem
+from repro.sdp.transmit import TxDevice, attach_tx_side
+from repro.traffic.bursty import OnOffSource, attach_bursty_traffic
+
+
+def build_system(**overrides):
+    defaults = dict(num_queues=16, workload="packet-encapsulation", shape="FB", seed=0)
+    defaults.update(overrides)
+    return DataPlaneSystem(SDPConfig(**defaults))
+
+
+def run_hp(system, load=0.4, duration=0.01, bursty=False, burstiness=4.0):
+    build_hyperplane(system)
+    if bursty:
+        attach_bursty_traffic(system, load=load, burstiness=burstiness)
+    else:
+        system.attach_open_loop(load=load)
+    system.run(duration=duration, warmup=0.0005)
+    return system
+
+
+# -- transmit side ------------------------------------------------------------------
+
+
+def test_tx_side_transmits_completed_items():
+    system = build_system()
+    tx = attach_tx_side(system, num_devices=2)
+    run_hp(system)
+    assert system.metrics.completed > 100
+    assert tx.transmitted >= system.metrics.completed - 4  # in-flight tail
+    assert tx.dropped == 0
+
+
+def test_tx_wire_latency_exceeds_dataplane_latency():
+    system = build_system(service_scv=0.0)
+    tx = attach_tx_side(system, num_devices=1)
+    run_hp(system, load=0.2)
+    assert tx.wire_latency.mean > system.metrics.latency.mean
+
+
+def test_tx_backpressure_drops_when_wire_is_slow():
+    # Line rate far below processing rate: the ring fills and drops.
+    system = build_system()
+    tx = attach_tx_side(
+        system, num_devices=1, line_rate_items_per_s=5e4, ring_capacity=8
+    )
+    run_hp(system, load=0.8, duration=0.01)
+    assert tx.dropped > 0
+    # The wire transmitted at (approximately) line rate.
+    duration = system.metrics.measure_end
+    assert tx.transmitted <= 5e4 * duration * 1.2
+
+
+def test_tx_queues_sliced_across_devices():
+    system = build_system(num_queues=16)
+    tx = attach_tx_side(system, num_devices=4)
+    run_hp(system)
+    assert all(device.transmitted > 0 for device in tx.devices)
+
+
+def test_tx_validation():
+    system = build_system()
+    with pytest.raises(ValueError):
+        attach_tx_side(system, num_devices=0)
+    with pytest.raises(ValueError):
+        TxDevice(system, 0, line_rate_items_per_s=0.0, ring_capacity=4)
+    with pytest.raises(ValueError):
+        TxDevice(system, 0, line_rate_items_per_s=1e6, ring_capacity=0)
+
+
+# -- bursty traffic --------------------------------------------------------------------
+
+
+def test_bursty_mean_rate_matches_target():
+    system = build_system(num_queues=8)
+    generator = attach_bursty_traffic(system, load=0.5, burstiness=4.0)
+    build_hyperplane(system)
+    metrics = system.run(duration=0.05, warmup=0.0)
+    target_rate = 0.5 / system.config.workload.mean_service_seconds
+    observed_rate = generator.generated / metrics.measure_end
+    assert observed_rate == pytest.approx(target_rate, rel=0.25)
+
+
+def test_bursty_completes_work():
+    system = build_system()
+    attach_bursty_traffic(system, load=0.4, burstiness=6.0)
+    build_hyperplane(system)
+    metrics = system.run(duration=0.02, warmup=0.001)
+    assert metrics.latency.count > 200
+
+
+def test_burstiness_one_is_plain_poisson():
+    system = build_system(num_queues=4)
+    generator = attach_bursty_traffic(system, load=0.3, burstiness=1.0)
+    for source in generator.sources:
+        assert source.mean_off == 0.0  # always on
+
+
+def test_burstier_traffic_has_worse_tails():
+    def p99(burstiness):
+        system = build_system(num_queues=32, seed=9)
+        attach_bursty_traffic(system, load=0.6, burstiness=burstiness)
+        build_hyperplane(system)
+        return system.run(
+            duration=0.2, warmup=0.002, target_completions=8000
+        ).latency.p99_us
+
+    assert p99(8.0) > 1.3 * p99(1.0)
+
+
+def test_onoff_source_validation():
+    system = build_system(num_queues=1)
+    with pytest.raises(ValueError):
+        OnOffSource(
+            system.sim, system.queues[0], mean_rate=-1.0, burstiness=2.0,
+            on_fraction=0.5, mean_on_seconds=1e-4,
+            service_sampler=lambda: 1e-6, rng=None,
+        )
+    with pytest.raises(ValueError):
+        OnOffSource(
+            system.sim, system.queues[0], mean_rate=1.0, burstiness=0.5,
+            on_fraction=0.5, mean_on_seconds=1e-4,
+            service_sampler=lambda: 1e-6, rng=None,
+        )

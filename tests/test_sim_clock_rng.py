@@ -1,0 +1,63 @@
+"""Tests for the clock and random-stream utilities."""
+
+import pytest
+
+from repro.sim.clock import Clock
+from repro.sim.rng import RandomStreams, derive_seed
+
+
+def test_cycle_second_roundtrip():
+    clock = Clock(frequency_hz=3.0e9)
+    assert clock.seconds_to_cycles(clock.cycles_to_seconds(1234.0)) == pytest.approx(1234.0)
+
+
+def test_us_and_ns_helpers():
+    clock = Clock(frequency_hz=2.0e9)
+    assert clock.us_to_cycles(1.0) == pytest.approx(2000.0)
+    assert clock.ns_to_cycles(1.0) == pytest.approx(2.0)
+    assert clock.cycles_to_us(2000.0) == pytest.approx(1.0)
+
+
+def test_cycle_time():
+    clock = Clock(frequency_hz=1.0e9)
+    assert clock.cycle_time == pytest.approx(1e-9)
+
+
+def test_invalid_frequency_rejected():
+    with pytest.raises(ValueError):
+        Clock(frequency_hz=0.0)
+
+
+def test_derive_seed_distinct_for_similar_names():
+    root = 42
+    assert derive_seed(root, "producer-1") != derive_seed(root, "producer-11")
+    assert derive_seed(root, "a") != derive_seed(root + 1, "a")
+
+
+def test_stream_is_cached_and_deterministic():
+    streams = RandomStreams(7)
+    first = streams.stream("x")
+    assert streams.stream("x") is first
+    other = RandomStreams(7).stream("x")
+    assert [first.random() for _ in range(5)] == [other.random() for _ in range(5)]
+
+
+def test_streams_are_independent():
+    streams = RandomStreams(7)
+    a = [streams.stream("a").random() for _ in range(5)]
+    b = [streams.stream("b").random() for _ in range(5)]
+    assert a != b
+
+
+def test_fork_namespaces_streams():
+    parent = RandomStreams(1)
+    child = parent.fork("sub")
+    assert child.root_seed != parent.root_seed
+    assert parent.fork("sub").root_seed == child.root_seed
+
+
+def test_contains():
+    streams = RandomStreams(0)
+    assert "x" not in streams
+    streams.stream("x")
+    assert "x" in streams

@@ -1,0 +1,167 @@
+"""Tests for the discrete-event scheduler."""
+
+import math
+
+import pytest
+
+from repro.sim import SimulationError, Simulator
+
+
+def test_events_dispatch_in_time_order():
+    sim = Simulator()
+    hits = []
+    sim.schedule(2.0, hits.append, "late")
+    sim.schedule(1.0, hits.append, "early")
+    sim.schedule(3.0, hits.append, "last")
+    sim.run()
+    assert hits == ["early", "late", "last"]
+
+
+def test_ties_break_by_insertion_order():
+    sim = Simulator()
+    hits = []
+    for label in "abc":
+        sim.schedule(1.0, hits.append, label)
+    sim.run()
+    assert hits == ["a", "b", "c"]
+
+
+def test_now_advances_to_event_time():
+    sim = Simulator()
+    seen = []
+    sim.schedule(0.5, lambda: seen.append(sim.now))
+    sim.run()
+    assert seen == [0.5]
+    assert sim.now == 0.5
+
+
+def test_negative_delay_rejected():
+    sim = Simulator()
+    with pytest.raises(SimulationError):
+        sim.schedule(-1.0, lambda: None)
+
+
+def test_nan_delay_rejected():
+    sim = Simulator()
+    with pytest.raises(SimulationError):
+        sim.schedule(float("nan"), lambda: None)
+
+
+def test_run_until_stops_clock_exactly():
+    sim = Simulator()
+    hits = []
+    sim.schedule(1.0, hits.append, 1)
+    sim.schedule(5.0, hits.append, 5)
+    sim.run(until=2.0)
+    assert hits == [1]
+    assert sim.now == 2.0
+    sim.run()
+    assert hits == [1, 5]
+
+
+def test_run_until_with_empty_heap_advances_clock():
+    sim = Simulator()
+    sim.run(until=3.0)
+    assert sim.now == 3.0
+
+
+def test_max_events_bounds_dispatch():
+    sim = Simulator()
+    hits = []
+    for i in range(10):
+        sim.schedule(float(i + 1), hits.append, i)
+    sim.run(max_events=3)
+    assert hits == [0, 1, 2]
+
+
+def test_schedule_at_absolute_time():
+    sim = Simulator()
+    sim.schedule(1.0, lambda: sim.schedule_at(4.0, marker.append, "x"))
+    marker = []
+    sim.run()
+    assert sim.now == 4.0
+    assert marker == ["x"]
+
+
+def test_schedule_at_past_rejected():
+    sim = Simulator()
+    sim.schedule(2.0, lambda: None)
+    sim.run()
+    with pytest.raises(SimulationError):
+        sim.schedule_at(1.0, lambda: None)
+
+
+def test_peek_reports_next_event_time():
+    sim = Simulator()
+    assert sim.peek() == math.inf
+    sim.schedule(7.0, lambda: None)
+    sim.schedule(4.0, lambda: None)
+    assert sim.peek() == 4.0
+
+
+def test_pending_counts_heap():
+    sim = Simulator()
+    sim.schedule(1.0, lambda: None)
+    sim.schedule(2.0, lambda: None)
+    assert sim.pending == 2
+    sim.run()
+    assert sim.pending == 0
+
+
+def test_timeout_event_fires_with_value():
+    sim = Simulator()
+    event = sim.timeout(1.5, value="done")
+    assert not event.triggered
+    sim.run()
+    assert event.triggered
+    assert event.value == "done"
+
+
+def test_callbacks_can_schedule_more_work():
+    sim = Simulator()
+    hits = []
+
+    def chain(depth):
+        hits.append(depth)
+        if depth < 3:
+            sim.schedule(1.0, chain, depth + 1)
+
+    sim.schedule(1.0, chain, 0)
+    sim.run()
+    assert hits == [0, 1, 2, 3]
+    assert sim.now == 4.0
+
+
+def test_events_dispatched_counter():
+    sim = Simulator()
+    for _ in range(5):
+        sim.schedule(1.0, lambda: None)
+    sim.run()
+    assert sim.events_dispatched == 5
+
+
+def test_reentrant_run_rejected():
+    sim = Simulator()
+    failures = []
+
+    def recurse():
+        try:
+            sim.run()
+        except SimulationError:
+            failures.append(True)
+
+    sim.schedule(1.0, recurse)
+    sim.run()
+    assert failures == [True]
+
+
+def test_determinism_same_schedule_same_trace():
+    def trace():
+        sim = Simulator()
+        hits = []
+        for i in range(50):
+            sim.schedule((i * 37 % 11) / 10.0, hits.append, i)
+        sim.run()
+        return hits
+
+    assert trace() == trace()

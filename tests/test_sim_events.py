@@ -1,0 +1,93 @@
+"""Tests for one-shot events and combinators."""
+
+import pytest
+
+from repro.sim.events import Event, all_of, any_of
+
+
+def test_trigger_sets_state_and_value():
+    event = Event("e")
+    assert not event.triggered
+    event.trigger(42)
+    assert event.triggered
+    assert event.value == 42
+
+
+def test_double_trigger_is_an_error():
+    event = Event("e")
+    event.trigger()
+    with pytest.raises(RuntimeError):
+        event.trigger()
+
+
+def test_callbacks_fire_in_registration_order():
+    event = Event()
+    order = []
+    event.add_callback(lambda v: order.append(("first", v)))
+    event.add_callback(lambda v: order.append(("second", v)))
+    event.trigger("x")
+    assert order == [("first", "x"), ("second", "x")]
+
+
+def test_callback_on_triggered_event_runs_immediately():
+    event = Event()
+    event.trigger(7)
+    seen = []
+    event.add_callback(seen.append)
+    assert seen == [7]
+
+
+def test_remove_callback():
+    event = Event()
+    seen = []
+    callback = seen.append
+    event.add_callback(callback)
+    assert event.remove_callback(callback)
+    assert not event.remove_callback(callback)
+    event.trigger(1)
+    assert seen == []
+
+
+def test_waiter_count():
+    event = Event()
+    event.add_callback(lambda v: None)
+    event.add_callback(lambda v: None)
+    assert event.waiter_count == 2
+    event.trigger()
+    assert event.waiter_count == 0
+
+
+def test_any_of_fires_on_first():
+    events = [Event(str(i)) for i in range(3)]
+    combined = any_of(events)
+    events[1].trigger("b")
+    assert combined.triggered
+    assert combined.value == (1, "b")
+    # Later triggers are ignored, not errors.
+    events[0].trigger("a")
+    assert combined.value == (1, "b")
+
+
+def test_all_of_waits_for_every_event():
+    events = [Event(str(i)) for i in range(3)]
+    combined = all_of(events)
+    events[2].trigger("c")
+    events[0].trigger("a")
+    assert not combined.triggered
+    events[1].trigger("b")
+    assert combined.triggered
+    assert combined.value == ["a", "b", "c"]
+
+
+def test_all_of_empty_triggers_immediately():
+    combined = all_of([])
+    assert combined.triggered
+    assert combined.value == []
+
+
+def test_any_of_with_already_triggered_member():
+    first = Event()
+    first.trigger("now")
+    combined = any_of([first, Event()])
+    assert combined.triggered
+    assert combined.value == (0, "now")

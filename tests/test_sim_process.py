@@ -1,0 +1,175 @@
+"""Tests for generator-based processes."""
+
+import pytest
+
+from repro.sim import Event, Process, ProcessKilled, Simulator
+
+
+def test_delay_yields_advance_time():
+    sim = Simulator()
+    trace = []
+
+    def proc():
+        trace.append(sim.now)
+        yield 1.0
+        trace.append(sim.now)
+        yield 2.5
+        trace.append(sim.now)
+
+    sim.spawn(proc())
+    sim.run()
+    assert trace == [0.0, 1.0, 3.5]
+
+
+def test_process_return_value_in_done_event():
+    sim = Simulator()
+
+    def proc():
+        yield 1.0
+        return "result"
+
+    process = sim.spawn(proc())
+    sim.run()
+    assert process.done.triggered
+    assert process.result == "result"
+    assert not process.alive
+
+
+def test_yield_event_receives_value():
+    sim = Simulator()
+    gate = Event("gate")
+    got = []
+
+    def waiter():
+        value = yield gate
+        got.append((sim.now, value))
+
+    sim.spawn(waiter())
+    sim.schedule(2.0, gate.trigger, "opened")
+    sim.run()
+    assert got == [(2.0, "opened")]
+
+
+def test_yield_already_triggered_event_resumes_same_time():
+    sim = Simulator()
+    gate = Event()
+    gate.trigger("early")
+    got = []
+
+    def waiter():
+        value = yield gate
+        got.append((sim.now, value))
+
+    sim.spawn(waiter())
+    sim.run()
+    assert got == [(0.0, "early")]
+
+
+def test_join_another_process():
+    sim = Simulator()
+
+    def child():
+        yield 3.0
+        return 99
+
+    def parent():
+        result = yield sim.spawn(child())
+        return (sim.now, result)
+
+    process = sim.spawn(parent())
+    sim.run()
+    assert process.result == (3.0, 99)
+
+
+def test_yield_none_resumes_at_same_time():
+    sim = Simulator()
+    times = []
+
+    def proc():
+        times.append(sim.now)
+        yield None
+        times.append(sim.now)
+
+    sim.spawn(proc())
+    sim.run()
+    assert times == [0.0, 0.0]
+
+
+def test_kill_stops_waiting_process():
+    sim = Simulator()
+    gate = Event()
+    reached = []
+
+    def proc():
+        try:
+            yield gate
+            reached.append("after-gate")
+        except ProcessKilled:
+            reached.append("killed")
+            raise
+
+    process = sim.spawn(proc())
+    sim.schedule(1.0, process.kill)
+    sim.run()
+    assert reached == ["killed"]
+    assert not process.alive
+    assert gate.waiter_count == 0
+
+
+def test_kill_idempotent():
+    sim = Simulator()
+
+    def proc():
+        yield 100.0
+
+    process = sim.spawn(proc())
+    sim.run(until=1.0)
+    process.kill()
+    process.kill()
+    assert not process.alive
+
+
+def test_bad_yield_type_raises():
+    sim = Simulator()
+
+    def proc():
+        yield "not-a-delay"
+
+    sim.spawn(proc())
+    with pytest.raises(TypeError):
+        sim.run()
+
+
+def test_two_processes_interleave_deterministically():
+    sim = Simulator()
+    trace = []
+
+    def ticker(name, period):
+        for _ in range(3):
+            yield period
+            trace.append((sim.now, name))
+
+    sim.spawn(ticker("a", 1.0))
+    sim.spawn(ticker("b", 1.5))
+    sim.run()
+    assert trace == [
+        (1.0, "a"),
+        (1.5, "b"),
+        (2.0, "a"),
+        (3.0, "b"),
+        (3.0, "a"),
+        (4.5, "b"),
+    ]
+
+
+def test_spawn_inside_callback_is_safe():
+    sim = Simulator()
+    results = []
+
+    def child():
+        yield 1.0
+        results.append(sim.now)
+
+    sim.schedule(1.0, lambda: sim.spawn(child()))
+    sim.run()
+    assert results == [2.0]

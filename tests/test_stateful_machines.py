@@ -1,0 +1,160 @@
+"""Hypothesis stateful (rule-based) machines for the core data structures.
+
+These complement the scripted property tests: hypothesis explores
+arbitrary interleavings of operations and shrinks failures to minimal
+command sequences.
+"""
+
+from hypothesis import settings
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    initialize,
+    invariant,
+    precondition,
+    rule,
+)
+from hypothesis import strategies as st
+
+from repro.core.monitoring_set import CuckooMonitoringSet
+from repro.core.policies import RoundRobinPolicy
+from repro.core.ready_set import HardwareReadySet
+from repro.queueing.doorbell import Doorbell
+from repro.queueing.taskqueue import TaskQueue, WorkItem
+
+
+class QueueDoorbellMachine(RuleBasedStateMachine):
+    """FIFO queue + doorbell counter must agree under any interleaving."""
+
+    def __init__(self):
+        super().__init__()
+        self.queue = TaskQueue(0, Doorbell(0, 0x1000), capacity=64)
+        self.model = []  # list of item ids, FIFO
+        self.next_id = 0
+
+    @rule()
+    def enqueue(self):
+        item = WorkItem(self.next_id, 0, arrival_time=0.0, service_time=1e-6)
+        accepted = self.queue.enqueue(item)
+        if len(self.model) < 64:
+            assert accepted
+            self.model.append(self.next_id)
+        else:
+            assert not accepted  # dropped on full
+        self.next_id += 1
+
+    @precondition(lambda self: self.model)
+    @rule()
+    def dequeue(self):
+        item = self.queue.dequeue(now=1.0)
+        expected = self.model.pop(0)
+        assert item.item_id == expected
+
+    @invariant()
+    def doorbell_matches_occupancy(self):
+        assert self.queue.doorbell.count == len(self.queue) == len(self.model)
+        self.queue.check_invariants()
+
+
+class MonitoringSetMachine(RuleBasedStateMachine):
+    """Cuckoo table vs. a dict model under insert/remove/arm/snoop."""
+
+    tags = st.integers(min_value=0, max_value=63).map(lambda i: 0x4000 + i * 64)
+
+    def __init__(self):
+        super().__init__()
+        self.table = CuckooMonitoringSet(capacity=64, ways=4, seed=2)
+        self.model = {}  # tag -> (qid, armed)
+
+    @rule(tag=tags)
+    def insert(self, tag):
+        if tag in self.model:
+            return
+        qid = tag // 64
+        if self.table.insert(tag, qid):
+            self.model[tag] = (qid, True)
+
+    @rule(tag=tags)
+    def remove(self, tag):
+        present = tag in self.model
+        assert self.table.remove(tag) == present
+        self.model.pop(tag, None)
+
+    @rule(tag=tags)
+    def snoop(self, tag):
+        expected = None
+        if tag in self.model and self.model[tag][1]:
+            expected = self.model[tag][0]
+            self.model[tag] = (expected, False)
+        assert self.table.snoop_write(tag) == expected
+
+    @rule(tag=tags)
+    def arm(self, tag):
+        if tag in self.model:
+            self.table.arm(tag)
+            self.model[tag] = (self.model[tag][0], True)
+
+    @invariant()
+    def table_matches_model(self):
+        assert self.table.occupancy == len(self.model)
+        for tag, (qid, armed) in self.model.items():
+            entry = self.table.lookup(tag)
+            assert entry is not None
+            assert entry.qid == qid and entry.armed == armed
+        self.table.check_invariants()
+
+
+class ReadySetMachine(RuleBasedStateMachine):
+    """Ready/enabled masks vs. a set model; RR selection stays valid."""
+
+    qids = st.integers(min_value=0, max_value=15)
+
+    def __init__(self):
+        super().__init__()
+        self.ready_set = HardwareReadySet(16, RoundRobinPolicy(16))
+        self.ready = set()
+        self.enabled = set(range(16))
+
+    @rule(qid=qids)
+    def activate(self, qid):
+        self.ready_set.activate(qid)
+        self.ready.add(qid)
+
+    @rule(qid=qids)
+    def deactivate(self, qid):
+        self.ready_set.deactivate(qid)
+        self.ready.discard(qid)
+
+    @rule(qid=qids)
+    def disable(self, qid):
+        self.ready_set.disable(qid)
+        self.enabled.discard(qid)
+
+    @rule(qid=qids)
+    def enable(self, qid):
+        self.ready_set.enable(qid)
+        self.enabled.add(qid)
+
+    @rule()
+    def take(self):
+        selected = self.ready_set.select_and_take()
+        selectable = self.ready & self.enabled
+        if not selectable:
+            assert selected is None
+        else:
+            assert selected in selectable
+            self.ready.discard(selected)
+
+    @invariant()
+    def masks_match_model(self):
+        for qid in range(16):
+            assert self.ready_set.is_ready(qid) == (qid in self.ready)
+            assert self.ready_set.is_enabled(qid) == (qid in self.enabled)
+        assert self.ready_set.ready_count == len(self.ready)
+
+
+TestQueueDoorbellMachine = QueueDoorbellMachine.TestCase
+TestMonitoringSetMachine = MonitoringSetMachine.TestCase
+TestReadySetMachine = ReadySetMachine.TestCase
+
+for case in (TestQueueDoorbellMachine, TestMonitoringSetMachine, TestReadySetMachine):
+    case.settings = settings(max_examples=40, stateful_step_count=60, deadline=None)

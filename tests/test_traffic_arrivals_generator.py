@@ -1,0 +1,111 @@
+"""Tests for arrival processes and work-item generators."""
+
+import random
+
+import pytest
+
+from repro.mem.address import DoorbellRegion
+from repro.queueing import Doorbell, TaskQueue
+from repro.sim import Simulator
+from repro.traffic.arrivals import DeterministicArrivals, PoissonArrivals, load_to_rate
+from repro.traffic.generator import ClosedLoopRefill, OpenLoopGenerator
+from repro.traffic.shapes import FullyBalanced, SingleQueue
+
+
+def make_queues(n, capacity=1000):
+    return [TaskQueue(q, Doorbell(q, q * 64), capacity=capacity) for q in range(n)]
+
+
+def test_poisson_mean_rate():
+    arrivals = PoissonArrivals(1000.0, random.Random(0))
+    samples = [arrivals.next_interarrival() for _ in range(20000)]
+    assert sum(samples) / len(samples) == pytest.approx(1e-3, rel=0.05)
+    assert arrivals.rate == 1000.0
+
+
+def test_deterministic_interval():
+    arrivals = DeterministicArrivals(4.0)
+    assert arrivals.next_interarrival() == 0.25
+
+
+def test_rate_validation():
+    with pytest.raises(ValueError):
+        PoissonArrivals(0.0, random.Random(0))
+    with pytest.raises(ValueError):
+        DeterministicArrivals(-1.0)
+
+
+def test_load_to_rate():
+    # 50% load, 2 us service, 4 cores => 1M tasks/s.
+    assert load_to_rate(0.5, 2e-6, servers=4) == pytest.approx(1.0e6)
+    with pytest.raises(ValueError):
+        load_to_rate(0.0, 1e-6)
+    with pytest.raises(ValueError):
+        load_to_rate(0.5, 0.0)
+
+
+def test_open_loop_generates_bounded_items():
+    sim = Simulator()
+    queues = make_queues(4)
+    generator = OpenLoopGenerator(
+        sim,
+        queues,
+        FullyBalanced(),
+        DeterministicArrivals(1e6),
+        service_sampler=lambda: 1e-6,
+        rng=random.Random(0),
+        max_items=50,
+    )
+    sim.run()
+    assert generator.generated == 50
+    assert sum(len(q) for q in queues) == 50
+    # Arrival times are stamped with sim time.
+    assert queues[0].peek_arrival_time() is not None
+
+
+def test_open_loop_counts_drops():
+    sim = Simulator()
+    queues = make_queues(1, capacity=10)
+    generator = OpenLoopGenerator(
+        sim,
+        queues,
+        SingleQueue(),
+        DeterministicArrivals(1e6),
+        service_sampler=lambda: 1e-6,
+        rng=random.Random(0),
+        max_items=25,
+    )
+    sim.run()
+    assert generator.dropped == 15
+    assert len(queues[0]) == 10
+
+
+def test_closed_loop_prefills_hot_queues():
+    sim = Simulator()
+    queues = make_queues(10)
+    refill = ClosedLoopRefill(
+        sim, queues, SingleQueue(), service_sampler=lambda: 1e-6, depth=3
+    )
+    assert len(queues[0]) == 3
+    assert all(len(queues[q]) == 0 for q in range(1, 10))
+    assert refill.generated == 3
+
+
+def test_closed_loop_replaces_dequeued_items():
+    sim = Simulator()
+    queues = make_queues(2)
+    refill = ClosedLoopRefill(
+        sim, queues, SingleQueue(), service_sampler=lambda: 1e-6, depth=2
+    )
+    queues[0].dequeue(0.0)
+    refill.notify_dequeue(0)
+    assert len(queues[0]) == 2
+    # Cold queues are not refilled.
+    refill.notify_dequeue(1)
+    assert len(queues[1]) == 0
+
+
+def test_closed_loop_depth_validation():
+    sim = Simulator()
+    with pytest.raises(ValueError):
+        ClosedLoopRefill(sim, make_queues(1), SingleQueue(), lambda: 1e-6, depth=0)

@@ -1,0 +1,105 @@
+"""Tests for the four traffic shapes."""
+
+import random
+
+import pytest
+
+from repro.traffic.shapes import (
+    SHAPES,
+    FullyBalanced,
+    NonproportionallyConcentrated,
+    ProportionallyConcentrated,
+    SingleQueue,
+    shape_by_name,
+)
+
+
+def test_fb_uniform_weights():
+    shape = FullyBalanced()
+    weights = shape.weights(10)
+    assert weights == [1.0] * 10
+    assert shape.hot_queue_ids(10) == list(range(10))
+
+
+def test_pc_hot_fraction_and_cold_activity():
+    shape = ProportionallyConcentrated()
+    weights = shape.weights(100)
+    hot = shape.hot_queue_ids(100)
+    assert len(hot) == 20
+    for qid in range(100):
+        expected = 1.0 if qid in set(hot) else 0.05
+        assert weights[qid] == expected
+
+
+def test_nc_fixed_hot_count():
+    shape = NonproportionallyConcentrated()
+    assert len(shape.hot_queue_ids(1000)) == 100
+    assert len(shape.hot_queue_ids(400)) == 100
+    # Fewer queues than the fixed count: all hot.
+    assert len(shape.hot_queue_ids(50)) == 50
+
+
+def test_sq_single_hot_queue():
+    shape = SingleQueue()
+    weights = shape.weights(5)
+    assert weights == [1.0, 0.0, 0.0, 0.0, 0.0]
+    assert shape.hot_queue_ids(5) == [0]
+
+
+def test_normalized_weights_sum_to_one():
+    for name in SHAPES:
+        shape = shape_by_name(name)
+        total = sum(shape.normalized_weights(200))
+        assert total == pytest.approx(1.0)
+
+
+def test_empty_polls_per_task_matches_paper():
+    # Paper Section V-B: n ~= 5 polls/task for PC (4 empty + 1 ready),
+    # n = 1 for FB (0 empty), large for SQ.
+    assert FullyBalanced().empty_polls_per_task(400) == 0.0
+    assert ProportionallyConcentrated().empty_polls_per_task(400) == pytest.approx(4.0)
+    assert SingleQueue().empty_polls_per_task(400) == 399.0
+    assert NonproportionallyConcentrated().empty_polls_per_task(1000) == pytest.approx(9.0)
+
+
+def test_sampler_respects_weights():
+    shape = ProportionallyConcentrated()
+    rng = random.Random(0)
+    draw = shape.sampler(100, rng)
+    hot = set(shape.hot_queue_ids(100))
+    draws = [draw() for _ in range(20000)]
+    hot_fraction = sum(1 for q in draws if q in hot) / len(draws)
+    # Expected: 20 / (20 + 80 * 0.05) = 0.833...
+    assert hot_fraction == pytest.approx(20 / 24, abs=0.02)
+
+
+def test_sq_sampler_always_queue_zero():
+    draw = SingleQueue().sampler(50, random.Random(1))
+    assert all(draw() == 0 for _ in range(100))
+
+
+def test_sampler_covers_all_fb_queues():
+    draw = FullyBalanced().sampler(8, random.Random(2))
+    seen = {draw() for _ in range(2000)}
+    assert seen == set(range(8))
+
+
+def test_hot_ids_spread_across_id_space():
+    # Hot queues must not cluster at low ids (matters for scale-out
+    # partitioning fairness).
+    hot = ProportionallyConcentrated().hot_queue_ids(100)
+    assert min(hot) < 10 and max(hot) > 90
+
+
+def test_shape_by_name_roundtrip_and_errors():
+    for name in ("FB", "pc", "Nc", "sq"):
+        assert shape_by_name(name).name == name.upper()
+    with pytest.raises(ValueError):
+        shape_by_name("XX")
+
+
+def test_invalid_queue_count_rejected():
+    with pytest.raises(ValueError):
+        FullyBalanced().weights(0)
+    with pytest.raises(ValueError):
+        SingleQueue().hot_queue_ids(-1)

@@ -1,0 +1,63 @@
+"""Tests for the kernel calibration harness."""
+
+import pytest
+
+from repro.workloads.calibration import (
+    build_kernel_drivers,
+    calibration_report,
+    measure_kernels,
+)
+from repro.workloads.service import WORKLOADS
+
+HEAVY = ("crypto-forwarding", "erasure-coding", "raid-protection")
+LIGHT = ("packet-encapsulation", "packet-steering", "request-dispatching")
+
+
+def test_drivers_cover_all_six_workloads():
+    drivers = build_kernel_drivers()
+    assert set(drivers) == set(WORKLOADS)
+    for driver in drivers.values():
+        driver()  # every kernel runs without error
+
+
+def test_drivers_do_real_work():
+    drivers = build_kernel_drivers(seed=1)
+    encapsulated = drivers["packet-encapsulation"]()
+    assert isinstance(encapsulated, bytes) and len(encapsulated) > 40
+    ciphertext = drivers["crypto-forwarding"]()
+    assert isinstance(ciphertext, bytes) and len(ciphertext) % 16 == 0
+
+
+@pytest.fixture(scope="module")
+def timings():
+    return measure_kernels(iterations=30, repeats=2)
+
+
+def test_heavy_kernels_cost_more_in_both_columns(timings):
+    for heavy in HEAVY:
+        for light in LIGHT:
+            assert (
+                timings[heavy].seconds_per_item > timings[light].seconds_per_item
+            ), f"{heavy} measured cheaper than {light}"
+            assert (
+                timings[heavy].configured_mean_us > 0
+                and timings[light].configured_mean_us > 0
+            )
+    # Configured means preserve the same heavy/light split.
+    slowest_light = max(WORKLOADS[name].mean_service_us for name in LIGHT)
+    for heavy in HEAVY:
+        assert WORKLOADS[heavy].mean_service_us > slowest_light
+
+
+def test_timings_are_positive_and_annotated(timings):
+    for name, timing in timings.items():
+        assert timing.seconds_per_item > 0
+        assert timing.measured_us == pytest.approx(timing.seconds_per_item * 1e6)
+        assert timing.configured_mean_us == WORKLOADS[name].mean_service_us
+
+
+def test_report_format(timings):
+    report = calibration_report(timings)
+    for name in WORKLOADS:
+        assert name in report
+    assert "ratio" in report

@@ -1,0 +1,124 @@
+"""Tests for the from-scratch AES-CBC-256."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.workloads.crypto import (
+    INV_SBOX,
+    SBOX,
+    AesCbc,
+    aes_cbc_decrypt,
+    aes_cbc_encrypt,
+    _gf_inverse,
+    _gf_mul,
+)
+
+FIPS_KEY = bytes(range(32))
+FIPS_PLAIN = bytes.fromhex("00112233445566778899aabbccddeeff")
+FIPS_CIPHER = bytes.fromhex("8ea2b7ca516745bfeafc49904b496089")
+
+
+def test_fips197_appendix_c3_known_answer():
+    cipher = AesCbc(FIPS_KEY)
+    assert cipher.encrypt_block(FIPS_PLAIN) == FIPS_CIPHER
+    assert cipher.decrypt_block(FIPS_CIPHER) == FIPS_PLAIN
+
+
+def test_sbox_known_entries():
+    # FIPS-197 Figure 7 spot checks.
+    assert SBOX[0x00] == 0x63
+    assert SBOX[0x53] == 0xED
+    assert SBOX[0xFF] == 0x16
+
+
+def test_sbox_is_a_permutation_and_inverse_matches():
+    assert sorted(SBOX) == list(range(256))
+    for value in range(256):
+        assert INV_SBOX[SBOX[value]] == value
+
+
+def test_sbox_has_no_fixed_points():
+    assert all(SBOX[v] != v for v in range(256))
+
+
+def test_gf_arithmetic_known_products():
+    # FIPS-197 Section 4.2: 57 * 83 = c1.
+    assert _gf_mul(0x57, 0x83) == 0xC1
+    assert _gf_mul(0x57, 0x13) == 0xFE
+
+
+def test_gf_inverse():
+    assert _gf_inverse(0) == 0
+    for value in range(1, 256):
+        assert _gf_mul(value, _gf_inverse(value)) == 1
+
+
+def test_cbc_roundtrip_various_lengths():
+    cipher = AesCbc(FIPS_KEY)
+    iv = bytes(range(16))
+    for length in (0, 1, 15, 16, 17, 100, 256):
+        message = bytes((i * 7) % 256 for i in range(length))
+        assert cipher.decrypt(cipher.encrypt(message, iv), iv) == message
+
+
+def test_cbc_same_plaintext_different_iv_differs():
+    cipher = AesCbc(FIPS_KEY)
+    message = b"A" * 32
+    a = cipher.encrypt(message, bytes(16))
+    b = cipher.encrypt(message, bytes([1] * 16))
+    assert a != b
+
+
+def test_cbc_chaining_not_ecb():
+    # Two identical plaintext blocks must not produce identical
+    # ciphertext blocks under CBC.
+    cipher = AesCbc(FIPS_KEY)
+    out = cipher.encrypt(b"B" * 32, bytes(16))
+    assert out[:16] != out[16:32]
+
+
+def test_ciphertext_length_is_padded_multiple():
+    out = aes_cbc_encrypt(FIPS_KEY, bytes(16), b"12345")
+    assert len(out) == 16
+    out = aes_cbc_encrypt(FIPS_KEY, bytes(16), b"x" * 16)
+    assert len(out) == 32  # full pad block
+
+
+def test_bad_padding_detected():
+    cipher = AesCbc(FIPS_KEY)
+    iv = bytes(16)
+    tampered = bytearray(cipher.encrypt(b"hello", iv))
+    tampered[-1] ^= 0x01
+    with pytest.raises(ValueError, match="padding"):
+        cipher.decrypt(bytes(tampered), iv)
+
+
+def test_input_validation():
+    with pytest.raises(ValueError):
+        AesCbc(b"short")
+    cipher = AesCbc(FIPS_KEY)
+    with pytest.raises(ValueError):
+        cipher.encrypt_block(b"short")
+    with pytest.raises(ValueError):
+        cipher.encrypt(b"x", b"short-iv")
+    with pytest.raises(ValueError):
+        cipher.decrypt(b"x" * 15, bytes(16))
+    with pytest.raises(ValueError):
+        cipher.decrypt(b"", bytes(16))
+
+
+def test_oneshot_helpers():
+    iv = bytes([9] * 16)
+    message = b"one-shot helpers"
+    assert aes_cbc_decrypt(FIPS_KEY, iv, aes_cbc_encrypt(FIPS_KEY, iv, message)) == message
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    key=st.binary(min_size=32, max_size=32),
+    iv=st.binary(min_size=16, max_size=16),
+    message=st.binary(max_size=200),
+)
+def test_property_cbc_roundtrip(key, iv, message):
+    assert aes_cbc_decrypt(key, iv, aes_cbc_encrypt(key, iv, message)) == message

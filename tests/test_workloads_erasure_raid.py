@@ -1,0 +1,185 @@
+"""Tests for GF(256), Reed-Solomon erasure coding, and RAID P+Q."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.workloads.erasure import CauchyReedSolomon, GF256
+from repro.workloads.raid import RaidPQ
+
+FIELD = GF256()
+nonzero = st.integers(min_value=1, max_value=255)
+elements = st.integers(min_value=0, max_value=255)
+
+
+@settings(max_examples=100, deadline=None)
+@given(a=elements, b=elements, c=elements)
+def test_property_field_axioms(a, b, c):
+    # Commutativity and associativity of multiplication.
+    assert FIELD.mul(a, b) == FIELD.mul(b, a)
+    assert FIELD.mul(FIELD.mul(a, b), c) == FIELD.mul(a, FIELD.mul(b, c))
+    # Distributivity over XOR addition.
+    assert FIELD.mul(a, b ^ c) == FIELD.mul(a, b) ^ FIELD.mul(a, c)
+
+
+@settings(max_examples=100, deadline=None)
+@given(a=nonzero)
+def test_property_inverse_and_division(a):
+    assert FIELD.mul(a, FIELD.inverse(a)) == 1
+    assert FIELD.div(a, a) == 1
+    assert FIELD.div(0, a) == 0
+
+
+def test_field_identity_and_zero():
+    for a in range(256):
+        assert FIELD.mul(a, 1) == a
+        assert FIELD.mul(a, 0) == 0
+        assert FIELD.add(a, a) == 0  # characteristic 2
+
+
+def test_field_pow():
+    assert FIELD.pow(2, 0) == 1
+    assert FIELD.pow(2, 1) == 2
+    assert FIELD.pow(2, 8) == FIELD.mul(FIELD.pow(2, 4), FIELD.pow(2, 4))
+
+
+def test_division_by_zero():
+    with pytest.raises(ZeroDivisionError):
+        FIELD.div(5, 0)
+    with pytest.raises(ZeroDivisionError):
+        FIELD.inverse(0)
+
+
+def test_matrix_inverse_roundtrip():
+    matrix = [[1, 2, 3], [4, 5, 6], [7, 8, 10]]
+    inverse = FIELD.invert_matrix(matrix)
+    identity = FIELD.matmul(matrix, inverse)
+    expected = [[int(i == j) for j in range(3)] for i in range(3)]
+    assert identity == expected
+
+
+def test_singular_matrix_rejected():
+    with pytest.raises(ValueError, match="singular"):
+        FIELD.invert_matrix([[1, 1], [1, 1]])
+
+
+def test_rs_encode_shape():
+    rs = CauchyReedSolomon(4, 2)
+    fragments = rs.encode(b"0123456789abcdef")
+    assert len(fragments) == 6
+    assert all(len(f) == 4 for f in fragments)
+    assert b"".join(fragments[:4]) == b"0123456789abcdef"  # systematic
+
+
+def test_rs_decode_with_no_erasures():
+    rs = CauchyReedSolomon(3, 2)
+    data = b"hello world!"
+    fragments = rs.encode(data)
+    assert rs.decode(fragments)[: len(data)] == data
+
+
+def test_rs_recovers_max_erasures():
+    rs = CauchyReedSolomon(5, 3)
+    data = bytes(range(250))
+    fragments = rs.encode(data)
+    erased = list(fragments)
+    erased[0] = None
+    erased[3] = None
+    erased[6] = None  # one data-parity mix, 3 = m erasures
+    assert rs.decode(erased)[: len(data)] == data
+
+
+def test_rs_unrecoverable_raises():
+    rs = CauchyReedSolomon(4, 2)
+    fragments = rs.encode(b"x" * 16)
+    erased = [None, None, None] + list(fragments[3:])
+    with pytest.raises(ValueError, match="unrecoverable"):
+        rs.decode(erased)
+
+
+def test_rs_validation():
+    with pytest.raises(ValueError):
+        CauchyReedSolomon(0, 1)
+    with pytest.raises(ValueError):
+        CauchyReedSolomon(200, 100)
+    rs = CauchyReedSolomon(2, 1)
+    with pytest.raises(ValueError):
+        rs.decode([b"ab", b"cd"])  # wrong slot count
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    data=st.binary(min_size=1, max_size=120),
+    erasures=st.sets(st.integers(min_value=0, max_value=6), max_size=3),
+)
+def test_property_rs_roundtrip_any_k_survivors(data, erasures):
+    rs = CauchyReedSolomon(4, 3)
+    fragments = rs.encode(data)
+    slots = [None if i in erasures else f for i, f in enumerate(fragments)]
+    assert rs.decode(slots)[: len(data)] == data
+
+
+def make_blocks(count, length=32, seed=1):
+    return [
+        bytes((seed * 31 + i * 7 + j) % 256 for j in range(length))
+        for i in range(count)
+    ]
+
+
+def test_raid_parity_verifies():
+    raid = RaidPQ(6)
+    blocks = make_blocks(6)
+    p, q = raid.compute_parity(blocks)
+    assert raid.verify(blocks, p, q)
+    corrupted = [bytes(64)] + blocks[1:]
+    assert not raid.verify(
+        [bytes(len(blocks[0]))] + list(blocks[1:]), p, q
+    )
+
+
+def test_raid_recover_one_with_p():
+    raid = RaidPQ(5)
+    blocks = make_blocks(5)
+    p, _q = raid.compute_parity(blocks)
+    lost = list(blocks)
+    lost[3] = None
+    assert raid.recover_one(lost, p) == blocks
+
+
+def test_raid_recover_two_with_pq():
+    raid = RaidPQ(8)
+    blocks = make_blocks(8)
+    p, q = raid.compute_parity(blocks)
+    lost = list(blocks)
+    lost[1] = None
+    lost[6] = None
+    assert raid.recover_two(lost, p, q) == blocks
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=1000),
+    pair=st.tuples(st.integers(0, 7), st.integers(0, 7)).filter(lambda t: t[0] < t[1]),
+)
+def test_property_raid_recovers_any_two(seed, pair):
+    raid = RaidPQ(8)
+    blocks = make_blocks(8, seed=seed)
+    p, q = raid.compute_parity(blocks)
+    lost = list(blocks)
+    lost[pair[0]] = None
+    lost[pair[1]] = None
+    assert raid.recover_two(lost, p, q) == blocks
+
+
+def test_raid_validation():
+    with pytest.raises(ValueError):
+        RaidPQ(1)
+    raid = RaidPQ(4)
+    blocks = make_blocks(4)
+    p, q = raid.compute_parity(blocks)
+    with pytest.raises(ValueError, match="exactly one"):
+        raid.recover_one(blocks, p)
+    with pytest.raises(ValueError, match="exactly two"):
+        raid.recover_two(blocks, p, q)
+    with pytest.raises(ValueError, match="same length"):
+        raid.compute_parity([b"ab", b"abc", b"ab", b"ab"])

@@ -1,0 +1,130 @@
+"""Tests for packet formats and GRE encapsulation."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.workloads.encapsulation import (
+    ETHERTYPE_IPV4,
+    build_gre_header,
+    gre_decapsulate,
+    gre_encapsulate,
+    parse_gre_header,
+)
+from repro.workloads.packet import (
+    IPV4_HEADER_LEN,
+    IPV6_HEADER_LEN,
+    Ipv4Packet,
+    Ipv6Packet,
+    PROTO_GRE,
+    ipv4_header_checksum,
+)
+
+
+def test_ipv4_roundtrip():
+    packet = Ipv4Packet(src=0x0A000001, dst=0x0A000002, payload=b"hello")
+    parsed = Ipv4Packet.from_bytes(packet.to_bytes())
+    assert parsed == packet
+
+
+def test_ipv4_checksum_verifies_to_zero():
+    packet = Ipv4Packet(src=1, dst=2, payload=b"x")
+    header = packet.to_bytes()[:IPV4_HEADER_LEN]
+    assert ipv4_header_checksum(header) == 0
+
+
+def test_ipv4_corruption_detected():
+    data = bytearray(Ipv4Packet(src=1, dst=2, payload=b"x").to_bytes())
+    data[8] ^= 0xFF  # flip TTL
+    with pytest.raises(ValueError, match="checksum"):
+        Ipv4Packet.from_bytes(bytes(data))
+
+
+def test_ipv4_validation():
+    with pytest.raises(ValueError):
+        Ipv4Packet(src=1 << 32, dst=0)
+    with pytest.raises(ValueError):
+        Ipv4Packet(src=0, dst=0, protocol=300)
+    with pytest.raises(ValueError):
+        Ipv4Packet.from_bytes(b"\x45" + b"\x00" * 10)  # truncated
+
+
+def test_ipv6_roundtrip():
+    packet = Ipv6Packet(
+        src=1 << 120, dst=2, next_header=17, flow_label=0xABCDE, payload=b"data"
+    )
+    parsed = Ipv6Packet.from_bytes(packet.to_bytes())
+    assert parsed == packet
+
+
+def test_ipv6_validation():
+    with pytest.raises(ValueError):
+        Ipv6Packet(src=1 << 128, dst=0)
+    with pytest.raises(ValueError):
+        Ipv6Packet(src=0, dst=0, flow_label=1 << 20)
+    with pytest.raises(ValueError):
+        Ipv6Packet.from_bytes(b"\x60" + b"\x00" * 8)
+
+
+def test_ipv6_version_check():
+    data = bytearray(Ipv6Packet(src=0, dst=0).to_bytes())
+    data[0] = 0x40  # version 4
+    with pytest.raises(ValueError, match="IPv6"):
+        Ipv6Packet.from_bytes(bytes(data))
+
+
+def test_gre_header_format():
+    header = build_gre_header()
+    assert len(header) == 4
+    assert parse_gre_header(header) == ETHERTYPE_IPV4
+
+
+def test_gre_rejects_checksum_flag_and_version():
+    with pytest.raises(ValueError, match="checksum"):
+        parse_gre_header(b"\x80\x00\x08\x00")
+    with pytest.raises(ValueError, match="version"):
+        parse_gre_header(b"\x00\x01\x08\x00")
+    with pytest.raises(ValueError, match="truncated"):
+        parse_gre_header(b"\x00")
+
+
+def test_encapsulation_structure():
+    inner = Ipv4Packet(src=0xC0A80001, dst=0xC0A80002, payload=b"payload")
+    outer = gre_encapsulate(inner, tunnel_src=0xFE80 << 112, tunnel_dst=1)
+    assert outer.next_header == PROTO_GRE
+    wire = outer.to_bytes()
+    assert len(wire) == IPV6_HEADER_LEN + 4 + inner.total_length
+
+
+def test_decapsulation_roundtrip():
+    inner = Ipv4Packet(src=1, dst=2, payload=b"abc" * 100)
+    outer = gre_encapsulate(inner, tunnel_src=10, tunnel_dst=20)
+    recovered = gre_decapsulate(Ipv6Packet.from_bytes(outer.to_bytes()))
+    assert recovered == inner
+
+
+def test_decapsulate_rejects_non_gre():
+    packet = Ipv6Packet(src=0, dst=0, next_header=17, payload=b"\x00" * 8)
+    with pytest.raises(ValueError, match="not GRE"):
+        gre_decapsulate(packet)
+
+
+def test_decapsulate_rejects_non_ipv4_inner():
+    packet = Ipv6Packet(
+        src=0, dst=0, next_header=PROTO_GRE, payload=b"\x00\x00\x86\xdd" + b"\x00" * 40
+    )
+    with pytest.raises(ValueError, match="not IPv4"):
+        gre_decapsulate(packet)
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    src=st.integers(min_value=0, max_value=(1 << 32) - 1),
+    dst=st.integers(min_value=0, max_value=(1 << 32) - 1),
+    ttl=st.integers(min_value=0, max_value=255),
+    payload=st.binary(max_size=512),
+)
+def test_property_gre_tunnel_roundtrip(src, dst, ttl, payload):
+    inner = Ipv4Packet(src=src, dst=dst, ttl=ttl, payload=payload)
+    outer = gre_encapsulate(inner, tunnel_src=src, tunnel_dst=dst)
+    assert gre_decapsulate(Ipv6Packet.from_bytes(outer.to_bytes())) == inner

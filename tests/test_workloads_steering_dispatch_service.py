@@ -1,0 +1,236 @@
+"""Tests for packet steering, request dispatching, and service models."""
+
+import random
+import statistics
+
+import pytest
+
+from repro.workloads.dispatch import Request, RequestDispatcher, RequestType, RpcCall
+from repro.workloads.service import ServiceTimeModel, WORKLOADS, workload_by_name
+from repro.workloads.steering import PacketSteerer, five_tuple_hash, fnv1a_64
+
+
+def flow(i):
+    return (0x0A000000 + i, 0x0A010000 + i, 1000 + i, 443, 6)
+
+
+# -- steering -----------------------------------------------------------------
+
+
+def test_session_affinity_is_stable():
+    steerer = PacketSteerer(num_workers=8)
+    workers = [steerer.steer(flow(5)) for _ in range(10)]
+    assert len(set(workers)) == 1
+    assert steerer.stats.hits == 9
+    assert steerer.stats.misses == 1
+
+
+def test_flows_spread_over_workers():
+    steerer = PacketSteerer(num_workers=8)
+    assignments = {steerer.steer(flow(i)) for i in range(500)}
+    assert assignments == set(range(8))
+
+
+def test_table_eviction_fifo():
+    steerer = PacketSteerer(num_workers=4, table_capacity=3)
+    for i in range(4):
+        steerer.steer(flow(i))
+    assert steerer.stats.evictions == 1
+    assert steerer.session_count == 3
+    # Oldest flow was evicted: re-steering it is a miss.
+    steerer.steer(flow(0))
+    assert steerer.stats.misses == 5
+
+
+def test_rebalance_drops_stale_affinities():
+    steerer = PacketSteerer(num_workers=8)
+    for i in range(100):
+        steerer.steer(flow(i))
+    steerer.rebalance(2)
+    assert all(w < 2 for w in (steerer.steer(flow(i)) for i in range(100)))
+
+
+def test_five_tuple_hash_sensitivity():
+    assert five_tuple_hash(flow(1)) != five_tuple_hash(flow(2))
+    base = (1, 2, 3, 4, 6)
+    assert five_tuple_hash(base) != five_tuple_hash((1, 2, 3, 4, 17))
+
+
+def test_fnv1a_known_vector():
+    # Standard FNV-1a 64-bit test vector.
+    assert fnv1a_64(b"") == 0xCBF29CE484222325
+    assert fnv1a_64(b"a") == 0xAF63DC4C8601EC8C
+
+
+def test_steerer_validation():
+    with pytest.raises(ValueError):
+        PacketSteerer(0)
+    with pytest.raises(ValueError):
+        PacketSteerer(2, table_capacity=0)
+    with pytest.raises(ValueError):
+        PacketSteerer(2).rebalance(0)
+
+
+# -- dispatching ----------------------------------------------------------------
+
+
+def test_request_wire_roundtrip():
+    request = Request(RequestType.PUT, tenant_id=42, request_id=7, body=b"value")
+    assert Request.from_bytes(request.to_bytes()) == request
+
+
+def test_dispatch_routes_by_type_and_tenant():
+    dispatcher = RequestDispatcher(shards_per_tier=8)
+    call = dispatcher.dispatch(Request(RequestType.GET, 10, 1, b"k").to_bytes())
+    assert isinstance(call, RpcCall)
+    assert call.target_tier == "cache-tier"
+    assert call.target_shard == 10 % 8
+    assert call.method == "get"
+    put = dispatcher.dispatch(Request(RequestType.PUT, 10, 2).to_bytes())
+    assert put.target_tier == "storage-tier"
+    assert dispatcher.dispatched_by_type[RequestType.GET] == 1
+
+
+def test_dispatch_same_tenant_same_shard():
+    dispatcher = RequestDispatcher()
+    calls = [
+        dispatcher.dispatch(Request(t, 99, i).to_bytes())
+        for i, t in enumerate(RequestType)
+    ]
+    assert len({c.target_shard for c in calls}) == 1
+
+
+def test_dispatch_rejects_garbage():
+    dispatcher = RequestDispatcher()
+    with pytest.raises(ValueError, match="magic"):
+        dispatcher.dispatch(b"\x00" * 16)
+    with pytest.raises(ValueError, match="truncated"):
+        dispatcher.dispatch(b"\x00")
+    bad_type = bytearray(Request(RequestType.GET, 1, 1).to_bytes())
+    bad_type[3] = 99
+    with pytest.raises(ValueError, match="unknown request type"):
+        dispatcher.dispatch(bytes(bad_type))
+    assert dispatcher.parse_errors == 3
+
+
+def test_dispatch_batch_counts_errors():
+    dispatcher = RequestDispatcher()
+    wires = [Request(RequestType.SCAN, 1, i).to_bytes() for i in range(3)]
+    wires.insert(1, b"junk-junk-junk-junk")
+    calls, errors = dispatcher.dispatch_batch(wires)
+    assert len(calls) == 3
+    assert errors == 1
+
+
+def test_dispatcher_validation():
+    with pytest.raises(ValueError):
+        RequestDispatcher(shards_per_tier=0)
+
+
+# -- service-time models ----------------------------------------------------------
+
+
+def test_all_six_workloads_registered():
+    assert len(WORKLOADS) == 6
+    for spec in WORKLOADS.values():
+        assert spec.mean_service_us > 0
+        assert spec.saturation_rate == pytest.approx(1e6 / spec.mean_service_us)
+
+
+def test_workload_aliases():
+    assert workload_by_name("encap").name == "packet-encapsulation"
+    assert workload_by_name("CRYPTO").name == "crypto-forwarding"
+    assert workload_by_name("raid_protection").name == "raid-protection"
+    with pytest.raises(ValueError):
+        workload_by_name("nope")
+
+
+def test_exponential_sampler_mean():
+    model = ServiceTimeModel(workload_by_name("encap"), random.Random(0))
+    samples = [model() for _ in range(20000)]
+    assert statistics.mean(samples) == pytest.approx(1.4e-6, rel=0.05)
+
+
+def test_deterministic_sampler():
+    model = ServiceTimeModel(workload_by_name("encap"), random.Random(0), scv=0.0)
+    assert model() == model() == pytest.approx(1.4e-6)
+
+
+def test_erlang_sampler_reduces_variance():
+    spec = workload_by_name("crypto")
+    exponential = ServiceTimeModel(spec, random.Random(1), scv=1.0)
+    erlang = ServiceTimeModel(spec, random.Random(1), scv=0.25)
+    exp_samples = [exponential() for _ in range(5000)]
+    erl_samples = [erlang() for _ in range(5000)]
+    assert statistics.pstdev(erl_samples) < statistics.pstdev(exp_samples)
+    assert statistics.mean(erl_samples) == pytest.approx(spec.mean_service_seconds, rel=0.1)
+
+
+def test_hyperexponential_sampler_matches_mean_and_raises_variance():
+    spec = workload_by_name("encap")
+    model = ServiceTimeModel(spec, random.Random(2), scv=4.0)
+    samples = [model() for _ in range(40000)]
+    mean = statistics.mean(samples)
+    assert mean == pytest.approx(spec.mean_service_seconds, rel=0.1)
+    scv = statistics.pvariance(samples) / mean**2
+    assert scv > 2.0
+
+
+def test_negative_scv_rejected():
+    with pytest.raises(ValueError):
+        ServiceTimeModel(workload_by_name("encap"), random.Random(0), scv=-1.0)
+
+
+# -- Toeplitz RSS hash -------------------------------------------------------------
+
+
+def test_toeplitz_is_linear_over_gf2():
+    from repro.workloads.steering import toeplitz_hash
+
+    rng = random.Random(3)
+    for _ in range(50):
+        a = bytes(rng.randrange(256) for _ in range(13))
+        b = bytes(rng.randrange(256) for _ in range(13))
+        xored = bytes(x ^ y for x, y in zip(a, b))
+        assert toeplitz_hash(xored) == toeplitz_hash(a) ^ toeplitz_hash(b)
+
+
+def test_toeplitz_single_bit_selects_key_window():
+    from repro.workloads.steering import RSS_DEFAULT_KEY, toeplitz_hash
+
+    # Input with only the top bit set hashes to the key's first 32 bits.
+    data = b"\x80" + b"\x00" * 12
+    expected = int.from_bytes(RSS_DEFAULT_KEY[:4], "big")
+    assert toeplitz_hash(data) == expected
+    # Bit at position 8 selects the window starting one byte in.
+    data = b"\x00\x80" + b"\x00" * 11
+    window = int.from_bytes(RSS_DEFAULT_KEY[1:5], "big")
+    assert toeplitz_hash(data) == window
+
+
+def test_toeplitz_zero_input_hashes_to_zero():
+    from repro.workloads.steering import toeplitz_hash
+
+    assert toeplitz_hash(bytes(13)) == 0
+
+
+def test_toeplitz_key_length_validation():
+    from repro.workloads.steering import toeplitz_hash
+
+    with pytest.raises(ValueError):
+        toeplitz_hash(bytes(13), key=bytes(8))
+
+
+def test_steerer_with_toeplitz_algorithm():
+    steerer = PacketSteerer(num_workers=8, algorithm="toeplitz")
+    first = steerer.steer(flow(1))
+    assert steerer.steer(flow(1)) == first
+    spread = {steerer.steer(flow(i)) for i in range(300)}
+    assert len(spread) == 8
+
+
+def test_steerer_rejects_unknown_algorithm():
+    with pytest.raises(ValueError):
+        PacketSteerer(num_workers=2, algorithm="md5")
+    with pytest.raises(ValueError):
+        five_tuple_hash(flow(0), algorithm="md5")
