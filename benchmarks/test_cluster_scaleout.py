@@ -1,0 +1,87 @@
+"""Cluster scale-out: the rack-level shape results, plus determinism.
+
+The full grid lives in ``repro.experiments.cluster_scaleout``; the shape
+assertions here are the acceptance bar: hashed-placement spinning fleets
+degrade super-linearly with fleet size, HyperPlane fleets stay within 2x
+of their single-server tail, power-of-two-choices closes most of the
+spinning gap, and a rack run is a pure function of its root seed.
+"""
+
+from repro.cluster import ClusterConfig, run_cluster
+from repro.experiments.cluster_scaleout import run_cluster_scaleout
+
+
+def _rows(result, **match):
+    return [
+        row
+        for row in result.rows
+        if all(row[key] == value for key, value in match.items())
+    ]
+
+
+def _row(result, **match):
+    rows = _rows(result, **match)
+    assert len(rows) == 1, f"expected one row for {match}, got {len(rows)}"
+    return rows[0]
+
+
+def test_cluster_scaleout_shapes(run_once):
+    result = run_once(lambda: run_cluster_scaleout(fast=True))
+    print("\n" + result.format_table())
+
+    scale = sorted(
+        _rows(result, system="spinning", balancer="rss", fault="none"),
+        key=lambda row: row["servers"],
+    )
+    assert [row["servers"] for row in scale] == [1, 4, 16]
+    # Spinning under hashed placement: fleet p99 grows super-linearly
+    # with fleet size (hottest-server overload, amplified by scans).
+    assert scale[0]["p99_us"] < scale[1]["p99_us"] < scale[2]["p99_us"]
+    assert scale[2]["p99_us"] > 4 * scale[0]["p99_us"]
+
+    # HyperPlane fleet stays flat: within 2x of its 1-server p99.
+    hp_1 = _row(result, servers=1, system="hyperplane", balancer="rss", fault="none")
+    for row in _rows(result, system="hyperplane", balancer="rss", fault="none"):
+        assert row["p99_us"] <= 2 * hp_1["p99_us"]
+
+    # p2c recovers most of the spinning scale-out gap at the largest fleet.
+    spin_1, spin_n = scale[0], scale[-1]
+    p2c_n = _row(
+        result, servers=spin_n["servers"], system="spinning",
+        balancer="p2c", fault="none",
+    )
+    gap = spin_n["p99_us"] - spin_1["p99_us"]
+    recovered = 1.0 - (p2c_n["p99_us"] - spin_1["p99_us"]) / gap
+    assert recovered > 0.75
+
+    # Faults concentrate load on HyperPlane fleets too: a straggler
+    # inflates the tail well beyond the fault-free baseline, and a crash
+    # re-dispatches the victim's traffic without losing client requests.
+    hp_4 = _row(result, servers=4, system="hyperplane", balancer="rss", fault="none")
+    straggler = _row(result, servers=4, system="hyperplane", fault="straggler")
+    assert straggler["p99_us"] > 5 * hp_4["p99_us"]
+    crash = _row(result, servers=4, system="hyperplane", fault="crash")
+    assert crash["redispatched"] >= 1
+    assert crash["lost"] == 0
+
+
+def test_cluster_run_is_deterministic(run_once):
+    def one_fingerprint():
+        config = ClusterConfig(
+            num_servers=4,
+            notification="hyperplane",
+            balancer="p2c",
+            fault_profile="crash",
+            queues_per_server=128,
+            num_flows=64,
+            flow_skew=0.3,
+            seed=42,
+        )
+        rack = run_cluster(
+            config, load=0.25, duration=0.02, warmup=0.005,
+            target_completions=4000,
+        )
+        return rack.metrics.fingerprint()
+
+    first = run_once(lambda: (one_fingerprint(), one_fingerprint()))
+    assert first[0] == first[1]

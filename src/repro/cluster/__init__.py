@@ -1,0 +1,41 @@
+"""repro.cluster — multi-server scale-out simulation of a HyperPlane rack.
+
+Composes N single-server data planes (:mod:`repro.sdp` substrate running
+spinning or :mod:`repro.core` HyperPlane cores) into one simulated rack:
+a front-end load balancer with per-flow consistent hashing, inter-node
+links, a fault-injecting cluster controller, and fleet-level latency
+metrics. See ``docs/cluster.md`` for the topology, balancer policies,
+fault model, and determinism contract.
+"""
+
+from repro.cluster.balancer import (
+    POLICIES,
+    AllServersDownError,
+    HashRing,
+    LoadBalancer,
+)
+from repro.cluster.config import NOTIFICATIONS, ClusterConfig
+from repro.cluster.controller import ClusterController
+from repro.cluster.faults import PROFILES, FaultEvent, fault_schedule
+from repro.cluster.link import Link
+from repro.cluster.metrics import ClusterMetrics
+from repro.cluster.rack import ClusterServer, Rack, flow_weights, run_cluster
+
+__all__ = [
+    "AllServersDownError",
+    "ClusterConfig",
+    "ClusterController",
+    "ClusterMetrics",
+    "ClusterServer",
+    "FaultEvent",
+    "HashRing",
+    "Link",
+    "LoadBalancer",
+    "NOTIFICATIONS",
+    "POLICIES",
+    "PROFILES",
+    "Rack",
+    "fault_schedule",
+    "flow_weights",
+    "run_cluster",
+]

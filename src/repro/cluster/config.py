@@ -1,0 +1,123 @@
+"""Configuration of one simulated rack.
+
+A :class:`ClusterConfig` describes a fleet of identical servers (each an
+independent :class:`~repro.sdp.system.DataPlaneSystem`), the front-end
+load balancer, the inter-node links, the client flow population, and the
+fault profile the controller injects. Every per-server configuration and
+every cluster-level random stream derives from the single root ``seed``
+through :func:`repro.sim.rng.derive_seed`, so a whole rack run replays
+bit-identically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.sdp.config import SDPConfig
+from repro.sim.rng import derive_seed
+
+NOTIFICATIONS = ("spinning", "hyperplane")
+
+# Stream names rooted at the cluster layer (servers use their own derived
+# seeds, so these never collide with per-server streams).
+STREAM_ARRIVALS = "cluster.arrivals"
+STREAM_FLOWS = "cluster.flows"
+STREAM_BALANCER = "cluster.balancer"
+STREAM_FAULTS = "cluster.faults"
+
+
+@dataclass
+class ClusterConfig:
+    """One rack: N servers behind a load balancer.
+
+    Parameters
+    ----------
+    num_servers:
+        Fleet size (the scale-out axis; the paper stops at one server).
+    notification:
+        Per-server notification mechanism: ``spinning`` or ``hyperplane``.
+    balancer:
+        Front-end policy name (see :mod:`repro.cluster.balancer`).
+    fault_profile:
+        Named fault schedule (see :mod:`repro.cluster.faults`).
+    queues_per_server, cores_per_server, cluster_cores, workload, shape:
+        Forwarded into each server's :class:`~repro.sdp.config.SDPConfig`.
+    num_flows:
+        Client flow population size. Flows are sticky at the balancer
+        (per-flow consistent hashing) and within a server (flow hash
+        through the shape's queue weights).
+    flow_skew:
+        Zipf-like exponent of per-flow traffic weights (0 = uniform).
+        Skewed flows are how fleet-level *imbalance* is injected: hashed
+        placement concentrates heavy flows on a few servers, and the
+        concentration worsens with fleet size.
+    request_bytes:
+        Wire size of one request (drives link serialization delay).
+    link_gbps, link_propagation_s:
+        Per-server access-link bandwidth and one-way propagation delay.
+    failover_delay_s:
+        Detection + retry delay before a crashed server's backlog is
+        re-dispatched to the survivors.
+    seed:
+        Root seed for the whole rack.
+    """
+
+    num_servers: int
+    notification: str = "hyperplane"
+    balancer: str = "p2c"
+    fault_profile: str = "none"
+    queues_per_server: int = 256
+    cores_per_server: int = 1
+    cluster_cores: Optional[int] = None
+    workload: str = "packet-encapsulation"
+    shape: str = "FB"
+    num_flows: int = 256
+    flow_skew: float = 0.0
+    request_bytes: int = 1024
+    link_gbps: float = 40.0
+    link_propagation_s: float = 1e-6
+    failover_delay_s: float = 50e-6
+    queue_capacity: int = 16384
+    seed: int = 0
+
+    def __post_init__(self):
+        from repro.cluster.balancer import POLICIES
+        from repro.cluster.faults import PROFILES
+
+        if self.num_servers <= 0:
+            raise ValueError("need at least one server")
+        if self.notification not in NOTIFICATIONS:
+            raise ValueError(
+                f"unknown notification {self.notification!r}; known: {NOTIFICATIONS}"
+            )
+        if self.balancer not in POLICIES:
+            raise ValueError(
+                f"unknown balancer policy {self.balancer!r}; known: {POLICIES}"
+            )
+        if self.fault_profile not in PROFILES:
+            raise ValueError(
+                f"unknown fault profile {self.fault_profile!r}; known: {PROFILES}"
+            )
+        if self.num_flows <= 0:
+            raise ValueError("need at least one flow")
+        if self.flow_skew < 0:
+            raise ValueError("flow_skew must be non-negative")
+        if self.request_bytes <= 0 or self.link_gbps <= 0:
+            raise ValueError("request_bytes and link_gbps must be positive")
+        if self.link_propagation_s < 0 or self.failover_delay_s < 0:
+            raise ValueError("link delays must be non-negative")
+
+    def server_config(self, index: int) -> SDPConfig:
+        """The :class:`SDPConfig` of server ``index`` (seed derived)."""
+        if not 0 <= index < self.num_servers:
+            raise ValueError(f"server index {index} out of range")
+        return SDPConfig(
+            num_queues=self.queues_per_server,
+            num_cores=self.cores_per_server,
+            cluster_cores=self.cluster_cores,
+            workload=self.workload,
+            shape=self.shape,
+            queue_capacity=self.queue_capacity,
+            seed=derive_seed(self.seed, f"cluster.server-{index}"),
+        )

@@ -1,0 +1,96 @@
+"""Fault profiles: deterministic schedules of fleet-level failures.
+
+A profile maps to a list of :class:`FaultEvent`; the
+:class:`~repro.cluster.controller.ClusterController` applies each event
+at its start time and reverts it after ``duration``. Victim selection
+draws from the cluster's named fault stream, so the same root seed
+always breaks the same server at the same instant.
+
+Profiles
+--------
+- ``none``: no faults (the balance/scale baseline).
+- ``crash``: one server fails mid-run and restarts later. Its flows are
+  re-steered and its queued backlog is re-dispatched to the survivors
+  after a detection delay — the failover-induced queue spike.
+- ``straggler``: one server's service times inflate by ``magnitude``
+  for a window (thermal throttling, a noisy neighbour, a GC pause).
+- ``link-degrade``: one server's access link slows by ``magnitude``.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List
+
+PROFILES = ("none", "crash", "straggler", "link-degrade")
+
+# Fractions of the run at which the fault window sits. Placing it after
+# warm-up and ending before the run does lets both the degraded and the
+# recovered regimes contribute samples.
+WINDOW_START_FRACTION = 0.30
+WINDOW_LENGTH_FRACTION = 0.40
+
+STRAGGLER_MAGNITUDE = 4.0
+LINK_DEGRADE_MAGNITUDE = 20.0
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One injected fault: ``kind`` hits ``server`` at ``time`` for
+    ``duration`` seconds with strength ``magnitude``."""
+
+    time: float
+    kind: str
+    server: int
+    duration: float
+    magnitude: float = 1.0
+
+    def __post_init__(self):
+        if self.time < 0 or self.duration <= 0:
+            raise ValueError("fault needs non-negative time, positive duration")
+        if self.kind not in ("crash", "straggler", "link-degrade"):
+            raise ValueError(f"unknown fault kind {self.kind!r}")
+        if self.magnitude <= 0:
+            raise ValueError("magnitude must be positive")
+
+    @property
+    def end_time(self) -> float:
+        return self.time + self.duration
+
+
+def fault_schedule(
+    profile: str,
+    num_servers: int,
+    run_duration: float,
+    rng: random.Random,
+) -> List[FaultEvent]:
+    """The fault events of a named profile over a run of given length."""
+    if profile not in PROFILES:
+        raise ValueError(f"unknown fault profile {profile!r}; known: {PROFILES}")
+    if run_duration <= 0:
+        raise ValueError("run duration must be positive")
+    if profile == "none":
+        return []
+    if profile == "crash" and num_servers < 2:
+        # A one-server fleet cannot fail over; crashing it would just
+        # stall the run, so the profile degenerates to no faults.
+        return []
+    victim = rng.randrange(num_servers)
+    start = WINDOW_START_FRACTION * run_duration
+    window = WINDOW_LENGTH_FRACTION * run_duration
+    if profile == "crash":
+        return [FaultEvent(start, "crash", victim, duration=window)]
+    if profile == "straggler":
+        return [
+            FaultEvent(
+                start, "straggler", victim, duration=window,
+                magnitude=STRAGGLER_MAGNITUDE,
+            )
+        ]
+    return [
+        FaultEvent(
+            start, "link-degrade", victim, duration=window,
+            magnitude=LINK_DEGRADE_MAGNITUDE,
+        )
+    ]

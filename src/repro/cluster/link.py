@@ -1,0 +1,57 @@
+"""Inter-node links: serialization + propagation delay.
+
+One :class:`Link` models a server's access link from the front-end
+switch: requests serialize onto the wire FIFO (the egress port is a
+single resource, so back-to-back dispatches queue behind each other) and
+then propagate for a fixed delay. A degradation factor scales both —
+the controller's ``link-degrade`` fault multiplies it to model a flapping
+or congested cable.
+"""
+
+from __future__ import annotations
+
+GIGA = 1e9
+
+
+class Link:
+    """A point-to-point link with FIFO serialization.
+
+    Parameters
+    ----------
+    gbps:
+        Line rate in gigabits per second.
+    propagation_s:
+        One-way propagation delay in seconds (~1 us inside a rack).
+    """
+
+    def __init__(self, gbps: float, propagation_s: float, name: str = "link"):
+        if gbps <= 0:
+            raise ValueError("line rate must be positive")
+        if propagation_s < 0:
+            raise ValueError("propagation delay must be non-negative")
+        self.gbps = gbps
+        self.propagation_s = propagation_s
+        self.name = name
+        self.degrade = 1.0
+        self.busy_until = 0.0
+        self.bytes_sent = 0
+        self.requests = 0
+
+    def serialization_delay(self, nbytes: int) -> float:
+        """Seconds to clock ``nbytes`` onto the wire at the current rate."""
+        if nbytes < 0:
+            raise ValueError("negative transfer size")
+        return nbytes * 8.0 / (self.gbps * GIGA) * self.degrade
+
+    def transfer_delay(self, now: float, nbytes: int) -> float:
+        """Total delay for a transfer issued at ``now``; occupies the wire.
+
+        Returns wait-for-wire + serialization + propagation, and advances
+        the link's busy horizon (FIFO egress queueing).
+        """
+        start = max(now, self.busy_until)
+        serialization = self.serialization_delay(nbytes)
+        self.busy_until = start + serialization
+        self.bytes_sent += nbytes
+        self.requests += 1
+        return (start - now) + serialization + self.propagation_s * self.degrade

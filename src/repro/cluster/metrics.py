@@ -1,0 +1,115 @@
+"""Fleet-level metrics: merged latency quantiles and failure accounting.
+
+Per-server :class:`~repro.sdp.metrics.RunMetrics` describe what each
+server *did*; :class:`ClusterMetrics` describes what the *client* saw —
+completions from live servers only, with link and failover delay
+included in the latency. Tail quantiles (p50/p99/p99.9) stream through
+the existing P² machinery (:mod:`repro.sdp.quantiles`), and the exact
+sample list is retained for tests and offline analysis.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.sdp.metrics import LatencyRecorder, MICROSECOND
+from repro.sdp.quantiles import P2Quantile
+
+
+class ClusterMetrics:
+    """Client-observed latency and loss for one rack run."""
+
+    def __init__(self, num_servers: int, warmup_time: float = 0.0):
+        if num_servers <= 0:
+            raise ValueError("need at least one server")
+        self.num_servers = num_servers
+        self.warmup_time = warmup_time
+        self.latency = LatencyRecorder(warmup_time=warmup_time)
+        self._p50 = P2Quantile(0.50)
+        self._p99 = P2Quantile(0.99)
+        self._p999 = P2Quantile(0.999)
+        self.per_server_completed: List[int] = [0] * num_servers
+        self.dispatched = 0
+        self.lost = 0
+        self.redispatched = 0
+        self.rejected = 0
+        self.measure_start = 0.0
+        self.measure_end = 0.0
+
+    # -- recording -----------------------------------------------------------
+
+    def record(self, now: float, latency: float, server: int) -> None:
+        """One client-visible completion at simulated time ``now``."""
+        if now < self.warmup_time:
+            return
+        self.latency.record(now, latency)
+        self._p50.add(latency)
+        self._p99.add(latency)
+        self._p999.add(latency)
+        self.per_server_completed[server] += 1
+
+    # -- results -------------------------------------------------------------
+
+    @property
+    def count(self) -> int:
+        return self.latency.count
+
+    @property
+    def p50_us(self) -> float:
+        """Streaming (P²) median estimate, microseconds."""
+        return self._p50.value / MICROSECOND
+
+    @property
+    def p99_us(self) -> float:
+        """Streaming (P²) 99th-percentile estimate, microseconds."""
+        return self._p99.value / MICROSECOND
+
+    @property
+    def p999_us(self) -> float:
+        """Streaming (P²) 99.9th-percentile estimate, microseconds."""
+        return self._p999.value / MICROSECOND
+
+    @property
+    def duration(self) -> float:
+        return max(0.0, self.measure_end - self.measure_start)
+
+    @property
+    def throughput_mtps(self) -> float:
+        """Client-visible completions per second, in millions."""
+        if self.duration == 0:
+            return 0.0
+        return self.count / self.duration / 1e6
+
+    @property
+    def hottest_share(self) -> float:
+        """Largest per-server share of recorded completions (imbalance)."""
+        if self.count == 0:
+            return 0.0
+        return max(self.per_server_completed) / self.count
+
+    def summary(self) -> Dict[str, float]:
+        """A flat dict for experiment tables."""
+        return {
+            "throughput_mtps": self.throughput_mtps,
+            "avg_latency_us": self.latency.mean_us,
+            "p50_latency_us": self.p50_us,
+            "p99_latency_us": self.p99_us,
+            "p999_latency_us": self.p999_us,
+            "completed": float(self.count),
+            "lost": float(self.lost),
+            "redispatched": float(self.redispatched),
+            "rejected": float(self.rejected),
+            "hottest_share": self.hottest_share,
+        }
+
+    def fingerprint(self) -> Tuple:
+        """Exact values for determinism assertions (no rounding)."""
+        return (
+            self.count,
+            self.latency.mean,
+            self._p99.value,
+            self._p999.value,
+            self.lost,
+            self.redispatched,
+            tuple(self.per_server_completed),
+        )

@@ -1,0 +1,358 @@
+"""The rack: N data-plane servers behind a balancer, one shared timeline.
+
+:class:`Rack` composes existing single-server substrates — each
+:class:`ClusterServer` wraps an unmodified
+:class:`~repro.sdp.system.DataPlaneSystem` running spinning or
+HyperPlane cores — and adds the fleet layer on top: a client flow
+population, the front-end :class:`~repro.cluster.balancer.LoadBalancer`,
+per-server access :class:`~repro.cluster.link.Link` delays, the fault
+:class:`~repro.cluster.controller.ClusterController`, and client-visible
+:class:`~repro.cluster.metrics.ClusterMetrics`.
+
+Request lifecycle: a cluster arrival draws a flow, the balancer steers
+it to a live server (sticky per flow), the request crosses the server's
+link, lands in the queue the flow hashes to, and is served by that
+server's own notification mechanism. Latency is measured balancer-to-
+completion, so it includes link and failover delay. On a crash, the
+victim's queued backlog is re-dispatched to the survivors after a
+detection delay; completions a dead or stale server produces are counted
+as lost, never as client successes.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from itertools import accumulate
+from typing import List, Optional
+
+from repro.cluster.balancer import AllServersDownError, LoadBalancer
+from repro.cluster.config import (
+    STREAM_ARRIVALS,
+    STREAM_BALANCER,
+    STREAM_FAULTS,
+    STREAM_FLOWS,
+    ClusterConfig,
+)
+from repro.cluster.controller import ClusterController
+from repro.cluster.faults import fault_schedule
+from repro.cluster.link import Link
+from repro.cluster.metrics import ClusterMetrics
+from repro.core.dataplane import build_hyperplane
+from repro.queueing.taskqueue import WorkItem
+from repro.sdp.spinning import build_spinning_cores
+from repro.sdp.system import DataPlaneSystem
+from repro.sim.engine import Simulator
+from repro.sim.rng import RandomStreams, derive_seed
+from repro.traffic.arrivals import PoissonArrivals, load_to_rate
+
+TWO_POW_64 = float(1 << 64)
+
+
+def flow_weights(num_flows: int, skew: float) -> List[float]:
+    """Zipf-like per-flow traffic weights: weight_i = (i+1) ** -skew.
+
+    ``skew=0`` is uniform; larger values concentrate traffic on the
+    lowest-numbered flows, which is how fleet-level imbalance is
+    injected (hashing a skewed population concentrates load).
+    """
+    if num_flows <= 0:
+        raise ValueError("need at least one flow")
+    if skew < 0:
+        raise ValueError("skew must be non-negative")
+    return [(i + 1) ** -skew for i in range(num_flows)]
+
+
+class ClusterServer:
+    """One rack slot: an unmodified data-plane system plus fleet state."""
+
+    def __init__(self, rack: "Rack", index: int):
+        config = rack.config.server_config(index)
+        self.rack = rack
+        self.index = index
+        self.config = config
+        self.system = DataPlaneSystem(config, sim=rack.sim)
+        if rack.config.notification == "spinning":
+            self.accelerator = None
+            self.cores = build_spinning_cores(self.system)
+        else:
+            self.accelerator, self.cores = build_hyperplane(self.system)
+        self.link = Link(
+            rack.config.link_gbps,
+            rack.config.link_propagation_s,
+            name=f"server{index}.link",
+        )
+        self.up = True
+        self.epoch = 0
+        self.slow_factor = 1.0
+        self.dispatched = 0
+        self.completed_ok = 0
+        self.lost = 0
+        # Flow -> queue stickiness: a per-flow uniform draw mapped through
+        # the shape's queue weights, so fleet traffic respects the same
+        # hot/cold structure single-server runs use.
+        self._cumulative_weights = list(
+            accumulate(self.system.shape.weights(config.num_queues))
+        )
+        self._original_complete = self.system.complete
+        self.system.complete = self._complete
+
+    def queue_for_flow(self, flow: int) -> int:
+        """The (deterministic, sticky) local queue a flow maps to."""
+        u = derive_seed(self.config.seed, f"flow-queue:{flow}") / TWO_POW_64
+        qid = bisect_right(
+            self._cumulative_weights, u * self._cumulative_weights[-1]
+        )
+        return min(qid, self.config.num_queues - 1)
+
+    def enqueue(self, flow: int, arrival_time: float, base_service: float) -> None:
+        """Deliver one request (called at the link-arrival instant)."""
+        if not self.up:
+            # The server died while the request was on the wire: the
+            # client detects the failure and retries elsewhere.
+            self.rack.redispatch(flow, arrival_time, base_service)
+            return
+        item = WorkItem(
+            item_id=self.rack.next_item_id(),
+            qid=self.queue_for_flow(flow),
+            arrival_time=arrival_time,
+            service_time=base_service * self.slow_factor,
+            payload=(flow, self.epoch, base_service),
+        )
+        if not self.system.queues[item.qid].enqueue(item):
+            self.rack.metrics.rejected += 1
+            self.rack.balancer.complete(self.index)
+
+    def _complete(self, item: WorkItem) -> None:
+        self._original_complete(item)
+        payload = item.payload
+        if not (isinstance(payload, tuple) and len(payload) == 3):
+            return
+        _flow, epoch, _base_service = payload
+        self.rack.balancer.complete(self.index)
+        if self.up and epoch == self.epoch:
+            self.rack.metrics.record(self.system.sim.now, item.latency, self.index)
+            self.completed_ok += 1
+        else:
+            # Completed while down, or a stale pre-crash item drained
+            # after restart: the client never saw this response.
+            self.lost += 1
+            self.rack.metrics.lost += 1
+
+
+class Rack:
+    """N servers, a balancer, links, faults — one deterministic run."""
+
+    def __init__(self, config: ClusterConfig):
+        self.config = config
+        self.sim = Simulator()
+        self.streams = RandomStreams(config.seed)
+        self.metrics = ClusterMetrics(config.num_servers)
+        self.balancer = LoadBalancer(
+            config.balancer,
+            config.num_servers,
+            rng=self.streams.stream(STREAM_BALANCER),
+            seed=derive_seed(config.seed, "cluster.ring"),
+        )
+        self.servers = [
+            ClusterServer(self, index) for index in range(config.num_servers)
+        ]
+        self.controller: Optional[ClusterController] = None
+        self._cumulative_flow_weights = list(
+            accumulate(flow_weights(config.num_flows, config.flow_skew))
+        )
+        self._flow_rng = self.streams.stream(STREAM_FLOWS)
+        self._arrivals: Optional[PoissonArrivals] = None
+        self._max_items: Optional[int] = None
+        self._item_ids = 0
+        self.generated = 0
+
+    # -- plumbing ------------------------------------------------------------
+
+    def next_item_id(self) -> int:
+        self._item_ids += 1
+        return self._item_ids
+
+    def _draw_flow(self) -> int:
+        total = self._cumulative_flow_weights[-1]
+        index = bisect_right(
+            self._cumulative_flow_weights, self._flow_rng.random() * total
+        )
+        return min(index, self.config.num_flows - 1)
+
+    # -- traffic -------------------------------------------------------------
+
+    def attach_open_loop(
+        self,
+        load: Optional[float] = None,
+        rate: Optional[float] = None,
+        max_items: Optional[int] = None,
+    ) -> None:
+        """Attach the fleet-level Poisson client population.
+
+        ``load`` is the utilisation of the fleet's *ideal* capacity
+        (``num_servers * cores_per_server / mean_service``); ``rate`` is
+        an absolute aggregate arrival rate in requests/second.
+        """
+        if (load is None) == (rate is None):
+            raise ValueError("specify exactly one of load / rate")
+        if self._arrivals is not None:
+            raise RuntimeError("open loop already attached")
+        if rate is None:
+            mean = self.servers[0].config.workload.mean_service_seconds
+            fleet_cores = self.config.num_servers * self.config.cores_per_server
+            rate = load_to_rate(load, mean, fleet_cores)
+        self._arrivals = PoissonArrivals(rate, self.streams.stream(STREAM_ARRIVALS))
+        self._max_items = max_items
+        self.sim.spawn(self._traffic(), name="cluster-traffic")
+
+    def _traffic(self):
+        while self._max_items is None or self.generated < self._max_items:
+            yield self._arrivals.next_interarrival()
+            self.generated += 1
+            self.metrics.dispatched += 1
+            self.dispatch(self._draw_flow(), self.sim.now)
+
+    def dispatch(
+        self,
+        flow: int,
+        arrival_time: float,
+        base_service: Optional[float] = None,
+    ) -> int:
+        """Steer one request through the balancer and its server's link."""
+        server_id = self.balancer.dispatch(flow)
+        server = self.servers[server_id]
+        if base_service is None:
+            # Drawn from the *target server's* service stream, keeping
+            # per-server statistics independent and the run replayable.
+            base_service = server.system.service_model()
+        delay = server.link.transfer_delay(self.sim.now, self.config.request_bytes)
+        self.sim.schedule(delay, server.enqueue, flow, arrival_time, base_service)
+        server.dispatched += 1
+        return server_id
+
+    def redispatch(self, flow: int, arrival_time: float, base_service: float) -> None:
+        """Retry a failed request after the failover detection delay.
+
+        The original ``arrival_time`` is preserved, so the recorded
+        latency includes the full failover penalty the client observed.
+        """
+        self.metrics.redispatched += 1
+        self.sim.schedule(
+            self.config.failover_delay_s,
+            self._redispatch_now,
+            flow,
+            arrival_time,
+            base_service,
+        )
+
+    def _redispatch_now(self, flow: int, arrival_time: float, base_service: float) -> None:
+        try:
+            self.dispatch(flow, arrival_time, base_service)
+        except AllServersDownError:
+            self.metrics.lost += 1
+
+    # -- failure handling ----------------------------------------------------
+
+    def crash_server(self, index: int) -> None:
+        """Kill a server: re-steer its flows, re-dispatch its backlog."""
+        server = self.servers[index]
+        if not server.up:
+            return
+        server.up = False
+        server.epoch += 1
+        self.balancer.mark_down(index)
+        for queue in server.system.queues:
+            for item in queue.pending_items():
+                payload = item.payload
+                if not (isinstance(payload, tuple) and len(payload) == 3):
+                    continue
+                flow, _epoch, base_service = payload
+                self.redispatch(flow, item.arrival_time, base_service)
+
+    def restart_server(self, index: int) -> None:
+        """Bring a crashed server back into the balancer pool."""
+        server = self.servers[index]
+        if server.up:
+            return
+        server.up = True
+        self.balancer.mark_up(index)
+
+    # -- running -------------------------------------------------------------
+
+    def run(
+        self,
+        duration: float,
+        warmup: float = 0.0,
+        target_completions: Optional[int] = None,
+        chunk: float = 2e-3,
+    ):
+        """Simulate the rack for ``duration`` seconds after ``warmup``.
+
+        The fault schedule spans the whole run (warmup + duration).
+        Returns the populated :class:`ClusterMetrics`.
+        """
+        if warmup < 0 or duration <= 0:
+            raise ValueError("need positive duration, non-negative warmup")
+        start = self.sim.now
+        boundary = start + warmup
+        self.metrics.warmup_time = boundary
+        self.metrics.latency.warmup_time = boundary
+        self.metrics.measure_start = boundary
+        for server in self.servers:
+            server.system.metrics.latency.warmup_time = boundary
+            server.system.metrics.measure_start = boundary
+        total = warmup + duration
+        if self.controller is None:
+            events = fault_schedule(
+                self.config.fault_profile,
+                self.config.num_servers,
+                total,
+                self.streams.stream(STREAM_FAULTS),
+            )
+            self.controller = ClusterController(self, events)
+            self.controller.start()
+        deadline = start + total
+        while self.sim.now < deadline and self.sim.pending:
+            self.sim.run(until=min(deadline, self.sim.now + chunk))
+            if (
+                target_completions is not None
+                and self.metrics.count >= target_completions
+            ):
+                break
+        self.metrics.measure_end = self.sim.now
+        for server in self.servers:
+            server.system.metrics.measure_end = self.sim.now
+        return self.metrics
+
+    def check_invariants(self) -> None:
+        """Queue/doorbell agreement and HyperPlane wake-up soundness."""
+        for server in self.servers:
+            server.system.check_invariants()
+            if server.accelerator is not None:
+                server.accelerator.check_no_lost_wakeups(
+                    being_serviced={
+                        core.servicing
+                        for core in server.cores
+                        if core.servicing is not None
+                    }
+                )
+
+
+def run_cluster(
+    config: ClusterConfig,
+    load: Optional[float] = None,
+    rate: Optional[float] = None,
+    duration: float = 0.02,
+    warmup: float = 0.005,
+    target_completions: Optional[int] = None,
+) -> Rack:
+    """Build a rack, attach traffic, run it, and verify invariants.
+
+    Returns the :class:`Rack`; client-visible results are in
+    ``rack.metrics``, per-server detail in ``rack.servers[i].system``.
+    """
+    rack = Rack(config)
+    rack.attach_open_loop(load=load, rate=rate)
+    rack.run(duration=duration, warmup=warmup, target_completions=target_completions)
+    rack.check_invariants()
+    return rack

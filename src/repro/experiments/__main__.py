@@ -37,7 +37,7 @@ def main(argv=None) -> int:
         print("available experiments:")
         for experiment_id in REGISTRY:
             doc = (REGISTRY[experiment_id].__doc__ or "").strip().splitlines()[0]
-            print(f"  {experiment_id:10s} {doc}")
+            print(f"  {experiment_id:16s} {doc}")
         return 0
     if targets == ["all"]:
         targets = list(REGISTRY)

@@ -1,0 +1,162 @@
+"""Cluster scale-out: fleet tail latency for racks of 1..64 servers.
+
+The paper stops at one server; this sweep asks what its comparison
+looks like at rack scale. N servers (each an unmodified single-server
+data plane running spinning or HyperPlane notification) sit behind a
+front-end balancer, with a Zipf-skewed client flow population injecting
+the load imbalance that per-flow hashing cannot see.
+
+Grid: servers {1, 4, 16, 64} x balancer policy x {spinning, hyperplane}
+x fault profile. The headline shapes, asserted in
+``benchmarks/test_cluster_scaleout.py``:
+
+- spinning-fleet p99 degrades super-linearly with fleet size under
+  hashed (rss) placement — the hottest server saturates, and spinning's
+  empty-queue scans amplify the overload (Fig. 10's scale-out imbalance
+  sensitivity, at rack scale);
+- HyperPlane fleets stay flat (within 2x of their 1-server p99) until a
+  straggler or failover concentrates load;
+- power-of-two-choices recovers most of the spinning gap by spreading
+  requests per-request instead of per-flow.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from repro.cluster import ClusterConfig, run_cluster
+from repro.experiments.base import ExperimentResult
+from repro.experiments.parallel import parallel_map
+
+# Operating point (calibrated): wide per-server queue arrays make the
+# spinning scan cost steep, a modest Zipf skew concentrates flows, and
+# the flow population scales with the fleet so per-server queue
+# occupancy stays comparable across N (pure imbalance, not dilution).
+QUEUES_PER_SERVER = 512
+FLOWS_PER_SERVER = 16
+FLOW_SKEW = 0.3
+LOAD = 0.25
+DURATION = 0.04
+WARMUP = 0.01
+
+FAST_SERVERS = (1, 4, 16)
+FULL_SERVERS = (1, 4, 16, 64)
+FAST_POLICIES = ("rss", "p2c")
+FULL_POLICIES = ("rss", "round-robin", "least-loaded", "p2c")
+FAULT_PROFILES = ("crash", "straggler", "link-degrade")
+FAULT_SERVERS = 4  # fleet size for the fault-profile rows
+
+Point = Tuple[int, str, str, str, int, int]
+
+
+def scaleout_point(point: Point) -> Dict[str, object]:
+    """One grid point -> one result row (module-level: picklable)."""
+    servers, balancer, system, profile, seed, completions = point
+    config = ClusterConfig(
+        num_servers=servers,
+        notification=system,
+        balancer=balancer,
+        fault_profile=profile,
+        queues_per_server=QUEUES_PER_SERVER,
+        num_flows=FLOWS_PER_SERVER * servers,
+        flow_skew=FLOW_SKEW,
+        seed=seed,
+    )
+    rack = run_cluster(
+        config,
+        load=LOAD,
+        duration=DURATION,
+        warmup=WARMUP,
+        target_completions=completions,
+    )
+    summary = rack.metrics.summary()
+    return {
+        "servers": servers,
+        "system": system,
+        "balancer": balancer,
+        "fault": profile,
+        "p50_us": summary["p50_latency_us"],
+        "p99_us": summary["p99_latency_us"],
+        "p999_us": summary["p999_latency_us"],
+        "avg_us": summary["avg_latency_us"],
+        "hottest_share": summary["hottest_share"],
+        "lost": int(summary["lost"]),
+        "redispatched": int(summary["redispatched"]),
+    }
+
+
+def _completions(servers: int, fast: bool) -> int:
+    base = 3000 if fast else 6000
+    return base * min(servers, 4)
+
+
+def _grid(fast: bool, seed: int) -> List[Point]:
+    """Scale rows first, then fault rows at a fixed fleet size."""
+    server_counts: Sequence[int] = FAST_SERVERS if fast else FULL_SERVERS
+    policies: Sequence[str] = FAST_POLICIES if fast else FULL_POLICIES
+    points: List[Point] = []
+    for servers in server_counts:
+        for system in ("spinning", "hyperplane"):
+            for balancer in policies:
+                points.append(
+                    (servers, balancer, system, "none", seed,
+                     _completions(servers, fast))
+                )
+    for profile in FAULT_PROFILES:
+        for system in ("spinning", "hyperplane"):
+            points.append(
+                (FAULT_SERVERS, "rss", system, profile, seed,
+                 _completions(FAULT_SERVERS, fast))
+            )
+    return points
+
+
+def _pick(rows, **match) -> Dict[str, object]:
+    for row in rows:
+        if all(row[key] == value for key, value in match.items()):
+            return row
+    raise KeyError(f"no row matching {match}")
+
+
+def run_cluster_scaleout(fast: bool = True, seed: int = 0) -> ExperimentResult:
+    """Cluster scale-out: fleet p99 vs. servers, balancers, and faults."""
+    points = _grid(fast, seed)
+    rows = parallel_map(scaleout_point, points)
+    result = ExperimentResult(
+        "cluster_scaleout",
+        "Cluster scale-out: fleet tail latency (us), "
+        f"{QUEUES_PER_SERVER} queues/server, skew {FLOW_SKEW}, "
+        f"load {LOAD:.0%}",
+    )
+    result.rows = rows
+
+    biggest = max(row["servers"] for row in rows)
+    spin_1 = _pick(rows, servers=1, system="spinning", balancer="rss", fault="none")
+    spin_n = _pick(rows, servers=biggest, system="spinning", balancer="rss", fault="none")
+    hp_1 = _pick(rows, servers=1, system="hyperplane", balancer="rss", fault="none")
+    hp_n = _pick(rows, servers=biggest, system="hyperplane", balancer="rss", fault="none")
+    p2c_n = _pick(rows, servers=biggest, system="spinning", balancer="p2c", fault="none")
+    result.notes.append(
+        f"rss scale-out 1 -> {biggest} servers: spinning p99 "
+        f"{spin_1['p99_us']:.0f} -> {spin_n['p99_us']:.0f} us "
+        f"({spin_n['p99_us'] / spin_1['p99_us']:.1f}x), HyperPlane "
+        f"{hp_1['p99_us']:.1f} -> {hp_n['p99_us']:.1f} us "
+        f"({hp_n['p99_us'] / hp_1['p99_us']:.2f}x)"
+    )
+    gap = spin_n["p99_us"] - spin_1["p99_us"]
+    if gap > 0:
+        recovered = 1.0 - (p2c_n["p99_us"] - spin_1["p99_us"]) / gap
+        result.notes.append(
+            f"p2c recovers {recovered:.0%} of the spinning scale-out gap "
+            f"(p99 {p2c_n['p99_us']:.0f} us at {biggest} servers)"
+        )
+    straggler = _pick(
+        rows, servers=FAULT_SERVERS, system="hyperplane", fault="straggler"
+    )
+    crash = _pick(rows, servers=FAULT_SERVERS, system="hyperplane", fault="crash")
+    result.notes.append(
+        f"faults at {FAULT_SERVERS} servers (HyperPlane, rss): straggler "
+        f"p99 {straggler['p99_us']:.0f} us, crash p99 {crash['p99_us']:.1f} us "
+        f"with {crash['redispatched']} re-dispatched requests"
+    )
+    return result

@@ -29,7 +29,23 @@ Result = TypeVar("Result")
 
 def default_processes() -> int:
     """Half the machine's CPUs, at least one — simulations are
-    memory-light but the harness should not monopolise the box."""
+    memory-light but the harness should not monopolise the box.
+
+    The ``REPRO_PROCESSES`` environment variable overrides the heuristic
+    (``REPRO_PROCESSES=1`` forces the serial in-process path, which CI
+    uses for reproducible timings on shared runners).
+    """
+    override = os.environ.get("REPRO_PROCESSES")
+    if override is not None:
+        try:
+            value = int(override)
+        except ValueError:
+            raise ValueError(
+                f"REPRO_PROCESSES must be an integer, got {override!r}"
+            )
+        if value < 1:
+            raise ValueError(f"REPRO_PROCESSES must be >= 1, got {value}")
+        return value
     return max(1, (os.cpu_count() or 2) // 2)
 
 

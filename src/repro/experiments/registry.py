@@ -5,6 +5,7 @@ from __future__ import annotations
 from typing import Callable, Dict
 
 from repro.experiments.base import ExperimentResult
+from repro.experiments.cluster_scaleout import run_cluster_scaleout
 from repro.experiments.fig3_dpdk import run_fig3a, run_fig3b, run_fig3c
 from repro.experiments.fig8_peak_throughput import run_fig8
 from repro.experiments.fig9_zero_load import run_fig9a, run_fig9b
@@ -31,6 +32,7 @@ REGISTRY: Dict[str, Callable[..., ExperimentResult]] = {
     "fig13": run_fig13,
     "hwcost": run_hwcost,
     "headline": run_headline,
+    "cluster_scaleout": run_cluster_scaleout,
 }
 
 

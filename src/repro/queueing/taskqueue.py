@@ -10,7 +10,7 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Any, Deque, Optional
+from typing import Any, Deque, Optional, Tuple
 
 from repro.queueing.doorbell import Doorbell
 
@@ -121,6 +121,15 @@ class TaskQueue:
     def peek_arrival_time(self) -> Optional[float]:
         """Arrival time of the head item, or None when empty."""
         return self._items[0].arrival_time if self._items else None
+
+    def pending_items(self) -> Tuple[WorkItem, ...]:
+        """A snapshot of the queued (not yet dequeued) items, in order.
+
+        Used by failure handling (cluster failover re-dispatches the
+        backlog of a crashed server) and by diagnostics; the ring itself
+        is not modified.
+        """
+        return tuple(self._items)
 
     def check_invariants(self) -> None:
         """Doorbell count must equal ring occupancy."""

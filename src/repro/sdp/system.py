@@ -98,11 +98,16 @@ class Cluster:
 
 
 class DataPlaneSystem:
-    """One simulated data plane: the substrate both designs share."""
+    """One simulated data plane: the substrate both designs share.
 
-    def __init__(self, config: SDPConfig):
+    Pass ``sim`` to place several systems on one shared timeline (the
+    cluster layer composes a rack of servers this way); by default each
+    system owns a private simulator.
+    """
+
+    def __init__(self, config: SDPConfig, sim: Optional[Simulator] = None):
         self.config = config
-        self.sim = Simulator()
+        self.sim = Simulator() if sim is None else sim
         self.clock = config.clock
         self.streams = RandomStreams(config.seed)
         self.shape = shape_by_name(config.shape)

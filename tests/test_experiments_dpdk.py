@@ -19,7 +19,9 @@ PAPER_EXPERIMENT_IDS = {
 
 
 def test_registry_covers_every_paper_artifact():
-    assert set(REGISTRY) == PAPER_EXPERIMENT_IDS
+    assert PAPER_EXPERIMENT_IDS <= set(REGISTRY)
+    # Beyond-paper experiments ride alongside, never displace, them.
+    assert set(REGISTRY) - PAPER_EXPERIMENT_IDS == {"cluster_scaleout"}
 
 
 def test_unknown_experiment_rejected():

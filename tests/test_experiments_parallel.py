@@ -1,0 +1,80 @@
+"""Tests for the parallel sweep helper (order, chunking, env override)."""
+
+import pytest
+
+from repro.experiments.parallel import default_processes, parallel_map
+
+
+def square(value):
+    return value * value
+
+
+def negate(value):
+    return -value
+
+
+# -- default_processes -------------------------------------------------------
+
+
+def test_default_processes_is_at_least_one():
+    assert default_processes() >= 1
+
+
+def test_repro_processes_env_override(monkeypatch):
+    monkeypatch.setenv("REPRO_PROCESSES", "3")
+    assert default_processes() == 3
+    monkeypatch.setenv("REPRO_PROCESSES", "1")
+    assert default_processes() == 1
+
+
+def test_repro_processes_rejects_garbage(monkeypatch):
+    monkeypatch.setenv("REPRO_PROCESSES", "many")
+    with pytest.raises(ValueError):
+        default_processes()
+    monkeypatch.setenv("REPRO_PROCESSES", "0")
+    with pytest.raises(ValueError):
+        default_processes()
+
+
+def test_parallel_map_honours_env_override(monkeypatch):
+    # Forcing one worker takes the serial in-process path even for
+    # many points.
+    monkeypatch.setenv("REPRO_PROCESSES", "1")
+    assert parallel_map(square, list(range(10))) == [v * v for v in range(10)]
+
+
+# -- order preservation ------------------------------------------------------
+
+
+def test_results_arrive_in_submission_order_serial():
+    points = [5, 3, 1, 4, 2]
+    assert parallel_map(square, points, processes=1) == [25, 9, 1, 16, 4]
+
+
+def test_results_arrive_in_submission_order_across_processes():
+    points = list(range(20, 0, -1))
+    assert parallel_map(square, points, processes=2) == [v * v for v in points]
+
+
+# -- chunk_size edge cases ---------------------------------------------------
+
+
+def test_empty_input_returns_empty_list():
+    assert parallel_map(square, [], processes=4) == []
+    assert parallel_map(square, [], processes=1) == []
+
+
+def test_single_point_stays_in_process():
+    assert parallel_map(square, [7], processes=4) == [49]
+
+
+def test_chunk_size_larger_than_input():
+    points = [1, 2, 3]
+    assert parallel_map(negate, points, processes=2, chunk_size=100) == [-1, -2, -3]
+
+
+def test_chunk_size_batches_preserve_order():
+    points = list(range(11))
+    assert parallel_map(negate, points, processes=2, chunk_size=4) == [
+        -v for v in points
+    ]

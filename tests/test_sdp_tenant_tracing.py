@@ -154,3 +154,41 @@ def test_tracer_validation():
     system = build_system()
     with pytest.raises(ValueError):
         attach_tracer(system, capacity=0)
+
+
+def test_tracer_chrome_trace_roundtrip(tmp_path):
+    import json
+
+    system = build_system()
+    tracer = attach_tracer(system)
+    run_hp_with(system)
+    path = tmp_path / "trace.json"
+    written = tracer.export_chrome_trace(str(path))
+
+    data = json.loads(path.read_text())
+    trace = data["traceEvents"]
+    assert written == len(trace) == len(tracer.chrome_trace_events())
+    assert data["otherData"]["dropped"] == tracer.dropped
+
+    # Every recorded queue event is present as an instant, in order and
+    # in microseconds.
+    instants = [entry for entry in trace if entry["ph"] == "i"]
+    assert len(instants) == len(tracer.events)
+    for entry, event in zip(instants, tracer.events):
+        assert entry["name"] == event.kind
+        assert entry["tid"] == event.qid
+        assert entry["ts"] == pytest.approx(event.time * 1e6)
+
+    # Every item traced to completion is a duration slice whose span
+    # matches the tracer's own breakdown.
+    slices = {entry["args"]["item_id"]: entry for entry in trace if entry["ph"] == "X"}
+    completes = tracer.events_of_kind(EVENT_COMPLETE)
+    assert set(slices) == {event.item_id for event in completes}
+    sample = completes[len(completes) // 2]
+    breakdown = tracer.breakdown(sample.item_id)
+    assert slices[sample.item_id]["dur"] == pytest.approx(
+        breakdown["service_and_overhead"] * 1e6
+    )
+    assert slices[sample.item_id]["args"]["wait_us"] == pytest.approx(
+        breakdown["wait"] * 1e6
+    )
