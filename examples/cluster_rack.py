@@ -10,7 +10,7 @@ split, and the failover accounting.
 Run:  python examples/cluster_rack.py
 """
 
-from repro.cluster import ClusterConfig, run_cluster
+from repro import ClusterConfig, run_cluster
 
 
 def run_rack(notification: str):

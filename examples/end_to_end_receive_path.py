@@ -13,7 +13,8 @@ Run:  python examples/end_to_end_receive_path.py
 """
 
 from repro.core.dataplane import build_hyperplane
-from repro.sdp import SDPConfig, attach_tenant_side, attach_tracer
+from repro import SDPConfig
+from repro.sdp import attach_tenant_side, attach_tracer
 from repro.sdp.system import DataPlaneSystem
 from repro.sdp.tracing import EVENT_COMPLETE
 

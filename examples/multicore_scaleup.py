@@ -10,9 +10,8 @@ and wider scans).
 Run:  python examples/multicore_scaleup.py
 """
 
-from repro.core import run_hyperplane
 from repro.queueing.theory import mmc_mean_wait, mm1_mean_wait
-from repro.sdp import SDPConfig, run_spinning
+from repro import SDPConfig, run_hyperplane, run_spinning
 
 LOAD = 0.6
 SERVICE_US = 1.4

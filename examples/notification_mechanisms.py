@@ -11,8 +11,7 @@ queue-scalable, work-proportional, and low-latency.
 Run:  python examples/notification_mechanisms.py
 """
 
-from repro.core import run_hyperplane
-from repro.sdp import SDPConfig, run_interrupts, run_mwait, run_spinning
+from repro import SDPConfig, run_hyperplane, run_interrupts, run_mwait, run_spinning
 
 MECHANISMS = (
     ("spin-polling", run_spinning),

@@ -15,8 +15,7 @@ Run:  python examples/packet_pipeline.py
 
 import random
 
-from repro.core import run_hyperplane
-from repro.sdp import SDPConfig
+from repro import SDPConfig, run_hyperplane
 from repro.workloads import (
     AesCbc,
     Ipv4Packet,

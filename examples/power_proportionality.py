@@ -9,9 +9,8 @@ the core.
 Run:  python examples/power_proportionality.py
 """
 
-from repro.core import run_hyperplane
 from repro.power import PowerModel
-from repro.sdp import SDPConfig, run_spinning
+from repro import SDPConfig, run_hyperplane, run_spinning
 from repro.smt.corunner import CoRunnerModel
 
 LOADS = (0.001, 0.25, 0.5, 0.75, 0.95)

@@ -9,7 +9,7 @@ Run:  python examples/qos_policies.py
 """
 
 from repro.core.dataplane import build_hyperplane
-from repro.sdp import SDPConfig
+from repro import SDPConfig
 from repro.sdp.system import DataPlaneSystem
 
 

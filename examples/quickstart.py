@@ -8,8 +8,7 @@ peak throughput, zero-load latency, and the instruction mix.
 Run:  python examples/quickstart.py
 """
 
-from repro.core import run_hyperplane
-from repro.sdp import SDPConfig, run_spinning
+from repro import SDPConfig, run_hyperplane, run_spinning
 
 NUM_QUEUES = 256
 WORKLOAD = "packet-encapsulation"

@@ -15,8 +15,7 @@ Run:  python examples/storage_pipeline.py
 
 import random
 
-from repro.core import run_hyperplane
-from repro.sdp import SDPConfig, run_spinning
+from repro import SDPConfig, run_hyperplane, run_spinning
 from repro.workloads import CauchyReedSolomon, RaidPQ
 
 

@@ -2,11 +2,18 @@
 
 A complete Python implementation of the paper's notification accelerator
 for software data planes, plus every substrate its evaluation depends
-on. The public API most users need:
+on. The public API most users need imports from here:
 
 >>> from repro import SDPConfig, run_spinning, run_hyperplane
 >>> config = SDPConfig(num_queues=1000, workload="packet-encapsulation", shape="SQ")
 >>> run_hyperplane(config, closed_loop=True).throughput_mtps  # doctest: +SKIP
+
+Experiments and observability share the same front door:
+
+>>> from repro import MetricsRegistry, run_experiment
+>>> registry = MetricsRegistry(enabled=True)
+>>> result = run_experiment("fig9a", metrics=registry)  # doctest: +SKIP
+>>> result.manifest.config_hash  # doctest: +SKIP
 
 Package map (see DESIGN.md for the full inventory):
 
@@ -15,20 +22,54 @@ Package map (see DESIGN.md for the full inventory):
   MWAIT, and interrupt baselines;
 - :mod:`repro.sim`, :mod:`repro.mem`, :mod:`repro.queueing`,
   :mod:`repro.traffic`, :mod:`repro.workloads` — substrates;
+- :mod:`repro.cluster` — rack-scale multi-server scale-out;
+- :mod:`repro.obs` — metrics registry, probes, exporters, manifests;
 - :mod:`repro.structural` — execution-driven validation mode;
 - :mod:`repro.power`, :mod:`repro.smt`, :mod:`repro.dpdk` — side models;
 - :mod:`repro.experiments` — one module per paper table/figure
   (``python -m repro.experiments list``).
 """
 
-from repro.core.runner import run_hyperplane
-from repro.sdp.config import SDPConfig
-from repro.sdp.runner import run_interrupts, run_mwait, run_spinning
+# Version first: repro.obs.manifest reads it back lazily when stamping
+# run manifests, so it must exist before the imports below execute.
+__version__ = "1.1.0"
 
-__version__ = "1.0.0"
+from repro.cluster.config import ClusterConfig
+from repro.cluster.metrics import ClusterMetrics
+from repro.cluster.rack import Rack, run_cluster
+from repro.core.runner import run_hyperplane
+from repro.experiments.base import ExperimentConfig, ExperimentResult
+from repro.experiments.registry import run_experiment
+from repro.obs.manifest import RunManifest
+from repro.obs.registry import MetricsRegistry
+from repro.obs.runtime import active_registry
+from repro.sdp.config import SDPConfig
+from repro.sdp.metrics import RunMetrics
+from repro.sdp.runner import run_interrupts, run_mwait, run_spinning
+from repro.sim.clock import Clock
+from repro.sim.engine import Simulator
+from repro.sim.events import Event
+from repro.sim.process import Process
+from repro.sim.rng import RandomStreams
 
 __all__ = [
+    "Clock",
+    "ClusterConfig",
+    "ClusterMetrics",
+    "Event",
+    "ExperimentConfig",
+    "ExperimentResult",
+    "MetricsRegistry",
+    "Process",
+    "Rack",
+    "RandomStreams",
+    "RunManifest",
+    "RunMetrics",
     "SDPConfig",
+    "Simulator",
+    "active_registry",
+    "run_cluster",
+    "run_experiment",
     "run_hyperplane",
     "run_interrupts",
     "run_mwait",

@@ -38,6 +38,7 @@ from repro.cluster.faults import fault_schedule
 from repro.cluster.link import Link
 from repro.cluster.metrics import ClusterMetrics
 from repro.core.dataplane import build_hyperplane
+from repro.obs.runtime import get_active_registry
 from repro.queueing.taskqueue import WorkItem
 from repro.sdp.spinning import build_spinning_cores
 from repro.sdp.system import DataPlaneSystem
@@ -165,6 +166,16 @@ class Rack:
         self._max_items: Optional[int] = None
         self._item_ids = 0
         self.generated = 0
+
+        # Observability: the per-server systems self-instrumented above
+        # (shared sdp.* aggregates on the rack timeline); add the fleet
+        # rollups only this layer can see.
+        self._obs = get_active_registry()
+        self._obs_events_reported = 0
+        if self._obs is not None:
+            from repro.obs.probes import instrument_rack
+
+            instrument_rack(self._obs, self)
 
     # -- plumbing ------------------------------------------------------------
 
@@ -322,6 +333,14 @@ class Rack:
         self.metrics.measure_end = self.sim.now
         for server in self.servers:
             server.system.metrics.measure_end = self.sim.now
+        if self._obs is not None:
+            # Servers share this timeline and never call their own run(),
+            # so the rack reports the shared simulator's retired events.
+            delta = self.sim.events_dispatched - self._obs_events_reported
+            self._obs_events_reported = self.sim.events_dispatched
+            self._obs.counter(
+                "sim.events_total", help="events retired across all runs"
+            ).inc(delta)
         return self.metrics
 
     def check_invariants(self) -> None:

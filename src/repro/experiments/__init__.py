@@ -3,16 +3,31 @@
 Run from the command line::
 
     python -m repro.experiments list
-    python -m repro.experiments fig8            # fast grid
-    python -m repro.experiments fig8 --full     # paper-sized grid
+    python -m repro.experiments fig8                   # fast grid
+    python -m repro.experiments fig8 --full            # paper-sized grid
+    python -m repro.experiments fig8 --metrics-out out # + metrics & manifest
     python -m repro.experiments all
 
-Each experiment returns an :class:`~repro.experiments.base.ExperimentResult`
-whose rows are the series the paper plots; EXPERIMENTS.md records the
-paper-vs-measured comparison for each.
+Programmatically, every experiment module exposes
+``run(config: <Experiment>Config) -> ExperimentResult`` with a frozen
+dataclass config whose defaults are the paper settings, and
+:func:`~repro.experiments.registry.run_experiment` runs one by id with
+optional instrumentation. EXPERIMENTS.md records the paper-vs-measured
+comparison for each.
 """
 
-from repro.experiments.base import ExperimentResult
-from repro.experiments.registry import REGISTRY, run_experiment
+from repro.experiments.base import (
+    ExperimentConfig,
+    ExperimentResult,
+    RESULT_SCHEMA_VERSION,
+)
+from repro.experiments.registry import REGISTRY, ExperimentSpec, run_experiment
 
-__all__ = ["ExperimentResult", "REGISTRY", "run_experiment"]
+__all__ = [
+    "ExperimentConfig",
+    "ExperimentResult",
+    "ExperimentSpec",
+    "REGISTRY",
+    "RESULT_SCHEMA_VERSION",
+    "run_experiment",
+]

@@ -1,8 +1,18 @@
-"""CLI: ``python -m repro.experiments [list | all | <id>...] [--full]``."""
+"""CLI: ``python -m repro.experiments [list | all | <id>...] [options]``.
+
+Also installed as the ``repro-experiments`` console script. With
+``--metrics-out DIR`` every experiment runs fully instrumented and
+emits, per experiment id:
+
+- ``<id>.manifest.json`` — the validated run manifest;
+- ``<id>.metrics.jsonl`` / ``.csv`` / ``.prom`` — the collected
+  metrics in each exporter format (see docs/observability.md).
+"""
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 import time
 
@@ -26,40 +36,70 @@ def main(argv=None) -> int:
         help="paper-sized grids (slow) instead of the fast defaults",
     )
     parser.add_argument(
+        "--seed",
+        type=int,
+        default=0,
+        help="root seed threaded into every simulation (default 0)",
+    )
+    parser.add_argument(
         "--json",
         metavar="DIR",
         help="also write <DIR>/<experiment>.json for each result",
+    )
+    parser.add_argument(
+        "--metrics-out",
+        metavar="DIR",
+        help="run instrumented; write manifest + JSONL/CSV/Prometheus "
+        "metrics per experiment (forces serial sweeps)",
     )
     args = parser.parse_args(argv)
 
     targets = args.experiments
     if targets == ["list"]:
         print("available experiments:")
-        for experiment_id in REGISTRY:
-            doc = (REGISTRY[experiment_id].__doc__ or "").strip().splitlines()[0]
-            print(f"  {experiment_id:16s} {doc}")
+        for experiment_id, spec in REGISTRY.items():
+            print(f"  {experiment_id:16s} {spec.summary}")
         return 0
     if targets == ["all"]:
         targets = list(REGISTRY)
 
-    if args.json:
-        import os
-
-        os.makedirs(args.json, exist_ok=True)
+    for directory in (args.json, args.metrics_out):
+        if directory:
+            os.makedirs(directory, exist_ok=True)
 
     for experiment_id in targets:
+        metrics = None
+        if args.metrics_out:
+            from repro.obs import MetricsRegistry
+
+            metrics = MetricsRegistry(enabled=True)
         started = time.time()
-        result = run_experiment(experiment_id, fast=not args.full)
+        result = run_experiment(
+            experiment_id, fast=not args.full, seed=args.seed, metrics=metrics
+        )
         elapsed = time.time() - started
         print(result.format_table())
         print(f"({experiment_id} finished in {elapsed:.1f} s)")
         print()
         if args.json:
-            import os
-
             path = os.path.join(args.json, f"{experiment_id}.json")
             with open(path, "w") as handle:
                 handle.write(result.to_json())
+        if args.metrics_out:
+            from repro.obs import validate_manifest, write_exports
+
+            manifest_path = os.path.join(
+                args.metrics_out, f"{experiment_id}.manifest.json"
+            )
+            validate_manifest(result.manifest.to_dict())
+            with open(manifest_path, "w") as handle:
+                handle.write(result.manifest.to_json())
+            paths = write_exports(metrics, args.metrics_out, experiment_id)
+            emitted = ", ".join(
+                os.path.basename(path) for path in (manifest_path, *paths.values())
+            )
+            print(f"[metrics] {args.metrics_out}: {emitted}")
+            print()
     return 0
 
 

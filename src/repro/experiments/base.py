@@ -1,10 +1,66 @@
-"""Shared result type, table formatting, and JSON export for experiments."""
+"""Shared experiment types: configs, results, manifests, JSON schema.
+
+Every experiment module exposes the same surface::
+
+    run(config: <Experiment>Config | None = None) -> ExperimentResult
+
+where the config is a frozen dataclass derived from
+:class:`ExperimentConfig` whose defaults reproduce the paper's
+settings. The legacy ``run_figX(fast=..., seed=...)`` entry points
+remain as thin deprecation shims built with :func:`deprecated_runner`.
+
+``ExperimentResult`` serialisation is versioned: schema 2 adds the
+``manifest`` provenance block (:class:`~repro.obs.manifest.RunManifest`)
+and ``from_json`` tolerates payloads missing any optional key, so
+schema-1 archives keep loading.
+"""
 
 from __future__ import annotations
 
 import json
-from dataclasses import dataclass, field
-from typing import Any, Dict, List, Sequence
+import warnings
+from dataclasses import asdict, dataclass, field
+from typing import Any, Dict, List, Optional
+
+from repro.obs.manifest import RunManifest
+
+# Version of the ExperimentResult JSON layout. 1 = rows/notes only
+# (pre-observability archives); 2 = adds "schema" and "manifest".
+RESULT_SCHEMA_VERSION = 2
+
+
+@dataclass(frozen=True)
+class ExperimentConfig:
+    """Base class for typed experiment configurations.
+
+    Parameters
+    ----------
+    fast:
+        Trimmed grids for CI and interactive runs (the default);
+        ``False`` selects the paper-sized grids.
+    seed:
+        Root seed threaded into every simulation the experiment runs.
+        Experiments that are deterministic by construction (e.g. the
+        hardware-cost table) ignore it.
+    """
+
+    fast: bool = True
+    seed: int = 0
+
+    def asdict(self) -> Dict[str, Any]:
+        """A JSON-ready flat dict (manifest / provenance form)."""
+        return asdict(self)
+
+
+def deprecated_runner(old_name: str, run, config) -> Any:
+    """Run ``run(config)`` while warning that ``old_name`` is a shim."""
+    warnings.warn(
+        f"{old_name}() is deprecated; use run({type(config).__name__}(...)) "
+        f"from the same module, or repro.experiments.run_experiment()",
+        DeprecationWarning,
+        stacklevel=3,
+    )
+    return run(config)
 
 
 @dataclass
@@ -13,13 +69,15 @@ class ExperimentResult:
 
     ``rows`` is a list of flat dicts (one per plotted point or table
     row); ``notes`` carries the headline comparisons asserted against
-    the paper.
+    the paper; ``manifest`` (when run through the registry) records the
+    provenance — config hash, seed, version, wall time, event count.
     """
 
     experiment_id: str
     title: str
     rows: List[Dict[str, Any]] = field(default_factory=list)
     notes: List[str] = field(default_factory=list)
+    manifest: Optional[RunManifest] = None
 
     @property
     def columns(self) -> List[str]:
@@ -57,24 +115,37 @@ class ExperimentResult:
         return {row[key_column]: row[value_column] for row in self.rows if value_column in row}
 
     def to_json(self, indent: int = 2) -> str:
-        """Serialise for offline plotting / archival."""
-        return json.dumps(
-            {
-                "experiment_id": self.experiment_id,
-                "title": self.title,
-                "rows": self.rows,
-                "notes": self.notes,
-            },
-            indent=indent,
-        )
+        """Serialise for offline plotting / archival (schema 2)."""
+        payload: Dict[str, Any] = {
+            "schema": RESULT_SCHEMA_VERSION,
+            "experiment_id": self.experiment_id,
+            "title": self.title,
+            "rows": self.rows,
+            "notes": self.notes,
+        }
+        if self.manifest is not None:
+            payload["manifest"] = self.manifest.to_dict()
+        return json.dumps(payload, indent=indent, default=str)
 
     @classmethod
     def from_json(cls, payload: str) -> "ExperimentResult":
-        """Inverse of :meth:`to_json`."""
+        """Inverse of :meth:`to_json`, tolerant of missing optional keys.
+
+        Accepts schema 1 (no ``schema`` key, no manifest) and schema 2;
+        ``rows`` and ``notes`` default to empty when absent.
+        """
         data = json.loads(payload)
+        schema = data.get("schema", 1)
+        if not isinstance(schema, int) or not 1 <= schema <= RESULT_SCHEMA_VERSION:
+            raise ValueError(
+                f"unsupported ExperimentResult schema {schema!r} "
+                f"(this build reads 1..{RESULT_SCHEMA_VERSION})"
+            )
+        manifest_data = data.get("manifest")
         return cls(
             experiment_id=data["experiment_id"],
             title=data["title"],
-            rows=data["rows"],
-            notes=data["notes"],
+            rows=data.get("rows") or [],
+            notes=data.get("notes") or [],
+            manifest=RunManifest.from_dict(manifest_data) if manifest_data else None,
         )

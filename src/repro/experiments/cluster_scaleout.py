@@ -22,10 +22,11 @@ x fault profile. The headline shapes, asserted in
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.cluster import ClusterConfig, run_cluster
-from repro.experiments.base import ExperimentResult
+from repro.experiments.base import ExperimentConfig, ExperimentResult, deprecated_runner
 from repro.experiments.parallel import parallel_map
 
 # Operating point (calibrated): wide per-server queue arrays make the
@@ -118,9 +119,15 @@ def _pick(rows, **match) -> Dict[str, object]:
     raise KeyError(f"no row matching {match}")
 
 
-def run_cluster_scaleout(fast: bool = True, seed: int = 0) -> ExperimentResult:
+@dataclass(frozen=True)
+class ClusterScaleoutConfig(ExperimentConfig):
+    """Rack-scale sweep settings (defaults = calibrated operating point)."""
+
+
+def run(config: Optional[ClusterScaleoutConfig] = None) -> ExperimentResult:
     """Cluster scale-out: fleet p99 vs. servers, balancers, and faults."""
-    points = _grid(fast, seed)
+    config = config or ClusterScaleoutConfig()
+    points = _grid(config.fast, config.seed)
     rows = parallel_map(scaleout_point, points)
     result = ExperimentResult(
         "cluster_scaleout",
@@ -160,3 +167,10 @@ def run_cluster_scaleout(fast: bool = True, seed: int = 0) -> ExperimentResult:
         f"with {crash['redispatched']} re-dispatched requests"
     )
     return result
+
+
+def run_cluster_scaleout(fast: bool = True, seed: int = 0) -> ExperimentResult:
+    """Deprecated: use ``run(ClusterScaleoutConfig(...))``."""
+    return deprecated_runner(
+        "run_cluster_scaleout", run, ClusterScaleoutConfig(fast=fast, seed=seed)
+    )

@@ -11,10 +11,11 @@ latency across the load spectrum:
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Optional, Sequence
 
 from repro.core.runner import run_hyperplane
-from repro.experiments.base import ExperimentResult
+from repro.experiments.base import ExperimentConfig, ExperimentResult, deprecated_runner
 from repro.sdp.config import SDPConfig
 from repro.sdp.runner import run_spinning
 
@@ -52,7 +53,25 @@ def _tail(*args, **kwargs) -> float:
     return _latency(*args, **kwargs)[0]
 
 
-def run_fig10a(fast: bool = True, seed: int = 0) -> ExperimentResult:
+@dataclass(frozen=True)
+class Fig10Config(ExperimentConfig):
+    """Fig. 10 settings; ``panel`` = "a" (FB) or "b" (PC + imbalance)."""
+
+    panel: str = "a"
+
+    def __post_init__(self):
+        if self.panel not in ("a", "b"):
+            raise ValueError(f"unknown Fig. 10 panel {self.panel!r}; use a/b")
+
+
+def run(config: Optional[Fig10Config] = None) -> ExperimentResult:
+    """Reproduce one Fig. 10 panel."""
+    config = config or Fig10Config()
+    panel = {"a": _fig10a, "b": _fig10b}[config.panel]
+    return panel(config.fast, config.seed)
+
+
+def _fig10a(fast: bool, seed: int) -> ExperimentResult:
     """Fig. 10(a): FB traffic, three organisations per system."""
     loads: Sequence[float] = FAST_LOADS if fast else FULL_LOADS
     completions = 3000 if fast else 8000
@@ -79,7 +98,7 @@ def run_fig10a(fast: bool = True, seed: int = 0) -> ExperimentResult:
     return result
 
 
-def run_fig10b(fast: bool = True, seed: int = 0) -> ExperimentResult:
+def _fig10b(fast: bool, seed: int) -> ExperimentResult:
     """Fig. 10(b): PC traffic with 10% static scale-out imbalance."""
     loads: Sequence[float] = FAST_LOADS if fast else FULL_LOADS
     # The imbalance contrast needs more samples than Fig. 10(a): the
@@ -114,3 +133,17 @@ def run_fig10b(fast: bool = True, seed: int = 0) -> ExperimentResult:
         f"p99 stays at {high['hp_up2']:.0f} us"
     )
     return result
+
+
+def run_fig10a(fast: bool = True, seed: int = 0) -> ExperimentResult:
+    """Deprecated: use ``run(Fig10Config(panel="a"))``."""
+    return deprecated_runner(
+        "run_fig10a", run, Fig10Config(fast=fast, seed=seed, panel="a")
+    )
+
+
+def run_fig10b(fast: bool = True, seed: int = 0) -> ExperimentResult:
+    """Deprecated: use ``run(Fig10Config(panel="b"))``."""
+    return deprecated_runner(
+        "run_fig10b", run, Fig10Config(fast=fast, seed=seed, panel="b")
+    )

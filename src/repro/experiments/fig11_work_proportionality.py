@@ -10,10 +10,11 @@
 
 from __future__ import annotations
 
-from typing import Sequence
+from dataclasses import dataclass
+from typing import Optional, Sequence
 
 from repro.core.runner import run_hyperplane
-from repro.experiments.base import ExperimentResult
+from repro.experiments.base import ExperimentConfig, ExperimentResult, deprecated_runner
 from repro.sdp.config import SDPConfig
 from repro.sdp.runner import run_spinning
 from repro.smt.corunner import CoRunnerModel
@@ -40,7 +41,25 @@ def _activities(load: float, seed: int, completions: int):
     return spin.chip_activity, hyper.chip_activity
 
 
-def run_fig11a(fast: bool = True, seed: int = 0) -> ExperimentResult:
+@dataclass(frozen=True)
+class Fig11Config(ExperimentConfig):
+    """Fig. 11 settings; ``panel`` = "a" (IPC) or "b" (SMT co-runner)."""
+
+    panel: str = "a"
+
+    def __post_init__(self):
+        if self.panel not in ("a", "b"):
+            raise ValueError(f"unknown Fig. 11 panel {self.panel!r}; use a/b")
+
+
+def run(config: Optional[Fig11Config] = None) -> ExperimentResult:
+    """Reproduce one Fig. 11 panel."""
+    config = config or Fig11Config()
+    panel = {"a": _fig11a, "b": _fig11b}[config.panel]
+    return panel(config.fast, config.seed)
+
+
+def _fig11a(fast: bool, seed: int) -> ExperimentResult:
     """Fig. 11(a): IPC breakdown vs. load."""
     loads: Sequence[float] = FAST_LOADS if fast else FULL_LOADS
     completions = 2500 if fast else 6000
@@ -66,7 +85,7 @@ def run_fig11a(fast: bool = True, seed: int = 0) -> ExperimentResult:
     return result
 
 
-def run_fig11b(fast: bool = True, seed: int = 0) -> ExperimentResult:
+def _fig11b(fast: bool, seed: int) -> ExperimentResult:
     """Fig. 11(b): SMT co-runner IPC vs. data-plane load."""
     loads: Sequence[float] = FAST_LOADS if fast else FULL_LOADS
     completions = 2500 if fast else 6000
@@ -89,3 +108,17 @@ def run_fig11b(fast: bool = True, seed: int = 0) -> ExperimentResult:
         f"({first['corunner_vs_hyperplane']:.2f} -> {last['corunner_vs_hyperplane']:.2f})"
     )
     return result
+
+
+def run_fig11a(fast: bool = True, seed: int = 0) -> ExperimentResult:
+    """Deprecated: use ``run(Fig11Config(panel="a"))``."""
+    return deprecated_runner(
+        "run_fig11a", run, Fig11Config(fast=fast, seed=seed, panel="a")
+    )
+
+
+def run_fig11b(fast: bool = True, seed: int = 0) -> ExperimentResult:
+    """Deprecated: use ``run(Fig11Config(panel="b"))``."""
+    return deprecated_runner(
+        "run_fig11b", run, Fig11Config(fast=fast, seed=seed, panel="b")
+    )

@@ -8,10 +8,11 @@
 
 from __future__ import annotations
 
-from typing import Sequence
+from dataclasses import dataclass
+from typing import Optional, Sequence
 
 from repro.core.runner import run_hyperplane
-from repro.experiments.base import ExperimentResult
+from repro.experiments.base import ExperimentConfig, ExperimentResult, deprecated_runner
 from repro.power import PowerModel
 from repro.sdp.config import SDPConfig
 from repro.sdp.runner import run_spinning
@@ -34,7 +35,25 @@ def _config(seed: int, power: bool = False) -> SDPConfig:
     )
 
 
-def run_fig12a(fast: bool = True, seed: int = 0) -> ExperimentResult:
+@dataclass(frozen=True)
+class Fig12Config(ExperimentConfig):
+    """Fig. 12 settings; ``panel`` = "a" (power) or "b" (tail latency)."""
+
+    panel: str = "a"
+
+    def __post_init__(self):
+        if self.panel not in ("a", "b"):
+            raise ValueError(f"unknown Fig. 12 panel {self.panel!r}; use a/b")
+
+
+def run(config: Optional[Fig12Config] = None) -> ExperimentResult:
+    """Reproduce one Fig. 12 panel."""
+    config = config or Fig12Config()
+    panel = {"a": _fig12a, "b": _fig12b}[config.panel]
+    return panel(config.fast, config.seed)
+
+
+def _fig12a(fast: bool, seed: int) -> ExperimentResult:
     """Fig. 12(a): normalized power at zero vs. saturation load."""
     completions = 2500 if fast else 6000
     model = PowerModel()
@@ -88,7 +107,7 @@ def _fig10a_config(seed: int, power: bool, cluster_cores: int) -> SDPConfig:
     )
 
 
-def run_fig12b(fast: bool = True, seed: int = 0) -> ExperimentResult:
+def _fig12b(fast: bool, seed: int) -> ExperimentResult:
     """Fig. 12(b): tail latency of power-optimised HyperPlane vs. load."""
     loads: Sequence[float] = FAST_LOADS if fast else FULL_LOADS
     completions = 2500 if fast else 6000
@@ -131,3 +150,17 @@ def run_fig12b(fast: bool = True, seed: int = 0) -> ExperimentResult:
         f"{low['spinning_p99'] / low['hp_power_opt_p99']:.1f}x (paper: 8.9x)"
     )
     return result
+
+
+def run_fig12a(fast: bool = True, seed: int = 0) -> ExperimentResult:
+    """Deprecated: use ``run(Fig12Config(panel="a"))``."""
+    return deprecated_runner(
+        "run_fig12a", run, Fig12Config(fast=fast, seed=seed, panel="a")
+    )
+
+
+def run_fig12b(fast: bool = True, seed: int = 0) -> ExperimentResult:
+    """Deprecated: use ``run(Fig12Config(panel="b"))``."""
+    return deprecated_runner(
+        "run_fig12b", run, Fig12Config(fast=fast, seed=seed, panel="b")
+    )

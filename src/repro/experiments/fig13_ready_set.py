@@ -8,10 +8,18 @@ ready count — worst for fully balanced traffic).
 
 from __future__ import annotations
 
+from dataclasses import dataclass
+from typing import Optional
+
 from repro.core.runner import run_hyperplane
-from repro.experiments.base import ExperimentResult
+from repro.experiments.base import ExperimentConfig, ExperimentResult, deprecated_runner
 from repro.sdp.config import SDPConfig
 from repro.workloads.service import WORKLOADS
+
+
+@dataclass(frozen=True)
+class Fig13Config(ExperimentConfig):
+    """Fig. 13 settings (defaults = paper grid trimmed by ``fast``)."""
 
 NUM_QUEUES = 1000
 FAST_WORKLOADS = ("packet-encapsulation", "crypto-forwarding")
@@ -28,8 +36,10 @@ def _peak(workload: str, shape: str, software: bool, seed: int, completions: int
     return metrics.throughput_mtps
 
 
-def run_fig13(fast: bool = True, seed: int = 0) -> ExperimentResult:
+def run(config: Optional[Fig13Config] = None) -> ExperimentResult:
     """Relative throughput of the software ready set, PC and FB shapes."""
+    config = config or Fig13Config()
+    fast, seed = config.fast, config.seed
     workloads = FAST_WORKLOADS if fast else tuple(WORKLOADS)
     completions = 1500 if fast else 4000
     result = ExperimentResult(
@@ -52,3 +62,8 @@ def run_fig13(fast: bool = True, seed: int = 0) -> ExperimentResult:
         f"(min {min(pc_ratios):.0f}%)"
     )
     return result
+
+
+def run_fig13(fast: bool = True, seed: int = 0) -> ExperimentResult:
+    """Deprecated: use ``run(Fig13Config(...))``."""
+    return deprecated_runner("run_fig13", run, Fig13Config(fast=fast, seed=seed))

@@ -2,15 +2,37 @@
 
 from __future__ import annotations
 
+from dataclasses import dataclass
+
 from repro.dpdk.casestudy import (
     dpdk_latency_cdf,
     dpdk_roundtrip_latency,
     dpdk_throughput_sweep,
 )
-from repro.experiments.base import ExperimentResult
+from repro.experiments.base import ExperimentConfig, ExperimentResult, deprecated_runner
 
 
-def run_fig3a(fast: bool = True) -> ExperimentResult:
+@dataclass(frozen=True)
+class Fig3Config(ExperimentConfig):
+    """Fig. 3 settings; ``panel`` selects (a) throughput, (b) latency,
+    or (c) CDF. The DPDK case study is seeded internally, so ``seed``
+    is unused here."""
+
+    panel: str = "a"
+
+    def __post_init__(self):
+        if self.panel not in ("a", "b", "c"):
+            raise ValueError(f"unknown Fig. 3 panel {self.panel!r}; use a/b/c")
+
+
+def run(config: Fig3Config = None) -> ExperimentResult:
+    """Reproduce one Fig. 3 panel."""
+    config = config or Fig3Config()
+    panel = {"a": _fig3a, "b": _fig3b, "c": _fig3c}[config.panel]
+    return panel(config.fast)
+
+
+def _fig3a(fast: bool) -> ExperimentResult:
     """Fig. 3(a): single-core throughput vs. queue count, four shapes."""
     counts = (1, 200, 600, 1000) if fast else (1, 100, 200, 400, 600, 800, 1000)
     completions = 1500 if fast else 4000
@@ -30,7 +52,7 @@ def run_fig3a(fast: bool = True) -> ExperimentResult:
     return result
 
 
-def run_fig3b(fast: bool = True) -> ExperimentResult:
+def _fig3b(fast: bool) -> ExperimentResult:
     """Fig. 3(b): light-load round-trip latency vs. queue count."""
     counts = (1, 128, 256, 512) if fast else (1, 64, 128, 192, 256, 320, 384, 448, 512)
     completions = 800 if fast else 2000
@@ -48,7 +70,7 @@ def run_fig3b(fast: bool = True) -> ExperimentResult:
     return result
 
 
-def run_fig3c(fast: bool = True) -> ExperimentResult:
+def _fig3c(fast: bool) -> ExperimentResult:
     """Fig. 3(c): latency CDFs at 1 / 256 / 512 queues."""
     completions = 1000 if fast else 3000
     cdfs = dpdk_latency_cdf(queue_counts=(1, 256, 512), target_completions=completions)
@@ -69,3 +91,21 @@ def run_fig3c(fast: bool = True) -> ExperimentResult:
         + ", ".join(f"{c}q={s:.1f}us" for c, s in spreads.items())
     )
     return result
+
+
+# -- deprecated entry points --------------------------------------------------
+
+
+def run_fig3a(fast: bool = True) -> ExperimentResult:
+    """Deprecated: use ``run(Fig3Config(panel="a"))``."""
+    return deprecated_runner("run_fig3a", run, Fig3Config(fast=fast, panel="a"))
+
+
+def run_fig3b(fast: bool = True) -> ExperimentResult:
+    """Deprecated: use ``run(Fig3Config(panel="b"))``."""
+    return deprecated_runner("run_fig3b", run, Fig3Config(fast=fast, panel="b"))
+
+
+def run_fig3c(fast: bool = True) -> ExperimentResult:
+    """Deprecated: use ``run(Fig3Config(panel="c"))``."""
+    return deprecated_runner("run_fig3c", run, Fig3Config(fast=fast, panel="c"))

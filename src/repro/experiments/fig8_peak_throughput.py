@@ -6,10 +6,11 @@ closed-loop saturation measurement on one data-plane core.
 
 from __future__ import annotations
 
-from typing import Dict, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Optional, Sequence, Tuple
 
 from repro.core.runner import run_hyperplane
-from repro.experiments.base import ExperimentResult
+from repro.experiments.base import ExperimentConfig, ExperimentResult, deprecated_runner
 from repro.sdp.config import SDPConfig
 from repro.sdp.runner import run_spinning
 from repro.workloads.service import WORKLOADS
@@ -19,6 +20,11 @@ SHAPES = ("FB", "PC", "NC", "SQ")
 FAST_WORKLOADS = ("packet-encapsulation", "crypto-forwarding")
 FAST_COUNTS = (1, 200, 1000)
 FULL_COUNTS = (1, 100, 200, 400, 600, 800, 1000)
+
+
+@dataclass(frozen=True)
+class Fig8Config(ExperimentConfig):
+    """Fig. 8 settings (defaults = paper grid trimmed by ``fast``)."""
 
 
 def peak_point(
@@ -44,7 +50,7 @@ def _peak_point_star(args: Tuple) -> Tuple[float, float]:
     return peak_point(*args)
 
 
-def run_fig8(fast: bool = True, seed: int = 0) -> ExperimentResult:
+def run(config: Optional[Fig8Config] = None) -> ExperimentResult:
     """The full Fig. 8 grid; ``fast`` trims workloads and queue counts.
 
     Full grids fan out across processes (each point is an independent
@@ -52,6 +58,8 @@ def run_fig8(fast: bool = True, seed: int = 0) -> ExperimentResult:
     """
     from repro.experiments.parallel import parallel_map
 
+    config = config or Fig8Config()
+    fast, seed = config.fast, config.seed
     workloads = FAST_WORKLOADS if fast else tuple(WORKLOADS)
     counts: Sequence[int] = FAST_COUNTS if fast else FULL_COUNTS
     completions = 1500 if fast else 4000
@@ -94,3 +102,8 @@ def run_fig8(fast: bool = True, seed: int = 0) -> ExperimentResult:
             f"{geo_mean:.2f}x, mean {arith:.2f}x (paper average: 4.1x)"
         )
     return result
+
+
+def run_fig8(fast: bool = True, seed: int = 0) -> ExperimentResult:
+    """Deprecated: use ``run(Fig8Config(...))``."""
+    return deprecated_runner("run_fig8", run, Fig8Config(fast=fast, seed=seed))

@@ -12,10 +12,11 @@ true only net of service-time variance.
 
 from __future__ import annotations
 
-from typing import Sequence
+from dataclasses import dataclass
+from typing import Optional, Sequence
 
 from repro.core.runner import run_hyperplane
-from repro.experiments.base import ExperimentResult
+from repro.experiments.base import ExperimentConfig, ExperimentResult, deprecated_runner
 from repro.sdp.config import SDPConfig
 from repro.sdp.runner import run_spinning
 
@@ -44,7 +45,25 @@ def _config(workload: str, count: int, seed: int, power: bool = False) -> SDPCon
     )
 
 
-def run_fig9a(fast: bool = True, seed: int = 0) -> ExperimentResult:
+@dataclass(frozen=True)
+class Fig9Config(ExperimentConfig):
+    """Fig. 9 settings; ``panel`` = "a" (spinning) or "b" (HyperPlane)."""
+
+    panel: str = "a"
+
+    def __post_init__(self):
+        if self.panel not in ("a", "b"):
+            raise ValueError(f"unknown Fig. 9 panel {self.panel!r}; use a/b")
+
+
+def run(config: Optional[Fig9Config] = None) -> ExperimentResult:
+    """Reproduce one Fig. 9 panel."""
+    config = config or Fig9Config()
+    panel = {"a": _fig9a, "b": _fig9b}[config.panel]
+    return panel(config.fast, config.seed)
+
+
+def _fig9a(fast: bool, seed: int) -> ExperimentResult:
     """Fig. 9(a): spinning data plane avg/p99 at <1% load."""
     counts: Sequence[int] = FAST_COUNTS if fast else FULL_COUNTS
     workloads = FAST_WORKLOADS if fast else FULL_WORKLOADS
@@ -79,7 +98,7 @@ def run_fig9a(fast: bool = True, seed: int = 0) -> ExperimentResult:
     return result
 
 
-def run_fig9b(fast: bool = True, seed: int = 0) -> ExperimentResult:
+def _fig9b(fast: bool, seed: int) -> ExperimentResult:
     """Fig. 9(b): HyperPlane (regular and power-optimised) average latency."""
     counts: Sequence[int] = FAST_COUNTS if fast else FULL_COUNTS
     workloads = FAST_WORKLOADS if fast else FULL_WORKLOADS
@@ -136,3 +155,17 @@ def run_fig9b(fast: bool = True, seed: int = 0) -> ExperimentResult:
     else:
         result.notes.append("power-optimised HyperPlane never lost to spinning on this grid")
     return result
+
+
+def run_fig9a(fast: bool = True, seed: int = 0) -> ExperimentResult:
+    """Deprecated: use ``run(Fig9Config(panel="a"))``."""
+    return deprecated_runner(
+        "run_fig9a", run, Fig9Config(fast=fast, seed=seed, panel="a")
+    )
+
+
+def run_fig9b(fast: bool = True, seed: int = 0) -> ExperimentResult:
+    """Deprecated: use ``run(Fig9Config(panel="b"))``."""
+    return deprecated_runner(
+        "run_fig9b", run, Fig9Config(fast=fast, seed=seed, panel="b")
+    )

@@ -12,13 +12,19 @@ shapes x queue counts); latency gains over the Fig. 9 zero-load grid.
 from __future__ import annotations
 
 import math
-from typing import Iterable, List
+from dataclasses import dataclass
+from typing import Iterable, List, Optional
 
 from repro.core.runner import run_hyperplane
-from repro.experiments.base import ExperimentResult
+from repro.experiments.base import ExperimentConfig, ExperimentResult, deprecated_runner
 from repro.sdp.config import SDPConfig
 from repro.sdp.runner import run_spinning
 from repro.workloads.service import WORKLOADS
+
+
+@dataclass(frozen=True)
+class HeadlineConfig(ExperimentConfig):
+    """Headline-number settings (defaults = paper grids trimmed by ``fast``)."""
 
 FAST_WORKLOADS = ("packet-encapsulation", "crypto-forwarding")
 FAST_COUNTS = (200, 1000)
@@ -34,8 +40,10 @@ def _geo_mean(values: Iterable[float]) -> float:
     return math.exp(sum(logs) / len(logs))
 
 
-def run_headline(fast: bool = True, seed: int = 0) -> ExperimentResult:
+def run(config: Optional[HeadlineConfig] = None) -> ExperimentResult:
     """Aggregate throughput and latency gains across the sweep grids."""
+    config = config or HeadlineConfig()
+    fast, seed = config.fast, config.seed
     workloads = FAST_WORKLOADS if fast else tuple(WORKLOADS)
     counts = FAST_COUNTS if fast else FULL_COUNTS
     peak_completions = 1500 if fast else 4000
@@ -113,3 +121,8 @@ def run_headline(fast: bool = True, seed: int = 0) -> ExperimentResult:
         "as in the paper's 'on average across queue counts'"
     )
     return result
+
+
+def run_headline(fast: bool = True, seed: int = 0) -> ExperimentResult:
+    """Deprecated: use ``run(HeadlineConfig(...))``."""
+    return deprecated_runner("run_headline", run, HeadlineConfig(fast=fast, seed=seed))

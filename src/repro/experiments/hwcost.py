@@ -18,9 +18,10 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
+from typing import Optional
 
 from repro.core.ppa import brent_kung_ppa
-from repro.experiments.base import ExperimentResult
+from repro.experiments.base import ExperimentConfig, ExperimentResult, deprecated_runner
 
 # Paper-reported anchors (32 nm, 1024 entries).
 ANCHOR_ENTRIES = 1024
@@ -115,8 +116,16 @@ def costs_for(entries: int = ANCHOR_ENTRIES) -> HardwareCosts:
     )
 
 
-def run_hwcost(fast: bool = True) -> ExperimentResult:
+@dataclass(frozen=True)
+class HwCostConfig(ExperimentConfig):
+    """Hardware-cost table settings. The model is analytic, so ``seed``
+    is unused."""
+
+
+def run(config: Optional[HwCostConfig] = None) -> ExperimentResult:
     """The Section IV-C table, plus scaling to other capacities."""
+    config = config or HwCostConfig()
+    fast = config.fast
     capacities = (256, 512, 1024) if fast else (128, 256, 512, 1024, 2048, 4096)
     result = ExperimentResult("hwcost", "Section IV-C: HyperPlane hardware costs")
     for entries in capacities:
@@ -144,3 +153,8 @@ def run_hwcost(fast: bool = True) -> ExperimentResult:
         f"{MONITORING_LOOKUP_CYCLES} cycles (paper's conservative figures)"
     )
     return result
+
+
+def run_hwcost(fast: bool = True) -> ExperimentResult:
+    """Deprecated: use ``run(HwCostConfig(...))``."""
+    return deprecated_runner("run_hwcost", run, HwCostConfig(fast=fast))

@@ -1,47 +1,196 @@
-"""Experiment registry: id -> runner."""
+"""Experiment registry: id -> spec, and the instrumented entry point.
+
+:data:`REGISTRY` maps each experiment id to an :class:`ExperimentSpec`
+pairing the module's ``run(config)`` runner with a config factory.
+:func:`run_experiment` is the one entry point the CLI, tests, and
+benchmarks share: it builds the typed config, optionally activates a
+metrics registry for the duration of the run, and stamps the result
+with a :class:`~repro.obs.manifest.RunManifest`.
+"""
 
 from __future__ import annotations
 
-from typing import Callable, Dict
+import os
+import time
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Optional
 
-from repro.experiments.base import ExperimentResult
-from repro.experiments.cluster_scaleout import run_cluster_scaleout
-from repro.experiments.fig3_dpdk import run_fig3a, run_fig3b, run_fig3c
-from repro.experiments.fig8_peak_throughput import run_fig8
-from repro.experiments.fig9_zero_load import run_fig9a, run_fig9b
-from repro.experiments.fig10_multicore import run_fig10a, run_fig10b
-from repro.experiments.fig11_work_proportionality import run_fig11a, run_fig11b
-from repro.experiments.fig12_power import run_fig12a, run_fig12b
-from repro.experiments.fig13_ready_set import run_fig13
-from repro.experiments.headline import run_headline
-from repro.experiments.hwcost import run_hwcost
+from repro.experiments import (
+    cluster_scaleout,
+    fig3_dpdk,
+    fig8_peak_throughput,
+    fig9_zero_load,
+    fig10_multicore,
+    fig11_work_proportionality,
+    fig12_power,
+    fig13_ready_set,
+    headline,
+    hwcost,
+)
+from repro.experiments.base import ExperimentConfig, ExperimentResult
+from repro.obs.manifest import RunManifest
+from repro.obs.registry import MetricsRegistry
+from repro.obs.runtime import active_registry
 
-REGISTRY: Dict[str, Callable[..., ExperimentResult]] = {
-    "fig3a": run_fig3a,
-    "fig3b": run_fig3b,
-    "fig3c": run_fig3c,
-    "fig8": run_fig8,
-    "fig9a": run_fig9a,
-    "fig9b": run_fig9b,
-    "fig10a": run_fig10a,
-    "fig10b": run_fig10b,
-    "fig11a": run_fig11a,
-    "fig11b": run_fig11b,
-    "fig12a": run_fig12a,
-    "fig12b": run_fig12b,
-    "fig13": run_fig13,
-    "hwcost": run_hwcost,
-    "headline": run_headline,
-    "cluster_scaleout": run_cluster_scaleout,
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """One registered experiment: how to configure and run it."""
+
+    experiment_id: str
+    runner: Callable[[Any], ExperimentResult]
+    make_config: Callable[[bool, int], ExperimentConfig]
+    summary: str
+
+    def config(self, fast: bool = True, seed: int = 0) -> ExperimentConfig:
+        return self.make_config(fast, seed)
+
+
+def _spec(experiment_id, module, make_config, summary=None) -> ExperimentSpec:
+    if summary is None:
+        summary = (module.run.__doc__ or "").strip().splitlines()[0]
+    return ExperimentSpec(experiment_id, module.run, make_config, summary)
+
+
+REGISTRY: Dict[str, ExperimentSpec] = {
+    spec.experiment_id: spec
+    for spec in (
+        _spec(
+            "fig3a", fig3_dpdk,
+            lambda fast, seed: fig3_dpdk.Fig3Config(fast=fast, seed=seed, panel="a"),
+            "Fig. 3(a): DPDK single-core throughput vs. queue count.",
+        ),
+        _spec(
+            "fig3b", fig3_dpdk,
+            lambda fast, seed: fig3_dpdk.Fig3Config(fast=fast, seed=seed, panel="b"),
+            "Fig. 3(b): DPDK light-load round-trip latency vs. queue count.",
+        ),
+        _spec(
+            "fig3c", fig3_dpdk,
+            lambda fast, seed: fig3_dpdk.Fig3Config(fast=fast, seed=seed, panel="c"),
+            "Fig. 3(c): DPDK latency CDFs at 1 / 256 / 512 queues.",
+        ),
+        _spec(
+            "fig8", fig8_peak_throughput,
+            lambda fast, seed: fig8_peak_throughput.Fig8Config(fast=fast, seed=seed),
+        ),
+        _spec(
+            "fig9a", fig9_zero_load,
+            lambda fast, seed: fig9_zero_load.Fig9Config(fast=fast, seed=seed, panel="a"),
+            "Fig. 9(a): spinning data plane avg/p99 at <1% load.",
+        ),
+        _spec(
+            "fig9b", fig9_zero_load,
+            lambda fast, seed: fig9_zero_load.Fig9Config(fast=fast, seed=seed, panel="b"),
+            "Fig. 9(b): HyperPlane (regular and power-optimised) zero-load latency.",
+        ),
+        _spec(
+            "fig10a", fig10_multicore,
+            lambda fast, seed: fig10_multicore.Fig10Config(fast=fast, seed=seed, panel="a"),
+            "Fig. 10(a): multicore tail latency, FB traffic, three organisations.",
+        ),
+        _spec(
+            "fig10b", fig10_multicore,
+            lambda fast, seed: fig10_multicore.Fig10Config(fast=fast, seed=seed, panel="b"),
+            "Fig. 10(b): multicore tail latency, PC traffic with static imbalance.",
+        ),
+        _spec(
+            "fig11a", fig11_work_proportionality,
+            lambda fast, seed: fig11_work_proportionality.Fig11Config(
+                fast=fast, seed=seed, panel="a"
+            ),
+            "Fig. 11(a): IPC breakdown vs. load.",
+        ),
+        _spec(
+            "fig11b", fig11_work_proportionality,
+            lambda fast, seed: fig11_work_proportionality.Fig11Config(
+                fast=fast, seed=seed, panel="b"
+            ),
+            "Fig. 11(b): SMT co-runner IPC vs. data-plane load.",
+        ),
+        _spec(
+            "fig12a", fig12_power,
+            lambda fast, seed: fig12_power.Fig12Config(fast=fast, seed=seed, panel="a"),
+            "Fig. 12(a): normalized power at zero vs. saturation load.",
+        ),
+        _spec(
+            "fig12b", fig12_power,
+            lambda fast, seed: fig12_power.Fig12Config(fast=fast, seed=seed, panel="b"),
+            "Fig. 12(b): tail latency of power-optimised HyperPlane vs. load.",
+        ),
+        _spec(
+            "fig13", fig13_ready_set,
+            lambda fast, seed: fig13_ready_set.Fig13Config(fast=fast, seed=seed),
+        ),
+        _spec(
+            "hwcost", hwcost,
+            lambda fast, seed: hwcost.HwCostConfig(fast=fast, seed=seed),
+        ),
+        _spec(
+            "headline", headline,
+            lambda fast, seed: headline.HeadlineConfig(fast=fast, seed=seed),
+        ),
+        _spec(
+            "cluster_scaleout", cluster_scaleout,
+            lambda fast, seed: cluster_scaleout.ClusterScaleoutConfig(
+                fast=fast, seed=seed
+            ),
+        ),
+    )
 }
 
 
-def run_experiment(experiment_id: str, fast: bool = True) -> ExperimentResult:
-    """Run one experiment by id."""
+def run_experiment(
+    experiment_id: str,
+    fast: bool = True,
+    seed: int = 0,
+    metrics: Optional[MetricsRegistry] = None,
+) -> ExperimentResult:
+    """Run one experiment by id, stamping the result with its manifest.
+
+    When ``metrics`` is an enabled :class:`MetricsRegistry`, it is
+    installed as the ambient registry for the duration of the run so
+    every simulator, data plane, memory hierarchy, and rack built by
+    the experiment self-instruments into it. Process fan-out is forced
+    serial in that case (the ambient registry does not cross process
+    boundaries), so set ``REPRO_PROCESSES`` yourself only for
+    uninstrumented runs.
+    """
     try:
-        runner = REGISTRY[experiment_id]
+        spec = REGISTRY[experiment_id]
     except KeyError:
         raise ValueError(
             f"unknown experiment {experiment_id!r}; known: {sorted(REGISTRY)}"
         )
-    return runner(fast=fast)
+    config = spec.config(fast=fast, seed=seed)
+    metrics_enabled = metrics is not None and metrics.enabled
+
+    forced_serial = None
+    if metrics_enabled:
+        forced_serial = os.environ.get("REPRO_PROCESSES")
+        os.environ["REPRO_PROCESSES"] = "1"
+    started_at = time.time()
+    try:
+        with active_registry(metrics):
+            result = spec.runner(config)
+    finally:
+        if metrics_enabled:
+            if forced_serial is None:
+                del os.environ["REPRO_PROCESSES"]
+            else:
+                os.environ["REPRO_PROCESSES"] = forced_serial
+    wall_seconds = time.time() - started_at
+
+    sim_events = 0
+    if metrics_enabled and "sim.events_total" in metrics:
+        sim_events = int(metrics.counter("sim.events_total").value)
+    result.manifest = RunManifest.capture(
+        experiment_id=experiment_id,
+        config=config.asdict(),
+        root_seed=config.seed,
+        started_at=started_at,
+        wall_seconds=wall_seconds,
+        sim_events=sim_events,
+        metrics_enabled=metrics_enabled,
+    )
+    return result

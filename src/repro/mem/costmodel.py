@@ -98,6 +98,13 @@ def empty_poll_cost_curve(
     """
     if not 0.0 <= llc_doorbell_resident_fraction <= 1.0:
         raise ValueError("resident fraction must be within [0, 1]")
+    # The fast simulation never touches the structural models at run
+    # time — these derivation runs are where mem.* cache/coherence
+    # behaviour is actually measured, so fold each measured hierarchy's
+    # counters into the ambient registry (if observability is on).
+    from repro.obs.runtime import get_active_registry
+
+    registry = get_active_registry()
     cfg = mem_config or MemConfig(num_cores=1)
     results: Dict[int, float] = {}
     for count in queue_counts:
@@ -127,6 +134,10 @@ def empty_poll_cost_curve(
                 total += latency
                 samples += 1
         results[count] = total / samples
+        if registry is not None:
+            from repro.obs.probes import instrument_hierarchy
+
+            instrument_hierarchy(registry, hierarchy)
     return results
 
 

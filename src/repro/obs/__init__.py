@@ -1,0 +1,84 @@
+"""repro.obs — simulation-wide observability.
+
+A first-class instrumentation layer decoupled from the models (the
+pattern Akita and gem5's stats plumbing converge on): a
+:class:`MetricsRegistry` of counters, gauges, sim-time histograms, and
+bounded timeseries probes; standard probes for each layer
+(:mod:`repro.obs.probes`); JSONL / CSV / Prometheus exporters with
+round-trip parsers (:mod:`repro.obs.export`); and the
+:class:`RunManifest` provenance record every experiment result carries
+(:mod:`repro.obs.manifest`).
+
+Quick start::
+
+    from repro import MetricsRegistry
+    from repro.obs import active_registry
+
+    registry = MetricsRegistry()
+    with active_registry(registry):
+        metrics = run_hyperplane(config, load=0.5)   # self-instruments
+    registry.as_dict()["sdp.queue_depth"]            # the timeline
+
+Disabled observability is free: with no active registry (the default),
+no hook, probe, or sampler is installed anywhere.
+"""
+
+from repro.obs.export import (
+    parse_csv,
+    parse_jsonl,
+    parse_prometheus,
+    to_csv,
+    to_jsonl,
+    to_prometheus,
+    write_exports,
+)
+from repro.obs.manifest import (
+    MANIFEST_SCHEMA_VERSION,
+    RunManifest,
+    config_digest,
+    manifest_problems,
+    validate_manifest,
+)
+from repro.obs.probes import (
+    instrument_hierarchy,
+    instrument_rack,
+    instrument_simulator,
+    instrument_system,
+)
+from repro.obs.registry import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    Timeseries,
+    validate_metric_name,
+)
+from repro.obs.runtime import active_registry, get_active_registry, set_active_registry
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MANIFEST_SCHEMA_VERSION",
+    "MetricsRegistry",
+    "RunManifest",
+    "Timeseries",
+    "active_registry",
+    "config_digest",
+    "get_active_registry",
+    "instrument_hierarchy",
+    "instrument_rack",
+    "instrument_simulator",
+    "instrument_system",
+    "manifest_problems",
+    "parse_csv",
+    "parse_jsonl",
+    "parse_prometheus",
+    "set_active_registry",
+    "to_csv",
+    "to_jsonl",
+    "to_prometheus",
+    "validate_manifest",
+    "validate_metric_name",
+    "write_exports",
+]

@@ -1,0 +1,50 @@
+"""The active-registry context: how instrumentation reaches the models.
+
+Threading a registry argument through every constructor in the repo
+would churn dozens of signatures, so observability uses an ambient
+context instead: :func:`active_registry` installs a
+:class:`~repro.obs.registry.MetricsRegistry` for the duration of a
+``with`` block, and instrumentable components
+(:class:`~repro.sdp.system.DataPlaneSystem`,
+:class:`~repro.cluster.rack.Rack`, the cost-model derivation) check
+:func:`get_active_registry` at build time and self-instrument only when
+an *enabled* registry is active.
+
+When nothing is active — the default — the check is one module-level
+read returning ``None`` and no hook, probe, or sampler is installed:
+uninstrumented simulations pay nothing.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Iterator, Optional
+
+from repro.obs.registry import MetricsRegistry
+
+_ACTIVE: Optional[MetricsRegistry] = None
+
+
+def get_active_registry() -> Optional[MetricsRegistry]:
+    """The enabled registry components should record into, or ``None``."""
+    if _ACTIVE is not None and _ACTIVE.enabled:
+        return _ACTIVE
+    return None
+
+
+def set_active_registry(registry: Optional[MetricsRegistry]) -> Optional[MetricsRegistry]:
+    """Install ``registry`` as the ambient registry; returns the previous one."""
+    global _ACTIVE
+    previous = _ACTIVE
+    _ACTIVE = registry
+    return previous
+
+
+@contextmanager
+def active_registry(registry: Optional[MetricsRegistry]) -> Iterator[Optional[MetricsRegistry]]:
+    """Scope ``registry`` as the ambient registry for a ``with`` block."""
+    previous = set_active_registry(registry)
+    try:
+        yield registry
+    finally:
+        set_active_registry(previous)

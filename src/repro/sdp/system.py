@@ -11,6 +11,7 @@ from __future__ import annotations
 from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.mem.address import DoorbellRegion
+from repro.obs.runtime import get_active_registry
 from repro.queueing.doorbell import Doorbell
 from repro.queueing.locks import SpinLock
 from repro.queueing.taskqueue import TaskQueue, WorkItem
@@ -176,6 +177,16 @@ class DataPlaneSystem:
         self.generators: List[OpenLoopGenerator] = []
         self.refill: Optional[ClosedLoopRefill] = None
 
+        # Observability: self-instrument iff an enabled registry is
+        # ambient (repro.obs.runtime). With none active — the default —
+        # this is a single None check and no hook is installed.
+        self._obs = get_active_registry()
+        self._obs_events_reported = 0
+        if self._obs is not None:
+            from repro.obs.probes import instrument_system
+
+            instrument_system(self._obs, self)
+
     # -- plumbing -----------------------------------------------------------
 
     def _on_doorbell_write(self, doorbell: Doorbell) -> None:
@@ -266,6 +277,12 @@ class DataPlaneSystem:
         if self.refill is not None:
             self.metrics.generated += self.refill.generated
         self.metrics.dropped = sum(g.dropped for g in self.generators)
+        if self._obs is not None:
+            delta = self.sim.events_dispatched - self._obs_events_reported
+            self._obs_events_reported = self.sim.events_dispatched
+            self._obs.counter(
+                "sim.events_total", help="events retired across all runs"
+            ).inc(delta)
         return self.metrics
 
     def check_invariants(self) -> None:

@@ -40,6 +40,10 @@ class Simulator:
         self._sequence = 0
         self._running = False
         self.events_dispatched = 0
+        # Generator-process resumptions, incremented by Process._step.
+        # Native accounting (like events_dispatched) so observability
+        # gauges can read it without installing per-event hooks.
+        self.process_wakes = 0
 
     @property
     def now(self) -> float:

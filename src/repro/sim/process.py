@@ -69,6 +69,7 @@ class Process:
     def _step(self, value: Any, throw: bool) -> None:
         if not self._alive:
             return
+        self.sim.process_wakes += 1
         try:
             if throw:
                 yielded = self._generator.throw(value)
