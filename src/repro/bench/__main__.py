@@ -1,0 +1,102 @@
+"""CLI: ``repro-bench`` / ``python -m repro.bench``.
+
+Runs the perf scenario set (see :mod:`repro.bench`) and writes
+``BENCH_engine.json``. With ``--baseline`` + ``--check`` it becomes the
+CI regression gate: exit 1 when any scenario's events/sec falls more
+than ``--threshold`` below the baseline report.
+
+Examples::
+
+    repro-bench --quick --out BENCH_engine.json
+    repro-bench --quick --baseline benchmarks/perf/BENCH_engine.json --check
+    repro-bench --scenario engine_dispatch --repeat 3
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from repro.bench import (
+    DEFAULT_REGRESSION_THRESHOLD,
+    SCENARIOS,
+    compare_reports,
+    format_report,
+    load_report,
+    run_bench,
+)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-bench",
+        description="Measure simulator performance; gate on regressions.",
+    )
+    parser.add_argument(
+        "--quick", action="store_true", help="CI-sized scenarios (seconds total)"
+    )
+    parser.add_argument(
+        "--scenario",
+        action="append",
+        metavar="ID",
+        help=f"run only these scenarios (known: {', '.join(SCENARIOS)})",
+    )
+    parser.add_argument(
+        "--repeat", type=int, default=1, help="repetitions per scenario; keep fastest"
+    )
+    parser.add_argument(
+        "--out", metavar="FILE", help="write the report JSON here"
+    )
+    parser.add_argument(
+        "--baseline", metavar="FILE", help="baseline report to compare against"
+    )
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="exit 1 on an events/sec regression vs. --baseline",
+    )
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=DEFAULT_REGRESSION_THRESHOLD,
+        help="allowed fractional events/sec drop before --check fails "
+        "(default %(default)s)",
+    )
+    parser.add_argument(
+        "--list", action="store_true", help="list scenarios and exit"
+    )
+    args = parser.parse_args(argv)
+
+    if args.list:
+        for sid, scenario in SCENARIOS.items():
+            print(f"{sid:24s} {scenario.description}")
+        return 0
+
+    report = run_bench(
+        quick=args.quick, scenario_ids=args.scenario, repeat=args.repeat
+    )
+    print(format_report(report))
+
+    if args.out:
+        with open(args.out, "w") as handle:
+            json.dump(report, handle, indent=1, sort_keys=True)
+            handle.write("\n")
+        print(f"\nwrote {args.out}")
+
+    if args.baseline:
+        baseline = load_report(args.baseline)
+        failures = compare_reports(report, baseline, threshold=args.threshold)
+        if failures:
+            print("\nperf regressions vs. baseline:", file=sys.stderr)
+            for line in failures:
+                print(f"  {line}", file=sys.stderr)
+            if args.check:
+                return 1
+        else:
+            print(f"\nno events/sec regression vs. {args.baseline}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -15,13 +15,26 @@ Usage::
 
 The callable must be a module-level function (picklable); pass tuples of
 arguments and unpack inside.
+
+Instrumented sweeps
+-------------------
+The ambient metrics registry (:func:`repro.obs.runtime.active_registry`)
+is process-local and does not cross the pool boundary. When an enabled
+registry is active in the submitting process, :func:`parallel_map`
+transparently runs every point under a fresh per-task registry — in the
+worker for pooled execution, in-process for the serial fallback — and
+folds the task snapshots back into the ambient registry in submission
+order (:meth:`~repro.obs.registry.MetricsRegistry.merge_snapshot`).
+Counters and histograms therefore collect exactly the same values
+whatever the worker count, and instrumented experiments no longer need
+to force serial execution.
 """
 
 from __future__ import annotations
 
 import os
 from concurrent.futures import ProcessPoolExecutor
-from typing import Callable, Iterable, List, Optional, Sequence, TypeVar
+from typing import Callable, List, Optional, Sequence, TypeVar
 
 Point = TypeVar("Point")
 Result = TypeVar("Result")
@@ -49,20 +62,86 @@ def default_processes() -> int:
     return max(1, (os.cpu_count() or 2) // 2)
 
 
+def auto_chunk_size(num_points: int, processes: int) -> int:
+    """Points per pool task: ``len(points) // (4 * processes)``, min 1.
+
+    One-point chunks maximise balance but pay per-task pickling and
+    scheduling on every point, which dominates for large grids of small
+    simulations. Four chunks per worker keeps the tail balanced (a slow
+    chunk strands at most ~1/4 of one worker's share) while cutting task
+    overhead by the chunk length.
+    """
+    if processes < 1:
+        raise ValueError(f"processes must be >= 1, got {processes}")
+    return max(1, num_points // (4 * processes))
+
+
+class _InstrumentedTask:
+    """Picklable wrapper running one point under a fresh metrics registry.
+
+    Returns ``(result, snapshot)`` so the submitting process can fold
+    the task's metrics into the ambient registry. Used for both pooled
+    and serial execution so instrumented sweeps collect identical
+    counters/histograms regardless of worker count.
+    """
+
+    __slots__ = ("function",)
+
+    def __init__(self, function: Callable):
+        self.function = function
+
+    def __call__(self, point):
+        from repro.obs.registry import MetricsRegistry
+        from repro.obs.runtime import active_registry
+
+        registry = MetricsRegistry(enabled=True)
+        with active_registry(registry):
+            result = self.function(point)
+        return result, registry.snapshot()
+
+
 def parallel_map(
     function: Callable[[Point], Result],
     points: Sequence[Point],
     processes: Optional[int] = None,
-    chunk_size: int = 1,
+    chunk_size: Optional[int] = None,
 ) -> List[Result]:
     """Map ``function`` over ``points`` across processes, order-preserving.
 
     Falls back to an in-process map for one worker or one point (also
     the path tests exercise deterministically without fork overhead).
+
+    ``chunk_size`` is the number of points handed to a worker per pool
+    task; the default is :func:`auto_chunk_size`'s four-chunks-per-worker
+    heuristic. Pass an explicit value to override (``1`` restores
+    maximal balancing for grids of few, slow points).
+
+    If an enabled metrics registry is ambient, each point runs under its
+    own registry and the per-point snapshots are merged back in
+    submission order — see the module docstring.
     """
+    from repro.obs.runtime import get_active_registry
+
     if processes is None:
         processes = default_processes()
+    if chunk_size is None:
+        chunk_size = auto_chunk_size(len(points), max(1, processes))
+    elif chunk_size < 1:
+        raise ValueError(f"chunk_size must be >= 1, got {chunk_size}")
+
+    registry = get_active_registry()
+    task = _InstrumentedTask(function) if registry is not None else function
+
     if processes <= 1 or len(points) <= 1:
-        return [function(point) for point in points]
-    with ProcessPoolExecutor(max_workers=processes) as pool:
-        return list(pool.map(function, points, chunksize=chunk_size))
+        outputs = [task(point) for point in points]
+    else:
+        with ProcessPoolExecutor(max_workers=processes) as pool:
+            outputs = list(pool.map(task, points, chunksize=chunk_size))
+
+    if registry is None:
+        return outputs
+    results = []
+    for result, snapshot in outputs:
+        registry.merge_snapshot(snapshot)
+        results.append(result)
+    return results

@@ -10,7 +10,6 @@ with a :class:`~repro.obs.manifest.RunManifest`.
 
 from __future__ import annotations
 
-import os
 import time
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, Optional
@@ -151,10 +150,11 @@ def run_experiment(
     When ``metrics`` is an enabled :class:`MetricsRegistry`, it is
     installed as the ambient registry for the duration of the run so
     every simulator, data plane, memory hierarchy, and rack built by
-    the experiment self-instruments into it. Process fan-out is forced
-    serial in that case (the ambient registry does not cross process
-    boundaries), so set ``REPRO_PROCESSES`` yourself only for
-    uninstrumented runs.
+    the experiment self-instruments into it. Process fan-out stays
+    enabled: :func:`~repro.experiments.parallel.parallel_map` runs each
+    grid point under a per-task registry and merges the snapshots back,
+    so counters and histograms are identical to a serial run whatever
+    ``REPRO_PROCESSES`` says.
     """
     try:
         spec = REGISTRY[experiment_id]
@@ -165,20 +165,9 @@ def run_experiment(
     config = spec.config(fast=fast, seed=seed)
     metrics_enabled = metrics is not None and metrics.enabled
 
-    forced_serial = None
-    if metrics_enabled:
-        forced_serial = os.environ.get("REPRO_PROCESSES")
-        os.environ["REPRO_PROCESSES"] = "1"
     started_at = time.time()
-    try:
-        with active_registry(metrics):
-            result = spec.runner(config)
-    finally:
-        if metrics_enabled:
-            if forced_serial is None:
-                del os.environ["REPRO_PROCESSES"]
-            else:
-                os.environ["REPRO_PROCESSES"] = forced_serial
+    with active_registry(metrics):
+        result = spec.runner(config)
     wall_seconds = time.time() - started_at
 
     sim_events = 0

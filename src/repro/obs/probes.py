@@ -165,33 +165,55 @@ class _SystemProbeState:
             self.wake_latency.observe(self.system.sim.now - ready_at)
 
 
-def instrument_hierarchy(registry: MetricsRegistry, hierarchy, prefix: str = "mem") -> None:
-    """Fold a structural :class:`~repro.mem.hierarchy.MemoryHierarchy`'s
-    counters into the registry (cumulative across hierarchies).
+def hierarchy_stats_snapshot(hierarchy) -> Dict[str, float]:
+    """A plain-dict snapshot of a hierarchy's cumulative counters.
 
-    The fast SDP simulation runs on cost curves *derived* from these
-    structural models (:mod:`repro.mem.costmodel`), so the derivation
-    calls this on every curve it measures: the ``mem.*`` probes describe
-    the cache behaviour that produced the cycle costs in use.
+    The snapshot is what :func:`instrument_hierarchy` records, detached
+    from the live objects — picklable, mergeable by addition, and
+    replayable into a registry later. The cost-curve memo
+    (:mod:`repro.mem.costmodel`) stores one per derivation so cache
+    hits fold in the *same* ``mem.*`` increments a fresh derivation
+    would have.
     """
     from repro.mem.coherence import TransactionKind
 
-    l1_hits = sum(l1.stats.hits for l1 in hierarchy.l1s)
-    l1_misses = sum(l1.stats.misses for l1 in hierarchy.l1s)
-    registry.counter(f"{prefix}.l1.hits", help="L1 hits (all cores)").inc(l1_hits)
-    registry.counter(f"{prefix}.l1.misses", help="L1 misses (all cores)").inc(l1_misses)
-    registry.counter(f"{prefix}.llc.hits", help="LLC hits").inc(hierarchy.llc.stats.hits)
-    registry.counter(f"{prefix}.llc.misses", help="LLC misses").inc(
-        hierarchy.llc.stats.misses
-    )
-    registry.counter(f"{prefix}.llc.evictions", help="LLC evictions").inc(
-        hierarchy.llc.stats.evictions
-    )
+    stats = {
+        "l1.hits": float(sum(l1.stats.hits for l1 in hierarchy.l1s)),
+        "l1.misses": float(sum(l1.stats.misses for l1 in hierarchy.l1s)),
+        "llc.hits": float(hierarchy.llc.stats.hits),
+        "llc.misses": float(hierarchy.llc.stats.misses),
+        "llc.evictions": float(hierarchy.llc.stats.evictions),
+    }
     for kind in TransactionKind:
-        registry.counter(
-            f"{prefix}.coherence.{kind.name.lower()}",
-            help=f"directory {kind.value} transactions",
-        ).inc(hierarchy.directory.transactions[kind])
+        stats[f"coherence.{kind.name.lower()}"] = float(
+            hierarchy.directory.transactions[kind]
+        )
+    return stats
+
+
+_STATS_HELP = {
+    "l1.hits": "L1 hits (all cores)",
+    "l1.misses": "L1 misses (all cores)",
+    "llc.hits": "LLC hits",
+    "llc.misses": "LLC misses",
+    "llc.evictions": "LLC evictions",
+}
+
+
+def replay_hierarchy_stats(
+    registry: MetricsRegistry, stats: Dict[str, float], prefix: str = "mem"
+) -> None:
+    """Fold a :func:`hierarchy_stats_snapshot` into ``registry``.
+
+    Registers the same counters and hit-rate gauges as instrumenting the
+    live hierarchy would, so memoized and freshly-measured derivations
+    are indistinguishable in the collected metrics.
+    """
+    for name, value in stats.items():
+        help_text = _STATS_HELP.get(name)
+        if help_text is None and name.startswith("coherence."):
+            help_text = f"directory {name.split('.', 1)[1]} transactions"
+        registry.counter(f"{prefix}.{name}", help=help_text or "").inc(value)
 
     def hit_rate(hits_name: str, misses_name: str):
         def read() -> float:
@@ -212,6 +234,18 @@ def instrument_hierarchy(registry: MetricsRegistry, hierarchy, prefix: str = "me
         help="cumulative LLC hit rate over all measured hierarchies",
         fn=hit_rate(f"{prefix}.llc.hits", f"{prefix}.llc.misses"),
     )
+
+
+def instrument_hierarchy(registry: MetricsRegistry, hierarchy, prefix: str = "mem") -> None:
+    """Fold a structural :class:`~repro.mem.hierarchy.MemoryHierarchy`'s
+    counters into the registry (cumulative across hierarchies).
+
+    The fast SDP simulation runs on cost curves *derived* from these
+    structural models (:mod:`repro.mem.costmodel`), so the derivation
+    calls this on every curve it measures: the ``mem.*`` probes describe
+    the cache behaviour that produced the cycle costs in use.
+    """
+    replay_hierarchy_stats(registry, hierarchy_stats_snapshot(hierarchy), prefix=prefix)
 
 
 def instrument_rack(registry: MetricsRegistry, rack, prefix: str = "cluster") -> None:

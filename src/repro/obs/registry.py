@@ -17,6 +17,14 @@ Design constraints, in priority order:
 3. **Bounded.** Timeseries probes cap their sample count by doubling
    their sampling stride, so arbitrarily long runs cannot exhaust
    memory.
+4. **Mergeable.** Every instrument serialises to a plain-dict snapshot
+   (:meth:`MetricsRegistry.snapshot`) and folds back in
+   (:meth:`MetricsRegistry.merge_snapshot`): counters sum, histograms
+   add bucket-wise, timeseries interleave by time, gauges freeze to
+   their newest value. Parallel sweeps run each worker under its own
+   registry and merge the snapshots in submission order, making the
+   result independent of worker count and completion order (see
+   ``docs/observability.md``).
 """
 
 from __future__ import annotations
@@ -62,6 +70,12 @@ class Counter:
     def record(self) -> Dict[str, Any]:
         return {"name": self.name, "type": self.kind, "value": self.value}
 
+    def snapshot(self) -> Dict[str, Any]:
+        return {"kind": self.kind, "help": self.help, "value": self.value}
+
+    def merge(self, snap: Dict[str, Any]) -> None:
+        self.value += snap["value"]
+
 
 class Gauge:
     """A point-in-time value, set directly or pulled from a callable.
@@ -91,6 +105,17 @@ class Gauge:
 
     def record(self) -> Dict[str, Any]:
         return {"name": self.name, "type": self.kind, "value": self.read()}
+
+    def snapshot(self) -> Dict[str, Any]:
+        # Pull gauges freeze to their current reading: live sources do
+        # not cross process boundaries.
+        return {"kind": self.kind, "help": self.help, "value": self.read()}
+
+    def merge(self, snap: Dict[str, Any]) -> None:
+        # Newest-source-wins, mirroring the rebind semantics above; the
+        # merged value replaces any live pull binding.
+        self.fn = None
+        self.value = snap["value"]
 
 
 class Histogram:
@@ -153,6 +178,28 @@ class Histogram:
             "count": self.count,
         }
 
+    def snapshot(self) -> Dict[str, Any]:
+        return {
+            "kind": self.kind,
+            "help": self.help,
+            "bounds": list(self.bounds),
+            "counts": list(self.counts),
+            "overflow": self.overflow,
+            "sum": self.sum,
+            "count": self.count,
+        }
+
+    def merge(self, snap: Dict[str, Any]) -> None:
+        if tuple(snap["bounds"]) != self.bounds:
+            raise ValueError(
+                f"histogram {self.name!r}: cannot merge mismatched bucket "
+                f"bounds {snap['bounds']!r} into {list(self.bounds)!r}"
+            )
+        self.counts = [a + b for a, b in zip(self.counts, snap["counts"])]
+        self.overflow += snap["overflow"]
+        self.sum += snap["sum"]
+        self.count += snap["count"]
+
 
 class Timeseries:
     """A bounded (sim_time, value) sample stream.
@@ -196,6 +243,28 @@ class Timeseries:
             "stride": self.stride,
             "samples": [[t, v] for t, v in self.samples],
         }
+
+    def snapshot(self) -> Dict[str, Any]:
+        return {
+            "kind": self.kind,
+            "help": self.help,
+            "capacity": self.capacity,
+            "stride": self.stride,
+            "samples": [[t, v] for t, v in self.samples],
+        }
+
+    def merge(self, snap: Dict[str, Any]) -> None:
+        """Interleave another stream by simulated time (stable: existing
+        samples sort before incoming ones at equal times), keep the
+        coarser stride, and re-downsample to this series' capacity."""
+        merged = list(self.samples) + [(t, v) for t, v in snap["samples"]]
+        merged.sort(key=lambda sample: sample[0])
+        self.stride = max(self.stride, snap["stride"])
+        while len(merged) >= self.capacity:
+            merged = merged[::2]
+            self.stride *= 2
+        self.samples = merged
+        self._skip = 0
 
 
 class _NullCounter(Counter):
@@ -291,6 +360,52 @@ class MetricsRegistry:
             return NULL_TIMESERIES
         return self._get_or_create(Timeseries, name, {"help": help, "capacity": capacity})
 
+    # -- merging -------------------------------------------------------------
+
+    _SNAPSHOT_CLASSES: Dict[str, Any] = {}  # populated below the class body
+
+    def snapshot(self) -> Dict[str, Dict[str, Any]]:
+        """Detach every instrument into a picklable plain-dict form.
+
+        The snapshot carries everything :meth:`merge_snapshot` needs to
+        reconstruct and fold the instruments into another registry —
+        parallel workers return these to the submitting process. Pull
+        gauges freeze to their current reading.
+        """
+        return {name: metric.snapshot() for name, metric in self._metrics.items()}
+
+    def merge_snapshot(self, snapshot: Dict[str, Dict[str, Any]]) -> None:
+        """Fold a :meth:`snapshot` into this registry.
+
+        Counters sum; histograms add bucket-wise (bounds must match);
+        timeseries interleave by simulated time and re-downsample;
+        gauges take the incoming value (newest-source-wins, the same
+        semantics as rebinding a pull gauge). Merging is associative
+        over counters/histograms, so folding worker snapshots in
+        submission order yields worker-count-independent results.
+        """
+        for name in sorted(snapshot):
+            snap = snapshot[name]
+            cls = self._SNAPSHOT_CLASSES[snap["kind"]]
+            existing = self._metrics.get(name)
+            if existing is None:
+                kwargs: Dict[str, Any] = {"help": snap.get("help", "")}
+                if snap["kind"] == "histogram":
+                    kwargs["buckets"] = snap["bounds"]
+                elif snap["kind"] == "timeseries":
+                    kwargs["capacity"] = snap["capacity"]
+                existing = self._get_or_create(cls, name, kwargs)
+            elif not isinstance(existing, cls):
+                raise TypeError(
+                    f"metric {name!r} already registered as {existing.kind}, "
+                    f"cannot merge a {snap['kind']} into it"
+                )
+            existing.merge(snap)
+
+    def merge(self, other: "MetricsRegistry") -> None:
+        """Fold another registry's instruments into this one."""
+        self.merge_snapshot(other.snapshot())
+
     # -- introspection -------------------------------------------------------
 
     def __contains__(self, name: str) -> bool:
@@ -314,3 +429,11 @@ class MetricsRegistry:
     def as_dict(self) -> Dict[str, Dict[str, Any]]:
         """Records keyed by name — handy for assertions in tests."""
         return {record["name"]: record for record in self.collect()}
+
+
+MetricsRegistry._SNAPSHOT_CLASSES = {
+    Counter.kind: Counter,
+    Gauge.kind: Gauge,
+    Histogram.kind: Histogram,
+    Timeseries.kind: Timeseries,
+}

@@ -1,15 +1,47 @@
 """Execution-driven spinning core: one real memory access per poll.
 
-No fast-forwarding, no cost curves — the poll loop literally reads each
-doorbell through the hierarchy and pays whatever the coherence model
-returns. Usable up to a few dozen queues / thousands of tasks; its
-purpose is validating the fast model's behaviour, not figure sweeps.
+No cost curves — the poll loop literally reads each doorbell through the
+hierarchy and pays whatever the coherence model returns. Usable up to a
+few dozen queues / thousands of tasks; its purpose is validating the
+fast model's behaviour, not figure sweeps.
+
+Empty-poll batching
+-------------------
+Naively, every poll is its own scheduler event, and an idle core burns
+one event per ~tens of cycles of simulated time — the event loop ends up
+simulating the *waiting*, which is exactly the pathology the fast model
+avoids with analytic fast-forward. The core below keeps the
+one-real-read-per-poll contract but batches consecutive empty polls into
+a single scheduler event: it polls in a tight Python loop until either a
+queue turns up work, the accumulated time reaches the next *foreign*
+pending event (``sim.peek()`` — producer wake-ups, other cores), or a
+batch cap trips, then sleeps once for the whole span.
+
+This is a pure event-count optimisation, bit-identical by construction:
+
+- every poll still performs its real :meth:`~StructuralMachine.read_doorbell`
+  hierarchy access, in the same order, so cache/coherence state and
+  latency sums are exactly those of the per-event loop;
+- the batch never crosses ``sim.peek()``: no foreign event (a producer
+  write that would invalidate a doorbell line or enqueue an item) can
+  fire inside a batched span, so every in-batch emptiness check sees
+  the same queue state the per-event loop would have seen at that
+  simulated instant (ties at the horizon break *against* batching,
+  matching the heap's insertion-sequence order);
+- the found-work path is unbatched: the dequeue happens after a resume
+  at the same simulated time as before.
 """
 
 from __future__ import annotations
 
 from repro.sdp.config import INSTRUCTIONS_PER_POLL, USEFUL_TASK_IPC
+from repro.sim.events import Event
 from repro.structural.machine import StructuralMachine
+
+# Polls batched into one event when the machine is otherwise quiescent
+# (empty heap / far-off horizon). Purely a latency-of-control knob —
+# results are identical for any positive value.
+MAX_BATCH_POLLS = 4096
 
 
 class StructuralSpinningCore:
@@ -30,22 +62,64 @@ class StructuralSpinningCore:
         sim = machine.sim
         clock = machine.clock
         activity = self.activity
+        queues = machine.queues
+        read_doorbell = machine.read_doorbell
+        cycles_to_seconds = clock.cycles_to_seconds
+        peek = sim.peek
+        core = self.core
         n = machine.num_queues
         while True:
-            qid = self.pos
-            self.pos = (self.pos + 1) % n
-            # The poll: a real read of the doorbell line.
-            cycles = machine.read_doorbell(self.core, qid)
-            self.polls += 1
-            yield clock.cycles_to_seconds(cycles)
+            # -- batched empty-poll scan (see module docstring) --
+            # Inside this callback our own resume is off the heap, so
+            # peek() is the earliest event that is not us: the horizon
+            # up to which queue state provably cannot change. ``t``
+            # accumulates resume times with the same per-poll float
+            # additions the engine would perform (``now + delay``), so
+            # the batch resume lands on the bit-identical timestamp.
+            horizon = peek()
+            bound = sim.run_until
+            t = sim.now
+            acc_cycles = 0
+            batch_polls = 0
+            while True:
+                qid = self.pos
+                self.pos = (self.pos + 1) % n
+                # The poll: a real read of the doorbell line.
+                cycles = read_doorbell(core, qid)
+                acc_cycles += cycles
+                batch_polls += 1
+                t = t + cycles_to_seconds(cycles)
+                if not queues[qid].is_empty():
+                    # Work can only be *added* before our resume, so a
+                    # non-empty observation is conclusive even at the
+                    # horizon; dequeue after sleeping out this poll.
+                    break
+                if t >= horizon or t > bound or batch_polls >= MAX_BATCH_POLLS:
+                    # The emptiness check for this poll lands on or past
+                    # the horizon (or past the point where this run()
+                    # stops) — only the post-resume check (below, after
+                    # foreign events have fired) is authoritative.
+                    break
+            # Per-poll accounting lands in the callback *after* each
+            # poll's sleep, so the final poll of the batch belongs to
+            # the resume below (which the run() bound may leave pending
+            # at the stop point); everything before it is already in
+            # the past and is folded in eagerly — exactly the split the
+            # per-event loop produces at any stop boundary.
+            self.polls += batch_polls
+            activity.busy_cycles += acc_cycles - cycles
+            activity.useless_instructions += INSTRUCTIONS_PER_POLL * (batch_polls - 1)
+            resume = Event("spin-batch")
+            sim.schedule_at(t, resume.trigger, None)
+            yield resume
             activity.busy_cycles += cycles
             activity.useless_instructions += INSTRUCTIONS_PER_POLL
-            queue = machine.queues[qid]
+            queue = queues[qid]
             if queue.is_empty():
                 continue
             # Found work: dequeue through the memory system and process.
             item = queue.dequeue(sim.now)
-            dequeue_cycles = machine.dequeue_memory_cycles(self.core, qid)
+            dequeue_cycles = machine.dequeue_memory_cycles(core, qid)
             service_cycles = clock.seconds_to_cycles(item.service_time)
             total = dequeue_cycles + service_cycles
             yield clock.cycles_to_seconds(total)

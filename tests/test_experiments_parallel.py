@@ -78,3 +78,77 @@ def test_chunk_size_batches_preserve_order():
     assert parallel_map(negate, points, processes=2, chunk_size=4) == [
         -v for v in points
     ]
+
+
+# -- auto chunking -----------------------------------------------------------
+
+
+def test_auto_chunk_size_heuristic():
+    from repro.experiments.parallel import auto_chunk_size
+
+    # Four chunks per worker, floored at one point per chunk.
+    assert auto_chunk_size(1000, 8) == 31
+    assert auto_chunk_size(100, 4) == 6
+    assert auto_chunk_size(6, 4) == 1
+    assert auto_chunk_size(0, 4) == 1
+    with pytest.raises(ValueError):
+        auto_chunk_size(10, 0)
+
+
+def test_default_chunk_size_is_auto_and_order_preserved():
+    points = list(range(64))
+    # No explicit chunk_size: the heuristic picks 64 // (4*2) = 8.
+    assert parallel_map(negate, points, processes=2) == [-v for v in points]
+
+
+def test_explicit_chunk_size_still_honoured():
+    points = list(range(10))
+    assert parallel_map(negate, points, processes=2, chunk_size=1) == [
+        -v for v in points
+    ]
+    with pytest.raises(ValueError):
+        parallel_map(negate, points, processes=2, chunk_size=0)
+
+
+# -- instrumented fan-out ----------------------------------------------------
+
+
+def touch_metrics(value):
+    from repro.obs.runtime import get_active_registry
+
+    registry = get_active_registry()
+    assert registry is not None, "worker task should see a per-task registry"
+    registry.counter("test.calls", help="calls").inc()
+    registry.counter("test.sum", help="sum").inc(value)
+    registry.histogram("test.values", buckets=(1.0, 10.0, 100.0)).observe(value)
+    return value * 2
+
+
+def _instrumented_run(processes):
+    from repro.obs.registry import MetricsRegistry
+    from repro.obs.runtime import active_registry
+
+    registry = MetricsRegistry(enabled=True)
+    points = list(range(1, 13))
+    with active_registry(registry):
+        results = parallel_map(touch_metrics, points, processes=processes)
+    return results, registry.as_dict()
+
+
+def test_instrumented_sweep_merges_into_ambient_registry():
+    results, metrics = _instrumented_run(processes=2)
+    assert results == [v * 2 for v in range(1, 13)]
+    assert metrics["test.calls"]["value"] == 12.0
+    assert metrics["test.sum"]["value"] == float(sum(range(1, 13)))
+    assert metrics["test.values"]["count"] == 12
+
+
+def test_instrumented_sweep_identical_serial_vs_parallel():
+    serial = _instrumented_run(processes=1)
+    parallel = _instrumented_run(processes=3)
+    assert serial == parallel
+
+
+def test_uninstrumented_sweep_returns_bare_results():
+    # No ambient registry: results must not be (result, snapshot) pairs.
+    assert parallel_map(square, [2, 3], processes=2) == [4, 9]

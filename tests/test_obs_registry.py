@@ -192,3 +192,109 @@ def test_active_registry_scopes_and_restores():
             assert get_active_registry() is inner
         assert get_active_registry() is outer
     assert get_active_registry() is None
+
+
+# -- snapshot / merge --------------------------------------------------------
+
+
+def test_counter_snapshot_merge_sums():
+    a, b = MetricsRegistry(), MetricsRegistry()
+    a.counter("m.count", help="h").inc(3)
+    b.counter("m.count").inc(4)
+    a.merge_snapshot(b.snapshot())
+    assert a.get("m.count").value == 7.0
+
+
+def test_gauge_merge_freezes_newest_value():
+    a, b = MetricsRegistry(), MetricsRegistry()
+    source = {"v": 10.0}
+    a.gauge("m.level", fn=lambda: source["v"])
+    b.gauge("m.level").set(42.0)
+    a.merge_snapshot(b.snapshot())
+    source["v"] = 99.0  # old pull binding must be gone
+    assert a.get("m.level").read() == 42.0
+
+
+def test_histogram_merge_adds_buckets():
+    a, b = MetricsRegistry(), MetricsRegistry()
+    bounds = (1.0, 2.0, 4.0)
+    for value in (0.5, 1.5, 100.0):
+        a.histogram("m.lat", buckets=bounds).observe(value)
+    for value in (0.7, 3.0):
+        b.histogram("m.lat", buckets=bounds).observe(value)
+    a.merge_snapshot(b.snapshot())
+    h = a.get("m.lat")
+    assert h.count == 5
+    assert h.counts == [2, 1, 1] and h.overflow == 1
+    assert h.sum == 0.5 + 1.5 + 100.0 + 0.7 + 3.0
+
+
+def test_histogram_merge_rejects_mismatched_bounds():
+    a, b = MetricsRegistry(), MetricsRegistry()
+    a.histogram("m.lat", buckets=(1.0, 2.0))
+    b.histogram("m.lat", buckets=(1.0, 3.0))
+    with pytest.raises(ValueError):
+        a.merge_snapshot(b.snapshot())
+
+
+def test_merge_rejects_kind_conflicts():
+    a, b = MetricsRegistry(), MetricsRegistry()
+    a.counter("m.x")
+    b.gauge("m.x")
+    with pytest.raises(TypeError):
+        a.merge_snapshot(b.snapshot())
+
+
+def test_timeseries_merge_interleaves_by_time_and_recaps():
+    a, b = MetricsRegistry(), MetricsRegistry()
+    ts_a = a.timeseries("m.depth", capacity=8)
+    ts_b = b.timeseries("m.depth", capacity=8)
+    for t in (0.1, 0.3, 0.5):
+        ts_a.sample(t, 1.0)
+    for t in (0.2, 0.4):
+        ts_b.sample(t, 2.0)
+    a.merge_snapshot(b.snapshot())
+    merged = a.get("m.depth")
+    assert [t for t, _ in merged.samples] == sorted(t for t, _ in merged.samples)
+    assert merged.count == 5
+    # Merging more than capacity re-downsamples instead of overflowing.
+    c = MetricsRegistry()
+    ts_c = c.timeseries("m.depth", capacity=8)
+    for i in range(7):
+        ts_c.sample(1.0 + i * 0.01, 3.0)
+    a.merge_snapshot(c.snapshot())
+    assert a.get("m.depth").count < 8
+    assert a.get("m.depth").stride > 1
+
+
+def test_merge_creates_missing_instruments():
+    a, b = MetricsRegistry(), MetricsRegistry()
+    b.counter("m.new", help="created by merge").inc(5)
+    b.histogram("m.h", buckets=(1.0,)).observe(0.5)
+    b.timeseries("m.t", capacity=16).sample(0.0, 1.0)
+    a.merge_snapshot(b.snapshot())
+    assert a.get("m.new").value == 5.0
+    assert a.get("m.new").help == "created by merge"
+    assert a.get("m.h").count == 1
+    assert a.get("m.t").count == 1
+
+
+def test_snapshot_is_plain_data():
+    import json
+
+    registry = MetricsRegistry()
+    registry.counter("m.c").inc()
+    registry.gauge("m.g", fn=lambda: 3.0)
+    registry.histogram("m.h").observe(1e-6)
+    registry.timeseries("m.t").sample(0.0, 1.0)
+    snap = registry.snapshot()
+    json.dumps(snap)  # picklable/serialisable by construction
+    assert snap["m.g"]["value"] == 3.0  # pull gauge frozen at read()
+
+
+def test_merge_registry_convenience():
+    a, b = MetricsRegistry(), MetricsRegistry()
+    a.counter("m.c").inc(1)
+    b.counter("m.c").inc(2)
+    a.merge(b)
+    assert a.get("m.c").value == 3.0

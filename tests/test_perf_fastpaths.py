@@ -1,0 +1,269 @@
+"""Guards for the simulation-core fast paths.
+
+Three optimisations trade event count or repeated derivation work for
+speed while promising *identical results*; these tests hold them to it:
+
+- the cost-curve memo (:mod:`repro.mem.costmodel`) must return the same
+  curve and replay the same ``mem.*`` metrics as a fresh derivation;
+- structural spin batching (:mod:`repro.structural.spinning`) must be
+  bit-identical to the per-poll-event loop it replaces;
+- the bench harness regression gate must actually gate.
+"""
+
+import json
+
+import pytest
+
+from repro.mem.costmodel import (
+    clear_curve_cache,
+    curve_cache_info,
+    empty_poll_cost_curve,
+)
+from repro.mem.hierarchy import MemConfig
+from repro.obs.registry import MetricsRegistry
+from repro.obs.runtime import active_registry
+
+
+@pytest.fixture(autouse=True)
+def _fresh_curve_cache():
+    clear_curve_cache()
+    yield
+    clear_curve_cache()
+
+
+def _mem_series(registry):
+    return sorted(
+        (record["name"], record["value"])
+        for record in registry.collect()
+        if record["name"].startswith("mem.") and record["type"] == "counter"
+    )
+
+
+# -- cost-curve memo ---------------------------------------------------------
+
+
+def test_curve_cache_hit_returns_equal_curve():
+    counts = (1, 4, 16, 64)
+    cfg = MemConfig(num_cores=1)
+    first = empty_poll_cost_curve(counts, cfg, 0.8)
+    second = empty_poll_cost_curve(counts, cfg, 0.8)
+    assert first == second
+    assert second is not first  # callers get a private copy
+    info = curve_cache_info()
+    assert info["hits"] == 1 and info["misses"] == 1
+
+
+def test_curve_cache_disabled_by_env(monkeypatch):
+    monkeypatch.setenv("REPRO_CURVE_CACHE", "0")
+    counts = (1, 4)
+    uncached = empty_poll_cost_curve(counts)
+    assert curve_cache_info() == {"entries": 0, "hits": 0, "misses": 0}
+    monkeypatch.delenv("REPRO_CURVE_CACHE")
+    assert empty_poll_cost_curve(counts) == uncached
+
+
+def test_curve_cache_distinguishes_inputs():
+    # Different resident fractions are distinct cache entries, never a
+    # false hit — even when the resulting curves happen to coincide.
+    empty_poll_cost_curve((1, 4), llc_doorbell_resident_fraction=1.0)
+    empty_poll_cost_curve((1, 4), llc_doorbell_resident_fraction=0.5)
+    info = curve_cache_info()
+    assert info["misses"] == 2 and info["entries"] == 2 and info["hits"] == 0
+
+
+def test_curve_cache_hit_replays_identical_metrics():
+    counts = (1, 8, 64, 512)
+    miss_registry = MetricsRegistry(enabled=True)
+    with active_registry(miss_registry):
+        derived = empty_poll_cost_curve(counts, llc_doorbell_resident_fraction=0.9)
+    hit_registry = MetricsRegistry(enabled=True)
+    with active_registry(hit_registry):
+        cached = empty_poll_cost_curve(counts, llc_doorbell_resident_fraction=0.9)
+    assert cached == derived
+    assert curve_cache_info()["hits"] == 1
+    miss_series = _mem_series(miss_registry)
+    assert miss_series == _mem_series(hit_registry)
+    assert any(name == "mem.l1.hits" and value > 0 for name, value in miss_series)
+    # The hit-rate gauges the CI metrics smoke asserts on exist either way.
+    assert hit_registry.get("mem.l1.hit_rate").read() > 0
+
+
+def test_system_build_uses_curve_cache():
+    from repro.sdp.config import SDPConfig
+    from repro.sdp.system import DataPlaneSystem
+
+    DataPlaneSystem(SDPConfig(num_queues=64, seed=1))
+    misses = curve_cache_info()["misses"]
+    assert misses > 0
+    DataPlaneSystem(SDPConfig(num_queues=64, seed=2))  # same geometry, new seed
+    info = curve_cache_info()
+    assert info["misses"] == misses  # second build derived nothing new
+    assert info["hits"] > 0
+
+
+# -- structural spin batching ------------------------------------------------
+
+
+def _run_structural(max_batch, consumers=1, producers=1, false_sharing=False, seed=5):
+    import repro.structural.spinning as spinning
+    from repro.structural.machine import StructuralMachine
+    from repro.structural.spinning import StructuralSpinningCore
+
+    original = spinning.MAX_BATCH_POLLS
+    spinning.MAX_BATCH_POLLS = max_batch
+    try:
+        machine = StructuralMachine(
+            num_queues=8,
+            num_producers=producers,
+            num_consumers=consumers,
+            seed=seed,
+            shape="FB",
+            false_sharing=false_sharing,
+        )
+        cores = [StructuralSpinningCore(machine, i) for i in range(consumers)]
+        machine.start_producers(total_rate=1e5, max_items=120)
+        metrics = machine.run(duration=0.05, target_completions=120)
+    finally:
+        spinning.MAX_BATCH_POLLS = original
+    return {
+        "now": machine.sim.now,
+        "completed": metrics.completed,
+        "latency_count": metrics.latency.count,
+        "latency_mean": metrics.latency.mean,
+        "latency_p99": metrics.latency.p99,
+        "measure_end": metrics.measure_end,
+        "polls": tuple(core.polls for core in cores),
+        "activities": tuple(
+            (a.busy_cycles, a.useless_instructions, a.useful_instructions, a.tasks)
+            for a in metrics.activities
+        ),
+        "l1_hits": sum(l1.stats.hits for l1 in machine.hierarchy.l1s),
+        "l1_misses": sum(l1.stats.misses for l1 in machine.hierarchy.l1s),
+        "llc_hits": machine.hierarchy.llc.stats.hits,
+        "llc_misses": machine.hierarchy.llc.stats.misses,
+        "coherence": tuple(
+            sorted(
+                (kind.name, count)
+                for kind, count in machine.hierarchy.directory.transactions.items()
+            )
+        ),
+        "events": machine.sim.events_dispatched,
+    }
+
+
+def test_spin_batching_bit_identical_to_per_poll():
+    # MAX_BATCH_POLLS=1 is the per-poll-event reference behaviour.
+    reference = _run_structural(max_batch=1)
+    batched = _run_structural(max_batch=4096)
+    events_ref = reference.pop("events")
+    events_batched = batched.pop("events")
+    assert batched == reference
+    # ... and the batching actually collapsed events.
+    assert events_batched < events_ref / 10
+
+
+def test_spin_batching_bit_identical_with_contending_consumers():
+    reference = _run_structural(
+        max_batch=1, consumers=2, producers=2, false_sharing=True, seed=11
+    )
+    batched = _run_structural(
+        max_batch=4096, consumers=2, producers=2, false_sharing=True, seed=11
+    )
+    reference.pop("events")
+    batched.pop("events")
+    assert batched == reference
+
+
+# -- bench harness -----------------------------------------------------------
+
+
+def test_bench_quick_report_shape(tmp_path):
+    from repro.bench import format_report, run_bench
+
+    report = run_bench(quick=True, scenario_ids=["engine_dispatch", "process_wake"])
+    assert report["mode"] == "quick"
+    assert set(report["scenarios"]) == {"engine_dispatch", "process_wake"}
+    for measured in report["scenarios"].values():
+        assert measured["wall_seconds"] > 0
+        assert measured["events"] > 0
+        assert measured["events_per_sec"] > 0
+    json.dumps(report)  # JSON-serialisable as written to BENCH_engine.json
+    assert "engine_dispatch" in format_report(report)
+
+
+def test_bench_unknown_scenario_rejected():
+    from repro.bench import run_bench
+
+    with pytest.raises(ValueError):
+        run_bench(quick=True, scenario_ids=["no_such_scenario"])
+
+
+def _report(rates, mode="quick"):
+    return {
+        "mode": mode,
+        "scenarios": {
+            sid: {"events_per_sec": rate, "wall_seconds": 1.0, "events": rate}
+            for sid, rate in rates.items()
+        },
+    }
+
+
+def test_compare_reports_flags_regressions_only():
+    from repro.bench import compare_reports
+
+    baseline = _report({"a": 1000.0, "b": 1000.0, "c": 0.0})
+    current = _report({"a": 800.0, "b": 700.0, "c": 500.0, "d": 1.0})
+    failures = compare_reports(current, baseline, threshold=0.25)
+    # a dropped 20% (within threshold), b dropped 30% (fails), c has no
+    # usable baseline rate, d is new — only b may fail.
+    assert len(failures) == 1 and failures[0].startswith("b:")
+    assert compare_reports(current, baseline, threshold=0.5) == []
+
+
+def test_compare_reports_refuses_cross_mode():
+    from repro.bench import compare_reports
+
+    with pytest.raises(ValueError):
+        compare_reports(_report({"a": 1.0}, mode="quick"), _report({"a": 1.0}, mode="full"))
+
+
+def test_committed_baselines_match_schema():
+    from repro.bench import BENCH_SCHEMA_VERSION
+
+    for path, mode in (
+        ("benchmarks/perf/BENCH_engine.json", "full"),
+        ("benchmarks/perf/BENCH_quick_baseline.json", "quick"),
+    ):
+        with open(path) as handle:
+            report = json.load(handle)
+        assert report["schema"] == BENCH_SCHEMA_VERSION
+        assert report["mode"] == mode
+        assert report["scenarios"]
+    with open("benchmarks/perf/BENCH_engine.json") as handle:
+        full = json.load(handle)
+    # The committed before/after record must show the headline speedup.
+    assert full["speedup_vs_before"]["fig8_shapes_1000"] >= 3.0
+
+
+# -- instrumented experiments stay parallel ----------------------------------
+
+
+def test_run_experiment_metrics_identical_across_worker_counts(monkeypatch):
+    from repro.experiments.registry import run_experiment
+
+    def signature(processes):
+        monkeypatch.setenv("REPRO_PROCESSES", str(processes))
+        registry = MetricsRegistry(enabled=True)
+        result = run_experiment("fig9a", fast=True, seed=0, metrics=registry)
+        series = sorted(
+            (record["name"], record["value"])
+            for record in registry.collect()
+            if record["type"] == "counter"
+        )
+        return result.rows, series
+
+    rows_serial, counters_serial = signature(1)
+    rows_parallel, counters_parallel = signature(3)
+    assert rows_serial == rows_parallel
+    assert counters_serial == counters_parallel
+    assert any(name == "sim.events_total" for name, _ in counters_serial)

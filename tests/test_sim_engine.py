@@ -165,3 +165,188 @@ def test_determinism_same_schedule_same_trace():
         return hits
 
     assert trace() == trace()
+
+
+# -- schedule_at diagnostics -------------------------------------------------
+
+
+def test_schedule_at_error_reports_when_and_now():
+    # The error must name the absolute time the caller passed and the
+    # current clock, not an internal delay value.
+    sim = Simulator()
+    sim.schedule(2.0, lambda: None)
+    sim.run()
+    with pytest.raises(SimulationError, match=r"when=1\.5.*now=2\.0"):
+        sim.schedule_at(1.5, lambda: None)
+
+
+def test_schedule_at_nan_rejected():
+    sim = Simulator()
+    with pytest.raises(SimulationError):
+        sim.schedule_at(float("nan"), lambda: None)
+
+
+# -- until / max_events interplay --------------------------------------------
+
+
+def test_until_and_max_events_whichever_trips_first():
+    # max_events trips first: clock stays at the last dispatched event.
+    sim = Simulator()
+    hits = []
+    for i in range(10):
+        sim.schedule(float(i + 1), hits.append, i)
+    sim.run(until=100.0, max_events=3)
+    assert hits == [0, 1, 2]
+    assert sim.now == 3.0
+
+    # until trips first: clock lands exactly on the bound.
+    sim = Simulator()
+    hits = []
+    for i in range(10):
+        sim.schedule(float(i + 1), hits.append, i)
+    sim.run(until=4.5, max_events=100)
+    assert hits == [0, 1, 2, 3]
+    assert sim.now == 4.5
+
+
+def test_peek_and_pending_consistent_after_each_bound():
+    sim = Simulator()
+    for i in range(6):
+        sim.schedule(float(i + 1), lambda: None)
+    sim.run(max_events=2)
+    assert sim.now == 2.0
+    assert sim.pending == 4
+    assert sim.peek() == 3.0
+    sim.run(until=4.0)
+    assert sim.now == 4.0
+    assert sim.pending == 2
+    assert sim.peek() == 5.0
+    sim.run()
+    assert sim.pending == 0
+    assert sim.peek() == math.inf
+
+
+def test_event_exactly_at_until_bound_fires():
+    sim = Simulator()
+    hits = []
+    sim.schedule(2.0, hits.append, "on-bound")
+    sim.schedule(2.0 + 1e-9, hits.append, "past-bound")
+    sim.run(until=2.0)
+    assert hits == ["on-bound"]
+    assert sim.now == 2.0
+
+
+def test_tie_break_stable_across_fast_forward_boundary():
+    # Events tied at a time past an idle fast-forward (run(until=...)
+    # with an empty window) must still fire in insertion order.
+    def trace(pre_run):
+        sim = Simulator()
+        hits = []
+        for label in "abc":
+            sim.schedule(5.0, hits.append, label)
+        if pre_run:
+            sim.run(until=4.0)  # fast-forward through the idle window
+            assert sim.now == 4.0
+        sim.run()
+        return hits
+
+    assert trace(pre_run=True) == trace(pre_run=False) == ["a", "b", "c"]
+
+
+def test_run_until_property_exposed_during_run():
+    sim = Simulator()
+    seen = []
+    sim.schedule(1.0, lambda: seen.append(sim.run_until))
+    sim.run(until=5.0)
+    assert seen == [5.0]
+    assert sim.run_until == math.inf  # cleared outside run()
+    sim2 = Simulator()
+    sim2.schedule(1.0, lambda: seen.append(sim2.run_until))
+    sim2.run()
+    assert seen[-1] == math.inf  # unbounded run
+
+
+# -- stop() ------------------------------------------------------------------
+
+
+def test_stop_halts_after_inflight_callback_and_resumes():
+    sim = Simulator()
+    hits = []
+    sim.schedule(1.0, hits.append, 1)
+    sim.schedule(2.0, lambda: (hits.append(2), sim.stop()))
+    sim.schedule(3.0, hits.append, 3)
+    sim.run()
+    assert hits == [1, 2]
+    assert sim.now == 2.0
+    assert sim.pending == 1
+    sim.run()  # a later run resumes from the remaining queue
+    assert hits == [1, 2, 3]
+
+
+# -- cancellable handles -----------------------------------------------------
+
+
+def test_handle_cancel_prevents_callback():
+    sim = Simulator()
+    hits = []
+    handle = sim.schedule_handle(1.0, hits.append, "x")
+    assert handle.cancel() is True
+    assert handle.cancel() is False  # idempotent
+    sim.run()
+    assert hits == []
+    # The dead entry still counts as a dispatched event: accounting
+    # follows the dispatch loop, not the callback body.
+    assert sim.events_dispatched == 1
+
+
+def test_handle_fires_when_not_cancelled():
+    sim = Simulator()
+    hits = []
+    handle = sim.schedule_handle(1.0, hits.append, "x")
+    sim.run()
+    assert hits == ["x"]
+    assert handle.cancel() is False  # already fired
+
+
+# -- calendar backend --------------------------------------------------------
+
+
+def test_calendar_backend_matches_heap_trace():
+    import random
+
+    def trace(backend, seed):
+        rng = random.Random(seed)
+        sim = Simulator(backend=backend)
+        hits = []
+
+        def record(i):
+            hits.append((round(sim.now, 12), i))
+            if i < 200:
+                sim.schedule(rng.random() * 1e-3, record, i + 100)
+
+        for i in range(40):
+            sim.schedule(rng.random() * 1e-3, record, i)
+        sim.run()
+        return hits
+
+    for seed in range(5):
+        assert trace("heap", seed) == trace("calendar", seed)
+
+
+def test_calendar_backend_bounds_and_stop():
+    sim = Simulator(backend="calendar")
+    hits = []
+    for i in range(8):
+        sim.schedule(float(i + 1), hits.append, i)
+    sim.run(max_events=2)
+    assert hits == [0, 1] and sim.now == 2.0
+    sim.run(until=4.5)
+    assert hits == [0, 1, 2, 3] and sim.now == 4.5
+    assert sim.pending == 4 and sim.peek() == 5.0
+    sim.run()
+    assert hits == list(range(8))
+
+
+def test_unknown_backend_rejected():
+    with pytest.raises(ValueError):
+        Simulator(backend="fibheap")
