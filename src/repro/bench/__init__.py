@@ -199,6 +199,83 @@ def fig10_spin_fb400_4c(quick: bool) -> Dict[str, float]:
     return _sdp_scenario(config, quick, target=1000 if quick else 4000, load=0.5)
 
 
+def sdp_trace_overhead(quick: bool) -> Dict[str, float]:
+    """Causal-tracing cost on the Fig. 10 point, measured as three
+    interleaved legs of the same workload:
+
+    - ``off``: no ambient tracer — the default path every untraced run
+      takes (probes are never installed). Primary numbers.
+    - ``disabled``: a *disabled* tracer (``NULL_TRACER``) sits ambient.
+      By contract this must behave exactly like ``off`` — probes are
+      only installed for an *enabled* tracer — so ``disabled_ratio``
+      is the tracing-disabled overhead the CI perf-smoke step gates at
+      <3%. If a change ever makes disabled tracers install probes,
+      this leg slows down and the gate fires.
+    - ``traced``: full tracing, every request retained (informational:
+      what turning tracing on actually costs).
+
+    One untimed warm-up build runs first so the structural cost-curve
+    memo is hot for every leg, and legs are interleaved with the best
+    wall time per leg kept — machine drift hits all legs equally.
+    """
+    from repro.obs.trace import NULL_TRACER, Tracer, active_tracer
+    from repro.sdp.config import SDPConfig
+    from repro.sdp.system import DataPlaneSystem
+
+    config = SDPConfig(
+        num_queues=400,
+        workload="packet-encapsulation",
+        shape="FB",
+        num_cores=4,
+        cluster_cores=4,
+        seed=42,
+    )
+    target = 4000 if quick else 8000
+    DataPlaneSystem(config)  # warm the cost-curve memo outside the legs
+
+    def leg(tracer) -> Dict[str, float]:
+        if tracer is None:
+            return _sdp_scenario(config, quick, target=target, load=0.5)
+        with active_tracer(tracer):
+            measured = _sdp_scenario(config, quick, target=target, load=0.5)
+        tracer.finalize()
+        measured["spans"] = len(tracer.spans)
+        return measured
+
+    # Four paired rounds. The reported ratios take the MAX over rounds
+    # of (leg rate / that round's off rate): under the no-overhead null
+    # each round's ratio fluctuates around 1, so one quiet round keeps
+    # the gate green, while a *persistent* overhead (probes installed on
+    # the disabled path) shifts every round down and trips it — a
+    # one-sided test that noisy shared runners cannot flake.
+    best: Dict[str, Dict[str, float]] = {}
+    ratios: Dict[str, List[float]] = {"disabled": [], "traced": []}
+    for _ in range(4):
+        rates: Dict[str, float] = {}
+        for name in ("off", "disabled", "traced"):
+            tracer = {
+                "off": None,
+                "disabled": NULL_TRACER,
+                "traced": Tracer(seed=42),
+            }[name]
+            measured = leg(tracer)
+            rates[name] = measured["events_per_sec"]
+            if name not in best or measured["wall_seconds"] < best[name]["wall_seconds"]:
+                best[name] = measured
+        if rates["off"] > 0:
+            ratios["disabled"].append(rates["disabled"] / rates["off"])
+            ratios["traced"].append(rates["traced"] / rates["off"])
+
+    result = dict(best["off"])
+    result["disabled_events_per_sec"] = best["disabled"]["events_per_sec"]
+    result["traced_events_per_sec"] = best["traced"]["events_per_sec"]
+    result["traced_spans"] = best["traced"]["spans"]
+    if ratios["disabled"]:
+        result["disabled_ratio"] = max(ratios["disabled"])
+        result["traced_ratio"] = max(ratios["traced"])
+    return result
+
+
 def structural_spin16(quick: bool) -> Dict[str, float]:
     """The execution-driven validation model: every poll is a real memory
     access; idle windows between arrivals are where poll batching pays."""
@@ -244,6 +321,11 @@ SCENARIOS: Dict[str, Scenario] = {
             "fig10_spin_fb400_4c",
             "Fig. 10 point: 4 cores, FB 400 queues, 50% load",
             fig10_spin_fb400_4c,
+        ),
+        Scenario(
+            "sdp_trace_overhead",
+            "Fig. 10 point untraced vs sampled-out vs fully traced",
+            sdp_trace_overhead,
         ),
         Scenario(
             "structural_spin16",

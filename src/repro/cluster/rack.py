@@ -177,6 +177,17 @@ class Rack:
 
             instrument_rack(self._obs, self)
 
+        # Tracing: the per-server systems self-traced above (same
+        # ambient tracer); add the fleet spans (rpc roots, link
+        # transfers) and parent the server-side request spans.
+        from repro.obs.trace import get_active_tracer
+
+        self._trace_probe = None
+        if get_active_tracer() is not None:
+            from repro.obs.trace_probes import maybe_trace_rack
+
+            self._trace_probe = maybe_trace_rack(self)
+
     # -- plumbing ------------------------------------------------------------
 
     def next_item_id(self) -> int:

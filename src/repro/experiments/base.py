@@ -52,6 +52,34 @@ class ExperimentConfig:
         return asdict(self)
 
 
+def run_with_tracing(config, body) -> "ExperimentResult":
+    """Run ``body()`` honouring the config's optional ``trace`` flag.
+
+    Experiments whose config carries ``trace: bool`` route their panel
+    body through this helper. When tracing is requested and no tracer
+    is ambient, one is activated for the run (seeded from the config so
+    sampling stays reproducible); either way the per-mechanism
+    latency-decomposition summaries are appended to the result's notes.
+    With ``trace`` off and no ambient tracer this is a passthrough.
+    """
+    from repro.obs.trace import Tracer, active_tracer, get_active_tracer
+
+    trace = bool(getattr(config, "trace", False))
+    tracer = get_active_tracer()
+    if trace and tracer is None:
+        tracer = Tracer(seed=config.seed)
+        with active_tracer(tracer):
+            result = body()
+    else:
+        result = body()
+    if trace and tracer is not None:
+        from repro.obs.trace_report import breakdown_notes
+
+        tracer.finalize()
+        result.notes.extend(breakdown_notes(tracer))
+    return result
+
+
 def deprecated_runner(old_name: str, run, config) -> Any:
     """Run ``run(config)`` while warning that ``old_name`` is a shim."""
     warnings.warn(

@@ -121,14 +121,32 @@ def _pick(rows, **match) -> Dict[str, object]:
 
 @dataclass(frozen=True)
 class ClusterScaleoutConfig(ExperimentConfig):
-    """Rack-scale sweep settings (defaults = calibrated operating point)."""
+    """Rack-scale sweep settings (defaults = calibrated operating point).
+
+    ``trace`` runs the sweep under a causal tracer and appends the
+    per-mechanism latency decomposition to the notes.
+    """
+
+    trace: bool = False
 
 
 def run(config: Optional[ClusterScaleoutConfig] = None) -> ExperimentResult:
     """Cluster scale-out: fleet p99 vs. servers, balancers, and faults."""
     config = config or ClusterScaleoutConfig()
+    from repro.experiments.base import run_with_tracing
+
+    return run_with_tracing(config, lambda: _run_grid(config))
+
+
+def _run_grid(config: ClusterScaleoutConfig) -> ExperimentResult:
+    from repro.obs.trace import get_active_tracer
+
     points = _grid(config.fast, config.seed)
-    rows = parallel_map(scaleout_point, points)
+    # Spans cannot cross the process-pool boundary, so a traced sweep
+    # runs its (results-identical) serial in-process path; racks built
+    # here then self-trace into the ambient tracer.
+    processes = 1 if get_active_tracer() is not None else None
+    rows = parallel_map(scaleout_point, points, processes=processes)
     result = ExperimentResult(
         "cluster_scaleout",
         "Cluster scale-out: fleet tail latency (us), "

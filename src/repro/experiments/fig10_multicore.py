@@ -15,7 +15,12 @@ from dataclasses import dataclass
 from typing import Optional, Sequence
 
 from repro.core.runner import run_hyperplane
-from repro.experiments.base import ExperimentConfig, ExperimentResult, deprecated_runner
+from repro.experiments.base import (
+    ExperimentConfig,
+    ExperimentResult,
+    deprecated_runner,
+    run_with_tracing,
+)
 from repro.sdp.config import SDPConfig
 from repro.sdp.runner import run_spinning
 
@@ -55,9 +60,14 @@ def _tail(*args, **kwargs) -> float:
 
 @dataclass(frozen=True)
 class Fig10Config(ExperimentConfig):
-    """Fig. 10 settings; ``panel`` = "a" (FB) or "b" (PC + imbalance)."""
+    """Fig. 10 settings; ``panel`` = "a" (FB) or "b" (PC + imbalance).
+
+    ``trace`` runs the panel under a causal tracer (repro.obs.trace)
+    and appends the per-mechanism latency decomposition to the notes.
+    """
 
     panel: str = "a"
+    trace: bool = False
 
     def __post_init__(self):
         if self.panel not in ("a", "b"):
@@ -68,7 +78,7 @@ def run(config: Optional[Fig10Config] = None) -> ExperimentResult:
     """Reproduce one Fig. 10 panel."""
     config = config or Fig10Config()
     panel = {"a": _fig10a, "b": _fig10b}[config.panel]
-    return panel(config.fast, config.seed)
+    return run_with_tracing(config, lambda: panel(config.fast, config.seed))
 
 
 def _fig10a(fast: bool, seed: int) -> ExperimentResult:

@@ -16,7 +16,12 @@ from dataclasses import dataclass
 from typing import Optional, Sequence
 
 from repro.core.runner import run_hyperplane
-from repro.experiments.base import ExperimentConfig, ExperimentResult, deprecated_runner
+from repro.experiments.base import (
+    ExperimentConfig,
+    ExperimentResult,
+    deprecated_runner,
+    run_with_tracing,
+)
 from repro.sdp.config import SDPConfig
 from repro.sdp.runner import run_spinning
 
@@ -47,9 +52,14 @@ def _config(workload: str, count: int, seed: int, power: bool = False) -> SDPCon
 
 @dataclass(frozen=True)
 class Fig9Config(ExperimentConfig):
-    """Fig. 9 settings; ``panel`` = "a" (spinning) or "b" (HyperPlane)."""
+    """Fig. 9 settings; ``panel`` = "a" (spinning) or "b" (HyperPlane).
+
+    ``trace`` runs the panel under a causal tracer (repro.obs.trace)
+    and appends the per-mechanism latency decomposition to the notes.
+    """
 
     panel: str = "a"
+    trace: bool = False
 
     def __post_init__(self):
         if self.panel not in ("a", "b"):
@@ -60,7 +70,7 @@ def run(config: Optional[Fig9Config] = None) -> ExperimentResult:
     """Reproduce one Fig. 9 panel."""
     config = config or Fig9Config()
     panel = {"a": _fig9a, "b": _fig9b}[config.panel]
-    return panel(config.fast, config.seed)
+    return run_with_tracing(config, lambda: panel(config.fast, config.seed))
 
 
 def _fig9a(fast: bool, seed: int) -> ExperimentResult:

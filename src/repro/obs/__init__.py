@@ -7,7 +7,11 @@ bounded timeseries probes; standard probes for each layer
 (:mod:`repro.obs.probes`); JSONL / CSV / Prometheus exporters with
 round-trip parsers (:mod:`repro.obs.export`); and the
 :class:`RunManifest` provenance record every experiment result carries
-(:mod:`repro.obs.manifest`).
+(:mod:`repro.obs.manifest`). Alongside the aggregate metrics sits the
+causal tracing layer (:mod:`repro.obs.trace`): per-request span trees
+with bit-exact simulated-cycle attribution, exporters
+(:mod:`repro.obs.trace_export`), and the latency-decomposition report
+(:mod:`repro.obs.trace_report`) behind the ``repro-trace`` CLI.
 
 Quick start::
 
@@ -54,18 +58,34 @@ from repro.obs.registry import (
     validate_metric_name,
 )
 from repro.obs.runtime import active_registry, get_active_registry, set_active_registry
+from repro.obs.trace import (
+    CATEGORIES,
+    NULL_TRACER,
+    Span,
+    Tracer,
+    active_tracer,
+    get_active_tracer,
+    set_active_tracer,
+)
+from repro.obs.trace_export import write_trace_exports
 
 __all__ = [
+    "CATEGORIES",
     "Counter",
     "Gauge",
     "Histogram",
     "MANIFEST_SCHEMA_VERSION",
     "MetricsRegistry",
+    "NULL_TRACER",
     "RunManifest",
+    "Span",
     "Timeseries",
+    "Tracer",
     "active_registry",
+    "active_tracer",
     "config_digest",
     "get_active_registry",
+    "get_active_tracer",
     "instrument_hierarchy",
     "instrument_rack",
     "instrument_simulator",
@@ -75,10 +95,12 @@ __all__ = [
     "parse_jsonl",
     "parse_prometheus",
     "set_active_registry",
+    "set_active_tracer",
     "to_csv",
     "to_jsonl",
     "to_prometheus",
     "validate_manifest",
     "validate_metric_name",
     "write_exports",
+    "write_trace_exports",
 ]

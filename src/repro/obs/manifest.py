@@ -13,8 +13,9 @@ from __future__ import annotations
 
 import hashlib
 import json
+import os
 import time
-from dataclasses import asdict, dataclass
+from dataclasses import asdict, dataclass, field
 from typing import Any, Dict, List, Optional
 
 MANIFEST_SCHEMA_VERSION = 1
@@ -32,6 +33,28 @@ _REQUIRED_FIELDS: Dict[str, tuple] = {
     "sim_events": (int,),
     "metrics_enabled": (bool,),
 }
+
+# Optional fields: absent in manifests written by older builds.
+_OPTIONAL_FIELDS: Dict[str, tuple] = {
+    "env_overrides": (dict,),
+}
+
+ENV_OVERRIDE_PREFIX = "REPRO_"
+
+
+def env_overrides(environ: Optional[Dict[str, str]] = None) -> Dict[str, str]:
+    """The ``REPRO_*`` environment overrides in effect, sorted by name.
+
+    These knobs (``REPRO_PROCESSES``, ``REPRO_CURVE_CACHE``, ...) change
+    how a run executes without appearing in its config, so a manifest
+    that omits them under-specifies the run.
+    """
+    source = os.environ if environ is None else environ
+    return {
+        key: str(source[key])
+        for key in sorted(source)
+        if key.startswith(ENV_OVERRIDE_PREFIX)
+    }
 
 
 def config_digest(experiment_id: str, config: Dict[str, Any]) -> str:
@@ -68,6 +91,7 @@ class RunManifest:
     wall_seconds: float
     sim_events: int = 0
     metrics_enabled: bool = False
+    env_overrides: Dict[str, str] = field(default_factory=dict)
     schema: int = MANIFEST_SCHEMA_VERSION
 
     @classmethod
@@ -80,8 +104,10 @@ class RunManifest:
         started_at: Optional[float] = None,
         sim_events: int = 0,
         metrics_enabled: bool = False,
+        environ: Optional[Dict[str, str]] = None,
     ) -> "RunManifest":
-        """Build a manifest, deriving hash, version, and timestamp."""
+        """Build a manifest, deriving hash, version, timestamp, and the
+        ``REPRO_*`` environment overrides in effect."""
         if started_at is None:
             started_at = now_wall()
         return cls(
@@ -94,6 +120,7 @@ class RunManifest:
             wall_seconds=wall_seconds,
             sim_events=sim_events,
             metrics_enabled=metrics_enabled,
+            env_overrides=env_overrides(environ),
         )
 
     def to_dict(self) -> Dict[str, Any]:
@@ -107,7 +134,7 @@ class RunManifest:
         problems = manifest_problems(data)
         if problems:
             raise ValueError("invalid manifest: " + "; ".join(problems))
-        known = {f for f in _REQUIRED_FIELDS}
+        known = set(_REQUIRED_FIELDS) | set(_OPTIONAL_FIELDS)
         return cls(**{key: value for key, value in data.items() if key in known})
 
 
@@ -133,6 +160,12 @@ def manifest_problems(data: Any) -> List[str]:
         if not well_typed:
             problems.append(
                 f"field {key!r} has type {type(value).__name__}, "
+                f"expected {'/'.join(t.__name__ for t in types)}"
+            )
+    for key, types in _OPTIONAL_FIELDS.items():
+        if key in data and not isinstance(data[key], types):
+            problems.append(
+                f"field {key!r} has type {type(data[key]).__name__}, "
                 f"expected {'/'.join(t.__name__ for t in types)}"
             )
     if not problems:

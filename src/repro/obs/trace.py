@@ -1,0 +1,410 @@
+"""repro.obs.trace — causal span tracing with simulated-cycle attribution.
+
+Where :mod:`repro.obs.registry` answers "how much, in aggregate", this
+module answers "where did *this* request's time go". A **trace** is one
+request's causal timeline: a tree of :class:`Span`\\ s (trace id,
+parent/child links, span events, attributes) whose leaves carry a
+**cycle breakdown** — simulated cycles attributed to the named
+categories in :data:`CATEGORIES` (notification wait, queueing delay,
+coherence/cache-miss stalls, service, overhead) that sums *bit-exactly*
+to the span's duration in cycles.
+
+Design constraints, in priority order (mirroring the metrics registry):
+
+1. **Free when disabled.** With no ambient tracer (the default) the
+   model layers install no hook at all; the shared :data:`NULL_TRACER`
+   exists for direct callers and allocates nothing per call. A traced
+   run's *simulated* results are bit-identical to an untraced run:
+   probes observe, they never schedule.
+2. **Deterministic.** Span ids are sequential, timestamps are simulated
+   time, and head-based sampling is keyed off
+   :func:`repro.sim.rng.derive_seed` — the same seed samples the same
+   requests on every run, whatever the host does.
+3. **Bounded.** ``max_spans`` caps retention; past it, whole traces are
+   dropped (and counted) rather than truncated mid-tree.
+4. **Exact.** :func:`attribute_residual` closes each breakdown so the
+   fixed-order category sum reproduces the span's cycle duration to the
+   last bit — the property ``repro-trace`` and CI assert.
+
+Ambient installation mirrors :func:`repro.obs.runtime.active_registry`::
+
+    from repro.obs.trace import Tracer, active_tracer
+
+    tracer = Tracer(seed=config.seed)
+    with active_tracer(tracer):
+        metrics = run_hyperplane(config, load=0.5)   # self-traces
+    tracer.finalize()
+    tracer.roots()[0].cycles                          # the breakdown
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Any, Callable, Dict, Iterator, List, Optional, Tuple
+
+from repro.sim.rng import derive_seed
+
+# Cycle-attribution categories, in canonical summation order. The
+# breakdown invariant (sum(cycles[c] for c in CATEGORIES) == duration
+# cycles, bit-exactly) is always evaluated in this order.
+CATEGORY_NOTIFY_WAIT = "notify_wait"
+CATEGORY_QUEUEING = "queueing"
+CATEGORY_COHERENCE = "coherence"
+CATEGORY_SERVICE = "service"
+CATEGORY_OVERHEAD = "overhead"
+CATEGORIES = (
+    CATEGORY_NOTIFY_WAIT,
+    CATEGORY_QUEUEING,
+    CATEGORY_COHERENCE,
+    CATEGORY_SERVICE,
+    CATEGORY_OVERHEAD,
+)
+
+DEFAULT_MAX_SPANS = 250_000
+
+_SAMPLE_DENOM = float(1 << 64)
+
+
+def breakdown_sum(cycles: Dict[str, float]) -> float:
+    """The canonical fixed-order sum of a cycle breakdown."""
+    total = 0.0
+    for category in CATEGORIES:
+        total += cycles.get(category, 0.0)
+    return total
+
+
+def attribute_residual(total_cycles: float, cycles: Dict[str, float]) -> Dict[str, float]:
+    """Close a partial breakdown so its fixed-order sum is ``total_cycles``.
+
+    Every category except :data:`CATEGORY_OVERHEAD` is taken as given;
+    overhead is set to the residual. Because floating-point addition
+    does not telescope (``a + (b - a) != b`` in general), the naive
+    residual can land one or two ulps off — the correction loop nudges
+    it until the canonical sum is *bit-exactly* ``total_cycles``. The
+    loop converges in one step in practice; the bound is a safety net.
+    """
+    closed = {category: float(cycles.get(category, 0.0)) for category in CATEGORIES}
+    partial = 0.0
+    for category in CATEGORIES[:-1]:
+        partial += closed[category]
+    closed[CATEGORY_OVERHEAD] = total_cycles - partial
+    for _ in range(8):
+        error = total_cycles - breakdown_sum(closed)
+        if error == 0.0:
+            break
+        closed[CATEGORY_OVERHEAD] += error
+    return closed
+
+
+class Span:
+    """One timed operation in a trace tree.
+
+    ``start``/``end`` are simulated seconds; ``cycles`` (optional) is
+    the per-category simulated-cycle breakdown of this span's duration;
+    ``events`` are point-in-time annotations ``(time, name, attrs)``.
+    """
+
+    __slots__ = (
+        "trace_id",
+        "span_id",
+        "parent_id",
+        "name",
+        "start",
+        "end",
+        "attributes",
+        "events",
+        "cycles",
+    )
+
+    def __init__(
+        self,
+        trace_id: int,
+        span_id: int,
+        name: str,
+        start: float,
+        parent_id: Optional[int] = None,
+    ):
+        self.trace_id = trace_id
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.name = name
+        self.start = start
+        self.end: Optional[float] = None
+        self.attributes: Dict[str, Any] = {}
+        self.events: List[Tuple[float, str, Dict[str, Any]]] = []
+        self.cycles: Optional[Dict[str, float]] = None
+
+    @property
+    def duration(self) -> float:
+        """Span duration in simulated seconds (requires the span ended)."""
+        if self.end is None:
+            raise ValueError(f"span {self.name!r} not ended yet")
+        return self.end - self.start
+
+    def set_attribute(self, key: str, value: Any) -> None:
+        self.attributes[key] = value
+
+    def add_event(self, time: float, name: str, **attrs: Any) -> None:
+        self.events.append((time, name, attrs))
+
+    def attribute_cycles(
+        self, total_cycles: float, **partial: float
+    ) -> Dict[str, float]:
+        """Attach a breakdown closed to ``total_cycles`` (see module doc).
+
+        Unknown category names are rejected so typos cannot silently
+        leak cycles into the residual.
+        """
+        unknown = set(partial) - set(CATEGORIES)
+        if unknown:
+            raise ValueError(
+                f"unknown cycle categories {sorted(unknown)}; known: {CATEGORIES}"
+            )
+        self.cycles = attribute_residual(total_cycles, partial)
+        return self.cycles
+
+    def to_dict(self) -> Dict[str, Any]:
+        """A JSON-ready plain-dict form (see trace_export.spans_to_jsonl)."""
+        record: Dict[str, Any] = {
+            "trace_id": self.trace_id,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "name": self.name,
+            "start": self.start,
+            "end": self.end,
+        }
+        if self.attributes:
+            record["attributes"] = self.attributes
+        if self.events:
+            record["events"] = [
+                {"time": time, "name": name, **({"attributes": attrs} if attrs else {})}
+                for time, name, attrs in self.events
+            ]
+        if self.cycles is not None:
+            record["cycles"] = self.cycles
+        return record
+
+    @classmethod
+    def from_dict(cls, record: Dict[str, Any]) -> "Span":
+        span = cls(
+            trace_id=record["trace_id"],
+            span_id=record["span_id"],
+            name=record["name"],
+            start=record["start"],
+            parent_id=record.get("parent_id"),
+        )
+        span.end = record.get("end")
+        span.attributes = dict(record.get("attributes") or {})
+        span.events = [
+            (event["time"], event["name"], dict(event.get("attributes") or {}))
+            for event in record.get("events") or []
+        ]
+        cycles = record.get("cycles")
+        span.cycles = dict(cycles) if cycles is not None else None
+        return span
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        ended = f"..{self.end}" if self.end is not None else " (open)"
+        return f"<Span {self.name!r} trace={self.trace_id} {self.start}{ended}>"
+
+
+class Tracer:
+    """Collects spans for one run, with deterministic head sampling.
+
+    Parameters
+    ----------
+    seed:
+        Root seed for the sampling decision stream. Use the run's root
+        seed so sampled runs stay reproducible.
+    sample_rate:
+        Fraction of traces kept, decided per trace key at the *head*
+        (before any span is built): ``1.0`` keeps everything, ``0.0``
+        nothing. The decision for a key never changes within a run.
+    max_spans:
+        Retention cap; once reached, new traces are dropped whole and
+        counted in :attr:`dropped_traces`.
+    """
+
+    def __init__(
+        self,
+        seed: int = 0,
+        sample_rate: float = 1.0,
+        max_spans: int = DEFAULT_MAX_SPANS,
+    ):
+        if not 0.0 <= sample_rate <= 1.0:
+            raise ValueError(f"sample_rate must be in [0, 1], got {sample_rate!r}")
+        if max_spans <= 0:
+            raise ValueError("max_spans must be positive")
+        self.enabled = True
+        self.seed = seed
+        self.sample_rate = sample_rate
+        self.max_spans = max_spans
+        self.spans: List[Span] = []
+        self.dropped_traces = 0
+        self._next_span_id = 0
+        self._finalizers: List[Callable[[], None]] = []
+
+    # -- sampling ------------------------------------------------------------
+
+    def sampled(self, trace_key: Any) -> bool:
+        """Deterministic head-based sampling decision for one trace key.
+
+        Keyed off :func:`~repro.sim.rng.derive_seed` so the decision
+        depends only on ``(seed, trace_key)`` — never on host state or
+        on how many traces were seen before this one.
+        """
+        if self.sample_rate >= 1.0:
+            return True
+        if self.sample_rate <= 0.0:
+            return False
+        draw = derive_seed(self.seed, f"trace-sample:{trace_key}") / _SAMPLE_DENOM
+        return draw < self.sample_rate
+
+    # -- span lifecycle ------------------------------------------------------
+
+    def begin(
+        self,
+        name: str,
+        start: float,
+        trace_id: Optional[int] = None,
+        parent: Optional[Span] = None,
+        **attributes: Any,
+    ) -> Span:
+        """Open a span. With ``parent`` given, the span joins its trace."""
+        if parent is not None:
+            trace_id = parent.trace_id
+        elif trace_id is None:
+            trace_id = self._next_span_id
+        span = Span(
+            trace_id=trace_id,
+            span_id=self._next_span_id,
+            name=name,
+            start=start,
+            parent_id=parent.span_id if parent is not None else None,
+        )
+        self._next_span_id += 1
+        if attributes:
+            span.attributes.update(attributes)
+        return span
+
+    def end(self, span: Span, end: float) -> Span:
+        """Close a span and retain it (subject to the span cap)."""
+        span.end = end
+        if len(self.spans) < self.max_spans:
+            self.spans.append(span)
+        else:
+            self.dropped_traces += 1
+        return span
+
+    def record(self, span: Span) -> Span:
+        """Retain an already-closed span (exporters' re-import path)."""
+        if span.end is None:
+            raise ValueError(f"span {span.name!r} must be ended before record()")
+        if len(self.spans) < self.max_spans:
+            self.spans.append(span)
+        else:
+            self.dropped_traces += 1
+        return span
+
+    # -- finalization --------------------------------------------------------
+
+    def add_finalizer(self, fn: Callable[[], None]) -> None:
+        """Register a post-run hook (probes use this to stamp attributes
+        that only exist after the run, e.g. the mechanism label)."""
+        self._finalizers.append(fn)
+
+    def finalize(self) -> "Tracer":
+        """Drain pending finalizers; returns self for chaining.
+
+        Each registered finalizer runs exactly once, but finalize() may
+        be called repeatedly: finalizers registered after one call run
+        on the next, so several runs can share one tracer.
+        """
+        while self._finalizers:
+            self._finalizers.pop(0)()
+        return self
+
+    # -- queries -------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.spans)
+
+    def roots(self) -> List[Span]:
+        """All spans with no parent (one per retained trace), in order."""
+        return [span for span in self.spans if span.parent_id is None]
+
+    def trace(self, trace_id: int) -> List[Span]:
+        """All spans of one trace, in recording order."""
+        return [span for span in self.spans if span.trace_id == trace_id]
+
+    def children(self, span: Span) -> List[Span]:
+        return [
+            candidate
+            for candidate in self.spans
+            if candidate.parent_id == span.span_id
+            and candidate.trace_id == span.trace_id
+        ]
+
+
+class NullTracer(Tracer):
+    """The shared do-nothing tracer: every operation is a no-op.
+
+    ``begin``/``end`` hand back a single preallocated span so direct
+    callers can stay unconditional without allocating per call. Model
+    layers never reach even this: with no ambient *enabled* tracer they
+    skip installing hooks entirely.
+    """
+
+    def __init__(self):
+        super().__init__(seed=0, sample_rate=0.0, max_spans=1)
+        self.enabled = False
+        self._null_span = Span(trace_id=-1, span_id=-1, name="null", start=0.0)
+        self._null_span.end = 0.0
+
+    def sampled(self, trace_key: Any) -> bool:
+        return False
+
+    def begin(self, name, start, trace_id=None, parent=None, **attributes) -> Span:
+        return self._null_span
+
+    def end(self, span: Span, end: float) -> Span:
+        return span
+
+    def record(self, span: Span) -> Span:
+        return span
+
+    def add_finalizer(self, fn: Callable[[], None]) -> None:
+        pass
+
+
+NULL_TRACER = NullTracer()
+
+
+# -- ambient tracer context (mirrors repro.obs.runtime) ----------------------
+
+_ACTIVE: Optional[Tracer] = None
+
+
+def get_active_tracer() -> Optional[Tracer]:
+    """The enabled tracer components should trace into, or ``None``."""
+    if _ACTIVE is not None and _ACTIVE.enabled:
+        return _ACTIVE
+    return None
+
+
+def set_active_tracer(tracer: Optional[Tracer]) -> Optional[Tracer]:
+    """Install ``tracer`` as the ambient tracer; returns the previous one."""
+    global _ACTIVE
+    previous = _ACTIVE
+    _ACTIVE = tracer
+    return previous
+
+
+@contextmanager
+def active_tracer(tracer: Optional[Tracer]) -> Iterator[Optional[Tracer]]:
+    """Scope ``tracer`` as the ambient tracer for a ``with`` block."""
+    previous = set_active_tracer(tracer)
+    try:
+        yield tracer
+    finally:
+        set_active_tracer(previous)

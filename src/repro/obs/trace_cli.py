@@ -1,0 +1,172 @@
+"""CLI: ``repro-trace [<experiment>...] [options]``.
+
+Runs registered experiments under an ambient causal tracer
+(:mod:`repro.obs.trace`), prints the per-mechanism latency
+decomposition table, audits the bit-exact breakdown invariant, and
+optionally writes the trace in every exporter format.
+
+Experiments are named either by registry id (``fig9a``,
+``cluster_scaleout``) or by module alias (``fig9_zero_load`` expands to
+``fig9a`` + ``fig9b``) — ``repro-trace list`` shows both.
+
+Exit status is non-zero when ``--check`` finds a span whose cycle
+breakdown does not sum bit-exactly to its duration (the CI trace smoke
+gate).
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+import time
+from typing import Dict, List
+
+from repro.experiments.registry import REGISTRY
+from repro.obs.trace import Tracer, active_tracer
+from repro.obs.trace_export import write_trace_exports
+from repro.obs.trace_report import (
+    decomposition_rows,
+    format_decomposition,
+    sum_problems,
+)
+
+
+def module_aliases() -> Dict[str, List[str]]:
+    """Module-basename alias -> registry ids it expands to."""
+    aliases: Dict[str, List[str]] = {}
+    for experiment_id, spec in REGISTRY.items():
+        module = spec.runner.__module__.rsplit(".", 1)[-1]
+        aliases.setdefault(module, []).append(experiment_id)
+    return aliases
+
+
+def resolve_experiments(names: List[str]) -> List[str]:
+    """Expand registry ids and module aliases; reject unknown names."""
+    aliases = module_aliases()
+    resolved: List[str] = []
+    for name in names:
+        if name in REGISTRY:
+            targets = [name]
+        elif name in aliases:
+            targets = aliases[name]
+        else:
+            known = sorted(set(REGISTRY) | set(aliases))
+            raise ValueError(f"unknown experiment {name!r}; known: {known}")
+        for experiment_id in targets:
+            if experiment_id not in resolved:
+                resolved.append(experiment_id)
+    return resolved
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-trace",
+        description="Run experiments with causal tracing and render the "
+        "latency decomposition per notification mechanism.",
+    )
+    parser.add_argument(
+        "experiments",
+        nargs="*",
+        default=["list"],
+        help="experiment ids or module aliases (see 'list')",
+    )
+    parser.add_argument(
+        "--full",
+        action="store_true",
+        help="paper-sized grids (slow) instead of the fast defaults",
+    )
+    parser.add_argument("--seed", type=int, default=0, help="root seed (default 0)")
+    parser.add_argument(
+        "--sample-rate",
+        type=float,
+        default=1.0,
+        help="fraction of traces kept, decided deterministically per "
+        "request key (default 1.0 = everything)",
+    )
+    parser.add_argument(
+        "--max-spans",
+        type=int,
+        default=None,
+        help="span retention cap per experiment (default %s)"
+        % "250,000",
+    )
+    parser.add_argument(
+        "--out",
+        metavar="DIR",
+        help="write <DIR>/<experiment>.{trace.json,collapsed,spans.jsonl}",
+    )
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="exit non-zero unless every span's cycle breakdown sums "
+        "bit-exactly to its duration (the CI gate)",
+    )
+    args = parser.parse_args(argv)
+
+    targets = args.experiments
+    if targets == ["list"]:
+        print("available experiments (id or module alias):")
+        for experiment_id, spec in REGISTRY.items():
+            print(f"  {experiment_id:16s} {spec.summary}")
+        print("aliases:")
+        for alias, ids in sorted(module_aliases().items()):
+            if len(ids) > 1 or alias not in REGISTRY:
+                print(f"  {alias:24s} -> {', '.join(ids)}")
+        return 0
+    if targets == ["all"]:
+        targets = list(REGISTRY)
+    try:
+        resolved = resolve_experiments(targets)
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+    if args.out:
+        os.makedirs(args.out, exist_ok=True)
+
+    # Imported here so `repro-trace list` stays instant.
+    from repro.experiments.registry import run_experiment
+
+    failures = 0
+    for experiment_id in resolved:
+        kwargs = {} if args.max_spans is None else {"max_spans": args.max_spans}
+        tracer = Tracer(seed=args.seed, sample_rate=args.sample_rate, **kwargs)
+        started = time.time()
+        with active_tracer(tracer):
+            result = run_experiment(experiment_id, fast=not args.full, seed=args.seed)
+        tracer.finalize()
+        elapsed = time.time() - started
+
+        print(result.format_table())
+        print()
+        rows = decomposition_rows(tracer)
+        print(f"latency decomposition — {experiment_id} "
+              f"({len(tracer.spans)} spans, {elapsed:.1f} s)")
+        print(format_decomposition(rows))
+        if tracer.dropped_traces:
+            print(f"(span cap hit: {tracer.dropped_traces} spans dropped)")
+
+        problems = sum_problems(tracer)
+        if problems:
+            failures += 1
+            print(f"BREAKDOWN SUM MISMATCH ({len(problems)} spans):",
+                  file=sys.stderr)
+            for line in problems[:10]:
+                print(f"  {line}", file=sys.stderr)
+        elif args.check:
+            print(f"breakdown sums: all {len(rows) and sum(r['requests'] for r in rows)} "
+                  "request breakdowns bit-exact")
+
+        if args.out:
+            paths = write_trace_exports(tracer, args.out, experiment_id)
+            print(f"[trace] {args.out}: "
+                  + ", ".join(os.path.basename(p) for p in paths.values()))
+        print()
+    if args.check and failures:
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -12,6 +12,7 @@ from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.mem.address import DoorbellRegion
 from repro.obs.runtime import get_active_registry
+from repro.obs.trace import get_active_tracer
 from repro.queueing.doorbell import Doorbell
 from repro.queueing.locks import SpinLock
 from repro.queueing.taskqueue import TaskQueue, WorkItem
@@ -186,6 +187,15 @@ class DataPlaneSystem:
             from repro.obs.probes import instrument_system
 
             instrument_system(self._obs, self)
+
+        # Tracing: self-trace iff an enabled tracer is ambient
+        # (repro.obs.trace). Same contract as metrics — with none
+        # active this is one None check and no hook is installed.
+        self._trace_probe = None
+        if get_active_tracer() is not None:
+            from repro.obs.trace_probes import maybe_trace_system
+
+            self._trace_probe = maybe_trace_system(self)
 
     # -- plumbing -----------------------------------------------------------
 

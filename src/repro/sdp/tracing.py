@@ -1,10 +1,19 @@
-"""Event tracing for simulations.
+"""Deprecated flat event tracing (shim over :mod:`repro.obs.trace`).
 
-A :class:`Tracer` attaches to a :class:`~repro.sdp.system.DataPlaneSystem`
-through its existing hook points and records a bounded, time-ordered
-stream of queue-level events (doorbell writes, dequeues, completions).
-Use it to audit per-item timelines, compute wait/service breakdowns, or
-export a run for offline analysis.
+This module predates the causal span subsystem: it records a flat,
+bounded stream of queue-level events (doorbell writes, dequeues,
+completions) for one :class:`~repro.sdp.system.DataPlaneSystem`, with
+no parent/child causality, no cycle attribution, and no coverage of the
+``mem`` / ``structural`` / ``cluster`` layers. New code should use
+:class:`repro.obs.trace.Tracer` with :func:`repro.obs.trace.active_tracer`
+(systems self-trace) and the exporters in :mod:`repro.obs.trace_export`.
+
+The class is kept as a compatibility shim — same constructor, queries,
+``to_json``/``load_events``, and ``export_chrome_trace`` signature and
+byte-identical output — but instantiating it emits a
+``DeprecationWarning``, and the Chrome event dicts are built by the
+shared helpers in :mod:`repro.obs.trace_export` so both tracers emit
+the same instant/slice shapes.
 
 >>> system = DataPlaneSystem(config)
 >>> tracer = attach_tracer(system)
@@ -16,9 +25,11 @@ export a run for offline analysis.
 from __future__ import annotations
 
 import json
+import warnings
 from dataclasses import asdict, dataclass
 from typing import Dict, List, Optional
 
+from repro.obs.trace_export import chrome_instant, chrome_slice
 from repro.queueing.doorbell import Doorbell
 from repro.queueing.taskqueue import WorkItem
 from repro.sdp.system import DataPlaneSystem
@@ -39,9 +50,20 @@ class TraceEvent:
 
 
 class Tracer:
-    """Bounded event recorder wired into a system's hooks."""
+    """Deprecated bounded event recorder wired into a system's hooks.
+
+    Use :class:`repro.obs.trace.Tracer` for new code — it adds causal
+    spans, cycle attribution, sampling, and whole-stack coverage.
+    """
 
     def __init__(self, system: DataPlaneSystem, capacity: int = 100_000):
+        warnings.warn(
+            "repro.sdp.tracing.Tracer is deprecated; use repro.obs.trace "
+            "(systems self-trace under active_tracer) and the exporters "
+            "in repro.obs.trace_export",
+            DeprecationWarning,
+            stacklevel=2,
+        )
         if capacity <= 0:
             raise ValueError("capacity must be positive")
         self.system = system
@@ -129,37 +151,30 @@ class Tracer:
         (``tid`` = queue id); every item traced to completion adds a
         duration slice spanning dequeue -> completion, so the viewer
         shows service time as bars over the raw event stream.
-        Timestamps are microseconds, as the format requires.
+        Timestamps are microseconds, as the format requires. The event
+        dicts are built by the shared :mod:`repro.obs.trace_export`
+        helpers, so this output stays aligned with the span exporter.
         """
         trace: List[Dict] = []
         for event in self.events:
-            entry = {
-                "name": event.kind,
-                "ph": "i",
-                "ts": event.time * 1e6,
-                "pid": 0,
-                "tid": event.qid,
-                "s": "t",
-            }
-            if event.item_id is not None:
-                entry["args"] = {"item_id": event.item_id}
-            trace.append(entry)
+            args = {"item_id": event.item_id} if event.item_id is not None else None
+            trace.append(
+                chrome_instant(event.kind, event.time * 1e6, tid=event.qid, args=args)
+            )
         for item in self._items_seen.values():
             if item.completion_time is None or item.dequeue_time is None:
                 continue
             trace.append(
-                {
-                    "name": f"item {item.item_id}",
-                    "ph": "X",
-                    "ts": item.dequeue_time * 1e6,
-                    "dur": (item.completion_time - item.dequeue_time) * 1e6,
-                    "pid": 0,
-                    "tid": item.qid,
-                    "args": {
+                chrome_slice(
+                    f"item {item.item_id}",
+                    item.dequeue_time * 1e6,
+                    (item.completion_time - item.dequeue_time) * 1e6,
+                    tid=item.qid,
+                    args={
                         "item_id": item.item_id,
                         "wait_us": item.wait * 1e6,
                     },
-                }
+                )
             )
         return trace
 
@@ -183,5 +198,14 @@ class Tracer:
 
 
 def attach_tracer(system: DataPlaneSystem, capacity: int = 100_000) -> Tracer:
-    """Attach a tracer to a system (before running it)."""
-    return Tracer(system, capacity)
+    """Attach a (deprecated) flat-event tracer to a system."""
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", DeprecationWarning)
+        tracer = Tracer(system, capacity)
+    warnings.warn(
+        "attach_tracer() is deprecated; use repro.obs.trace.active_tracer "
+        "and let the system self-trace",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return tracer

@@ -32,13 +32,18 @@ class Process:
     Do not instantiate directly — use :meth:`Simulator.spawn`.
     """
 
-    __slots__ = ("sim", "name", "done", "_generator", "_alive", "_waiting_on")
+    __slots__ = ("sim", "name", "done", "span", "_generator", "_alive", "_waiting_on")
 
     def __init__(self, sim, generator: Generator, name: str = ""):
         self.sim = sim
         self.name = name or getattr(generator, "__name__", "process")
         self._generator = generator
         self.done = Event(f"{self.name}.done")
+        # Ambient trace context: the repro.obs.trace span this process
+        # is currently working under, if any. Carried here (not in a
+        # global) so interleaved processes keep their own causal
+        # context; None costs nothing and is the default.
+        self.span = None
         self._alive = True
         self._waiting_on: Optional[Event] = None
         # Kick off on the next dispatch at the current time so that spawn()

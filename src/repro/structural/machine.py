@@ -99,6 +99,18 @@ class StructuralMachine:
         self._next_item_id = 0
         self.producer_processes = []
 
+        # Tracing: self-trace iff an enabled tracer is ambient; the
+        # probe is observation-only (wraps complete / dequeue memory
+        # accounting, never schedules), so traced runs stay
+        # bit-identical.
+        from repro.obs.trace import get_active_tracer
+
+        self._trace_probe = None
+        if get_active_tracer() is not None:
+            from repro.obs.trace_probes import maybe_trace_structural_machine
+
+            self._trace_probe = maybe_trace_structural_machine(self)
+
     # -- core id helpers -----------------------------------------------------------
 
     def producer_core(self, index: int) -> int:

@@ -9,6 +9,7 @@ from repro.obs.manifest import (
     MANIFEST_SCHEMA_VERSION,
     RunManifest,
     config_digest,
+    env_overrides,
     manifest_problems,
     validate_manifest,
 )
@@ -86,6 +87,57 @@ def test_validation_rejects_future_schema():
 
 def test_validation_rejects_non_dict():
     assert manifest_problems([1, 2, 3])
+
+
+# -- environment overrides ---------------------------------------------------
+
+
+def test_env_overrides_keep_only_repro_keys_sorted():
+    environ = {
+        "REPRO_PROCESSES": "4",
+        "PATH": "/usr/bin",
+        "REPRO_CURVE_CACHE": "0",
+        "HOME": "/root",
+    }
+    assert env_overrides(environ) == {
+        "REPRO_CURVE_CACHE": "0",
+        "REPRO_PROCESSES": "4",
+    }
+
+
+def test_capture_records_env_overrides(monkeypatch):
+    monkeypatch.setenv("REPRO_PROCESSES", "2")
+    manifest = sample_manifest()
+    assert manifest.env_overrides["REPRO_PROCESSES"] == "2"
+    # An explicit environ bypasses os.environ entirely.
+    pinned = RunManifest.capture(
+        experiment_id="fig9a",
+        config={"fast": True},
+        root_seed=0,
+        wall_seconds=0.1,
+        environ={"REPRO_CURVE_CACHE": "1", "TERM": "dumb"},
+    )
+    assert pinned.env_overrides == {"REPRO_CURVE_CACHE": "1"}
+
+
+def test_env_overrides_roundtrip_and_validate():
+    manifest = RunManifest.capture(
+        experiment_id="fig9a",
+        config={"fast": True},
+        root_seed=0,
+        wall_seconds=0.1,
+        environ={"REPRO_PROCESSES": "8"},
+    )
+    data = manifest.to_dict()
+    assert manifest_problems(data) == []
+    assert RunManifest.from_dict(data) == manifest
+    # Manifests from builds predating env_overrides still validate/load.
+    legacy = {k: v for k, v in data.items() if k != "env_overrides"}
+    assert manifest_problems(legacy) == []
+    assert RunManifest.from_dict(legacy).env_overrides == {}
+    # But a present-and-mistyped field is rejected.
+    bad = dict(data, env_overrides="REPRO_PROCESSES=8")
+    assert any("env_overrides" in problem for problem in manifest_problems(bad))
 
 
 # -- ExperimentResult serialisation -----------------------------------------

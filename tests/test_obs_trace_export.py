@@ -1,0 +1,209 @@
+"""Trace exporters: schema-valid Chrome JSON, collapsed stacks, JSONL.
+
+Round-trip contracts: the Chrome payload validates against the
+event-format schema; `parse_collapsed` inverts the collapsed-stack
+aggregation text; `parse_spans_jsonl` inverts `spans_to_jsonl` exactly,
+non-ASCII attributes included.
+"""
+
+import json
+
+import pytest
+
+from repro.obs.trace import CATEGORIES, Span, Tracer, breakdown_sum
+from repro.obs.trace_export import (
+    TRACE_EXPORTERS,
+    chrome_instant,
+    chrome_slice,
+    chrome_trace_problems,
+    parse_collapsed,
+    parse_spans_jsonl,
+    spans_to_jsonl,
+    to_chrome_trace,
+    to_collapsed,
+    validate_chrome_trace,
+    write_chrome_trace,
+    write_trace_exports,
+)
+
+
+def sample_tracer() -> Tracer:
+    """Two traces: one with children + cycles + a non-ASCII attribute."""
+    tracer = Tracer(seed=0)
+    root = tracer.begin("request", 1.0e-6, item_id=7, flow="flöw-βeta")
+    wait = tracer.begin("queue.wait", 1.0e-6, parent=root)
+    wait.add_event(1.2e-6, "doorbell_ready", qid=3)
+    tracer.end(wait, 1.5e-6)
+    service = tracer.begin("service", 1.5e-6, parent=root)
+    tracer.end(service, 2.0e-6)
+    tracer.end(root, 2.0e-6)
+    root.attribute_cycles(3000.0, notify_wait=600.0, queueing=900.0, service=1500.0)
+
+    solo = tracer.begin("request", 4.0e-6, item_id=8)
+    tracer.end(solo, 5.0e-6)
+    solo.attribute_cycles(3000.0, service=3000.0)
+    return tracer
+
+
+# -- Chrome trace events ------------------------------------------------------
+
+
+def test_chrome_trace_is_schema_valid_and_complete():
+    tracer = sample_tracer()
+    payload = to_chrome_trace(tracer)
+    assert validate_chrome_trace(payload) is payload
+    assert payload["displayTimeUnit"] == "ns"
+    # Survives JSON serialisation (what the file actually holds).
+    assert chrome_trace_problems(json.loads(json.dumps(payload))) == []
+
+    events = payload["traceEvents"]
+    slices = [event for event in events if event["ph"] == "X"]
+    instants = [event for event in events if event["ph"] == "i"]
+    assert len(slices) == 4  # every ended span
+    assert len(instants) == 1  # the doorbell_ready event
+    assert instants[0]["name"] == "doorbell_ready"
+    assert instants[0]["args"] == {"qid": 3}
+
+    root_slice = next(s for s in slices if "cycles" in s.get("args", {}))
+    assert root_slice["ts"] == 1.0  # microseconds
+    assert root_slice["dur"] == pytest.approx(1.0)
+    assert root_slice["args"]["item_id"] == 7
+    assert breakdown_sum(root_slice["args"]["cycles"]) == 3000.0
+    # Children share the root's track and point at it.
+    child_slice = next(s for s in slices if s["name"] == "queue.wait")
+    assert child_slice["tid"] == root_slice["tid"]
+    assert child_slice["args"]["parent_id"] == root_slice["args"]["span_id"]
+
+
+def test_chrome_validation_catches_malformed_events():
+    assert chrome_trace_problems([]) != []
+    assert chrome_trace_problems({}) == ["missing or non-list 'traceEvents'"]
+    bad = {
+        "traceEvents": [
+            {"ph": "Q", "name": "x", "ts": 0},           # unknown phase
+            {"ph": "X", "name": "x", "ts": -1, "dur": 1},  # negative ts
+            {"ph": "X", "name": "x", "ts": 0},           # slice without dur
+            {"ph": "i", "name": "x", "ts": 0, "s": "z"},  # bad scope
+            {"ph": "X", "ts": 0, "dur": 1},              # no name
+            "not-an-object",
+        ]
+    }
+    problems = chrome_trace_problems(bad)
+    assert len(problems) == 6
+    with pytest.raises(ValueError, match="invalid chrome trace"):
+        validate_chrome_trace(bad)
+
+
+def test_chrome_helpers_omit_empty_args():
+    assert "args" not in chrome_instant("x", 1.0, tid=0)
+    assert "args" not in chrome_slice("x", 1.0, 2.0, tid=0)
+    assert chrome_instant("x", 1.0, tid=0, args={"a": 1})["args"] == {"a": 1}
+
+
+def test_write_chrome_trace_roundtrips_through_file(tmp_path):
+    tracer = sample_tracer()
+    path = tmp_path / "out.trace.json"
+    count = write_chrome_trace(tracer, str(path))
+    loaded = json.loads(path.read_text())
+    assert chrome_trace_problems(loaded) == []
+    assert count == len(loaded["traceEvents"]) == 5
+
+
+# -- collapsed stacks ---------------------------------------------------------
+
+
+def test_collapsed_cycles_weights_are_the_breakdown():
+    tracer = sample_tracer()
+    stacks = parse_collapsed(to_collapsed(tracer, weight="cycles"))
+    # Only spans with cycle breakdowns contribute; leaves are categories.
+    assert stacks[("request", "notify_wait")] == 600.0
+    assert stacks[("request", "queueing")] == 900.0
+    # Both roots carry service cycles; identical stacks aggregate.
+    assert stacks[("request", "service")] == 1500.0 + 3000.0
+    assert all(frames[-1] in CATEGORIES for frames in stacks)
+    # Total collapsed weight == total attributed cycles.
+    assert sum(stacks.values()) == pytest.approx(6000.0)
+
+
+def test_collapsed_us_weights_are_self_time():
+    tracer = sample_tracer()
+    stacks = parse_collapsed(to_collapsed(tracer, weight="us"))
+    assert stacks[("request", "queue.wait")] == pytest.approx(0.5)
+    assert stacks[("request", "service")] == pytest.approx(0.5)
+    # The instrumented root's time is fully covered by its children, so
+    # it has no self-time line; the solo request keeps its full 1 us.
+    assert stacks[("request",)] == pytest.approx(1.0)
+
+
+def test_collapsed_output_is_deterministic_and_parses():
+    tracer = sample_tracer()
+    text = to_collapsed(tracer)
+    assert text == to_collapsed(tracer)
+    assert text.endswith("\n")
+    assert parse_collapsed("") == {}
+    with pytest.raises(ValueError):
+        parse_collapsed("justoneword\n")
+    with pytest.raises(ValueError):
+        to_collapsed(tracer, weight="seconds")
+
+
+# -- JSONL --------------------------------------------------------------------
+
+
+def test_jsonl_roundtrip_is_lossless_including_non_ascii():
+    tracer = sample_tracer()
+    text = spans_to_jsonl(tracer)
+    # ensure_ascii: the byte stream stays ASCII whatever attributes hold.
+    assert text == text.encode("ascii").decode("ascii")
+    restored = parse_spans_jsonl(text)
+    assert len(restored) == len(tracer.spans)
+    for original, back in zip(tracer.spans, restored):
+        assert back.to_dict() == original.to_dict()
+        assert back.events == original.events
+    flow = next(s for s in restored if "flow" in s.attributes)
+    assert flow.attributes["flow"] == "flöw-βeta"  # escaped, not mangled
+    # Writer/parser compose to identity once more (fixpoint).
+    assert spans_to_jsonl(restored) == text
+
+
+def test_jsonl_parser_skips_blank_lines():
+    tracer = sample_tracer()
+    text = "\n\n" + spans_to_jsonl(tracer) + "\n\n"
+    assert len(parse_spans_jsonl(text)) == len(tracer.spans)
+
+
+# -- file convenience ---------------------------------------------------------
+
+
+def test_write_trace_exports_writes_all_formats(tmp_path):
+    tracer = sample_tracer()
+    paths = write_trace_exports(tracer, str(tmp_path), "fig9a")
+    assert set(paths) == set(TRACE_EXPORTERS) == {
+        "trace.json", "collapsed", "spans.jsonl",
+    }
+    assert chrome_trace_problems(
+        json.loads((tmp_path / "fig9a.trace.json").read_text())
+    ) == []
+    assert parse_collapsed((tmp_path / "fig9a.collapsed").read_text())
+    restored = parse_spans_jsonl((tmp_path / "fig9a.spans.jsonl").read_text())
+    assert [span.to_dict() for span in restored] == [
+        span.to_dict() for span in tracer.spans
+    ]
+
+
+def test_exporters_accept_plain_span_lists():
+    spans = sample_tracer().spans
+    assert to_chrome_trace(spans) == to_chrome_trace(sample_tracer())
+    assert to_collapsed(spans) == to_collapsed(sample_tracer())
+    assert spans_to_jsonl(spans) == spans_to_jsonl(sample_tracer())
+
+
+def test_open_spans_are_skipped_by_chrome_and_collapsed():
+    tracer = Tracer(seed=0)
+    tracer.begin("request", 0.0)  # never ended, never retained
+    ended = tracer.begin("request", 1.0e-6)
+    tracer.end(ended, 2.0e-6)
+    still_open = Span(trace_id=99, span_id=99, name="open", start=0.0)
+    spans = tracer.spans + [still_open]
+    assert len(to_chrome_trace(spans)["traceEvents"]) == 1
+    assert "open" not in to_collapsed(spans, weight="us")

@@ -96,6 +96,13 @@ def test_tenant_works_with_spinning_plane_too():
 # -- tracing ------------------------------------------------------------------------
 
 
+def test_tracer_is_a_deprecated_shim():
+    with pytest.warns(DeprecationWarning, match="repro.obs.trace"):
+        Tracer(build_system())
+    with pytest.warns(DeprecationWarning, match="active_tracer"):
+        attach_tracer(build_system())
+
+
 def test_tracer_records_lifecycle_events():
     system = build_system()
     tracer = attach_tracer(system)
