@@ -302,6 +302,94 @@ def structural_spin16(quick: bool) -> Dict[str, float]:
     }
 
 
+def structural_hp16(quick: bool) -> Dict[str, float]:
+    """Execution-driven HyperPlane core: the monitoring set snoops real
+    GetM/Upgrade transactions at the MESI directory (QWAIT halts instead
+    of polling, so events track arrivals, not idle spinning)."""
+    from repro.structural.hyperplane import StructuralHyperPlane, StructuralHyperPlaneCore
+    from repro.structural.machine import StructuralMachine
+
+    items = 150 if quick else 400
+    machine = StructuralMachine(
+        num_queues=16, num_producers=1, num_consumers=1, seed=42
+    )
+    accelerator = StructuralHyperPlane(machine)
+    StructuralHyperPlaneCore(machine, accelerator)
+    machine.start_producers(total_rate=100_000.0, max_items=items)
+    t0 = time.perf_counter()
+    metrics = machine.run(duration=0.05, target_completions=items)
+    wall = time.perf_counter() - t0
+    return {
+        "wall_seconds": wall,
+        "events": machine.sim.events_dispatched,
+        "events_per_sec": machine.sim.events_dispatched / wall if wall > 0 else 0.0,
+        "completions": metrics.latency.count,
+        "mean_us": metrics.latency.mean_us,
+        "spurious_activations": accelerator.spurious_activations,
+    }
+
+
+def structural_spin2c_fs(quick: bool) -> Dict[str, float]:
+    """Two spinning consumers with doorbell false sharing: frequent
+    cross-core invalidations keep the scan off the steady-state fast
+    path, so this stresses the general access paths."""
+    from repro.structural.machine import StructuralMachine
+    from repro.structural.spinning import StructuralSpinningCore
+
+    # Two idle consumers cap each other's batch horizon (each one's
+    # resume is the other's next event), so idle wall cost stays
+    # per-poll by design — keep the simulated window tight.
+    items = 8 if quick else 20
+    duration = 5e-5 if quick else 1e-4
+    machine = StructuralMachine(
+        num_queues=8,
+        num_producers=1,
+        num_consumers=2,
+        seed=42,
+        false_sharing=True,
+    )
+    cores = [StructuralSpinningCore(machine, i) for i in range(2)]
+    machine.start_producers(total_rate=300_000.0, max_items=items)
+    t0 = time.perf_counter()
+    metrics = machine.run(duration=duration, target_completions=items)
+    wall = time.perf_counter() - t0
+    polls = sum(core.polls for core in cores)
+    return {
+        "wall_seconds": wall,
+        "events": machine.sim.events_dispatched,
+        "events_per_sec": machine.sim.events_dispatched / wall if wall > 0 else 0.0,
+        "polls": polls,
+        "polls_per_sec": polls / wall if wall > 0 else 0.0,
+        "completions": metrics.latency.count,
+        "mean_us": metrics.latency.mean_us,
+    }
+
+
+def costmodel_derive(quick: bool) -> Dict[str, float]:
+    """Empty-poll cost-curve derivation: hundreds of thousands of
+    structural accesses per curve, the price of building a data-plane
+    system with a cold memo."""
+    from repro.mem.costmodel import clear_curve_cache, empty_poll_cost_curve
+    from repro.mem.hierarchy import MemConfig
+
+    counts = (64, 256, 1024, 4096) if quick else (64, 256, 1024, 4096, 16384)
+    cfg = MemConfig(num_cores=4)
+    clear_curve_cache()
+    t0 = time.perf_counter()
+    curve = empty_poll_cost_curve(counts, cfg)
+    wall = time.perf_counter() - t0
+    clear_curve_cache()
+    # 2 warmup + 2 measure rounds per count, one access per doorbell.
+    accesses = 4 * sum(counts)
+    return {
+        "wall_seconds": wall,
+        "events": accesses,
+        "events_per_sec": accesses / wall if wall > 0 else 0.0,
+        "curve_points": len(curve),
+        "max_cost_cycles": max(curve.values()),
+    }
+
+
 SCENARIOS: Dict[str, Scenario] = {
     scenario.scenario_id: scenario
     for scenario in (
@@ -331,6 +419,21 @@ SCENARIOS: Dict[str, Scenario] = {
             "structural_spin16",
             "execution-driven spinning core (per-poll memory accesses)",
             structural_spin16,
+        ),
+        Scenario(
+            "structural_hp16",
+            "execution-driven HyperPlane core (directory snoops, QWAIT halts)",
+            structural_hp16,
+        ),
+        Scenario(
+            "structural_spin2c_fs",
+            "2 spinning consumers + doorbell false sharing (general paths)",
+            structural_spin2c_fs,
+        ),
+        Scenario(
+            "costmodel_derive",
+            "empty-poll cost-curve derivation, cold memo",
+            costmodel_derive,
         ),
     )
 }

@@ -10,6 +10,7 @@ Examples::
     repro-bench --quick --out BENCH_engine.json
     repro-bench --quick --baseline benchmarks/perf/BENCH_engine.json --check
     repro-bench --scenario engine_dispatch --repeat 3
+    repro-bench --profile structural_spin16 --profile-limit 30
 """
 
 from __future__ import annotations
@@ -26,6 +27,31 @@ from repro.bench import (
     load_report,
     run_bench,
 )
+
+
+def profile_scenario(scenario_id: str, quick: bool = False, limit: int = 25) -> int:
+    """Run one scenario under cProfile; print top functions by cumtime."""
+    import cProfile
+    import pstats
+
+    scenario = SCENARIOS.get(scenario_id)
+    if scenario is None:
+        print(
+            f"unknown scenario {scenario_id!r} (known: {', '.join(SCENARIOS)})",
+            file=sys.stderr,
+        )
+        return 2
+    profiler = cProfile.Profile()
+    profiler.enable()
+    result = scenario.fn(quick)
+    profiler.disable()
+    mode = "quick" if quick else "full"
+    print(f"profile of {scenario_id} ({mode} mode): "
+          f"{result['events']:,} events in {result['wall_seconds']:.3f} s "
+          f"(wall time includes profiler overhead)\n")
+    stats = pstats.Stats(profiler, stream=sys.stdout)
+    stats.sort_stats("cumulative").print_stats(limit)
+    return 0
 
 
 def main(argv=None) -> int:
@@ -66,12 +92,28 @@ def main(argv=None) -> int:
     parser.add_argument(
         "--list", action="store_true", help="list scenarios and exit"
     )
+    parser.add_argument(
+        "--profile",
+        metavar="SCENARIO",
+        help="run one scenario under cProfile and print the hottest "
+        "functions by cumulative time (perf PRs start from data)",
+    )
+    parser.add_argument(
+        "--profile-limit",
+        type=int,
+        default=25,
+        metavar="N",
+        help="rows of profile output to print (default %(default)s)",
+    )
     args = parser.parse_args(argv)
 
     if args.list:
         for sid, scenario in SCENARIOS.items():
             print(f"{sid:24s} {scenario.description}")
         return 0
+
+    if args.profile:
+        return profile_scenario(args.profile, quick=args.quick, limit=args.profile_limit)
 
     report = run_bench(
         quick=args.quick, scenario_ids=args.scenario, repeat=args.repeat

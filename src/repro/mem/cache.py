@@ -4,17 +4,33 @@ Structural only: tracks which lines are present, not their timing. The
 hierarchy composes these models and assigns latencies; the cost-model
 derivation (:mod:`repro.mem.costmodel`) extracts steady-state hit rates
 for the fast SDP simulation.
+
+Fast-path layout
+----------------
+Structural accesses dominate execution-driven simulation (one per
+doorbell poll), so the per-set storage is a single preallocated flat
+tag array — set ``s`` owns slots ``[s * ways, (s + 1) * ways)`` in LRU
+order, least recent first — plus a per-set fill count. A hit rotates
+the tag to the MRU slot in place; a hit that is *already* MRU (the
+steady-state polling case: each doorbell line alone in its set) is a
+single compare with no data movement. No ``dict.setdefault``, no
+``list.remove`` scan, no per-access allocation.
+
+Behaviour is bit-identical to the dict-of-LRU-lists reference model
+(:class:`repro.mem._reference.ReferenceSetAssociativeCache`), which the
+differential fuzz suite enforces: same hits/misses/evictions/
+invalidations, same ``last_evicted`` values, same residency.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from dataclasses import dataclass
+from typing import List, Optional
 
-from repro.mem.address import CACHE_LINE_BYTES, line_address
+from repro.mem.address import CACHE_LINE_BYTES
 
 
-@dataclass
+@dataclass(slots=True)
 class CacheStats:
     """Hit/miss/eviction counters."""
 
@@ -35,6 +51,10 @@ class CacheStats:
         self.hits = self.misses = self.evictions = self.invalidations = 0
 
 
+# Flat-array empty-slot sentinel; line addresses are always >= 0.
+_EMPTY = -1
+
+
 class SetAssociativeCache:
     """An LRU set-associative cache of line addresses.
 
@@ -50,6 +70,19 @@ class SetAssociativeCache:
     name:
         Label for diagnostics.
     """
+
+    __slots__ = (
+        "size_bytes",
+        "ways",
+        "line_bytes",
+        "name",
+        "num_sets",
+        "stats",
+        "last_evicted",
+        "_tags",
+        "_fill",
+        "_set_mask",
+    )
 
     def __init__(
         self,
@@ -67,9 +100,16 @@ class SetAssociativeCache:
         self.num_sets = size_bytes // (ways * line_bytes)
         if self.num_sets & (self.num_sets - 1):
             raise ValueError("set count must be a power of two")
-        # Each set is an LRU-ordered list of line addresses, most recent last.
-        self._sets: Dict[int, List[int]] = {}
+        self._set_mask = self.num_sets - 1
+        # Flat tag array: set s owns slots [s*ways, (s+1)*ways), LRU
+        # first / MRU last; _fill[s] slots are occupied from the base.
+        self._tags: List[int] = [_EMPTY] * (self.num_sets * ways)
+        self._fill: List[int] = [0] * self.num_sets
         self.stats = CacheStats()
+        # Address of the line evicted by the most recent access(), or
+        # None. Initialised here, not lazily inside access(), so it is
+        # safe to inspect a cache that has never been touched.
+        self.last_evicted: Optional[int] = None
 
     @property
     def capacity_lines(self) -> int:
@@ -77,12 +117,19 @@ class SetAssociativeCache:
         return self.num_sets * self.ways
 
     def _set_index(self, line: int) -> int:
-        return (line // self.line_bytes) & (self.num_sets - 1)
+        return (line // self.line_bytes) & self._set_mask
 
     def contains(self, addr: int) -> bool:
         """Whether the line holding ``addr`` is resident (no LRU update)."""
-        line = line_address(addr, self.line_bytes)
-        return line in self._sets.get(self._set_index(line), ())
+        line_bytes = self.line_bytes
+        line = addr - addr % line_bytes
+        index = (line // line_bytes) & self._set_mask
+        base = index * self.ways
+        tags = self._tags
+        for slot in range(base, base + self._fill[index]):
+            if tags[slot] == line:
+                return True
+        return False
 
     def access(self, addr: int) -> bool:
         """Touch ``addr``: returns True on hit; on miss, fills the line.
@@ -90,39 +137,81 @@ class SetAssociativeCache:
         A miss evicts the LRU line of the set if the set is full; the
         evicted line address is recorded in :attr:`last_evicted`.
         """
-        line = line_address(addr, self.line_bytes)
-        index = self._set_index(line)
-        ways = self._sets.setdefault(index, [])
-        self.last_evicted: Optional[int] = None
-        if line in ways:
-            ways.remove(line)
-            ways.append(line)
-            self.stats.hits += 1
-            return True
-        self.stats.misses += 1
-        if len(ways) >= self.ways:
-            self.last_evicted = ways.pop(0)
-            self.stats.evictions += 1
-        ways.append(line)
+        line_bytes = self.line_bytes
+        line = addr - addr % line_bytes
+        index = (line // line_bytes) & self._set_mask
+        ways = self.ways
+        base = index * ways
+        tags = self._tags
+        fill = self._fill
+        n = fill[index]
+        self.last_evicted = None
+        stats = self.stats
+        if n:
+            top = base + n - 1
+            if tags[top] == line:
+                # Already MRU: nothing to rotate.
+                stats.hits += 1
+                return True
+            slot = base
+            while slot < top:
+                if tags[slot] == line:
+                    # Hit mid-set: rotate [slot..top] left one place so
+                    # the line lands in the MRU slot — same reordering
+                    # as the reference's remove + append.
+                    while slot < top:
+                        tags[slot] = tags[slot + 1]
+                        slot += 1
+                    tags[top] = line
+                    stats.hits += 1
+                    return True
+                slot += 1
+        stats.misses += 1
+        if n >= ways:
+            self.last_evicted = tags[base]
+            stats.evictions += 1
+            slot = base
+            top = base + ways - 1
+            while slot < top:
+                tags[slot] = tags[slot + 1]
+                slot += 1
+            tags[top] = line
+            return False
+        tags[base + n] = line
+        fill[index] = n + 1
         return False
 
     def invalidate(self, addr: int) -> bool:
         """Drop the line holding ``addr``; returns whether it was present."""
-        line = line_address(addr, self.line_bytes)
-        ways = self._sets.get(self._set_index(line))
-        if ways and line in ways:
-            ways.remove(line)
-            self.stats.invalidations += 1
-            return True
+        line_bytes = self.line_bytes
+        line = addr - addr % line_bytes
+        index = (line // line_bytes) & self._set_mask
+        base = index * self.ways
+        tags = self._tags
+        n = self._fill[index]
+        top = base + n - 1
+        slot = base
+        while slot <= top:
+            if tags[slot] == line:
+                # Close the gap, preserving LRU order of the rest.
+                while slot < top:
+                    tags[slot] = tags[slot + 1]
+                    slot += 1
+                tags[top] = _EMPTY
+                self._fill[index] = n - 1
+                self.stats.invalidations += 1
+                return True
+            slot += 1
         return False
 
     def resident_lines(self) -> int:
         """Number of lines currently resident."""
-        return sum(len(ways) for ways in self._sets.values())
+        return sum(self._fill)
 
     def flush(self) -> None:
         """Empty the cache (stats preserved)."""
-        self._sets.clear()
+        self._tags = [_EMPTY] * (self.num_sets * self.ways)
+        self._fill = [0] * self.num_sets
 
 
 @dataclass

@@ -183,14 +183,14 @@ def empty_poll_cost_curve(
         hierarchy = MemoryHierarchy(cfg)
         base = 0x1000_0000
         addrs = [base + i * CACHE_LINE_BYTES for i in range(count)]
+        # One batched call per polling round (identical results to
+        # per-address hierarchy.read(0, addr) — see access_stream).
         for _ in range(warmup_rounds):
-            for addr in addrs:
-                hierarchy.read(0, addr)
+            hierarchy.access_stream(0, addrs)
         total = 0
         samples = 0
         for _ in range(measure_rounds):
-            for addr in addrs:
-                result = hierarchy.read(0, addr)
+            for result in hierarchy.access_stream(0, addrs):
                 latency = result.latency
                 if result.level == "LLC" and llc_doorbell_resident_fraction < 1.0:
                     # Expected latency when some LLC refs spill to DRAM.

@@ -5,20 +5,35 @@ resident, with LRU capacity pressure) with the MESI directory (who may
 read/write what). Every access returns a latency in cycles; the fast SDP
 simulation does not call this per-access but uses cost curves derived
 from it (:mod:`repro.mem.costmodel`).
+
+Fast-path layout
+----------------
+:meth:`MemoryHierarchy.access_stream` batches many accesses by one core
+into a single Python call — the structural doorbell scan and the
+cost-curve derivation both issue one call per sweep instead of ~30
+Python-level calls per poll. The steady-state polling case (directory
+hit + line already MRU in both its L1 set and the LLC set) is recognised
+with non-mutating probes and committed inline: two stat increments and
+one interned :class:`AccessResult` append, nothing else. Anything less
+common falls back to the general :meth:`read`/:meth:`write` path
+*before* any state is touched, so the observable sequence of results,
+stats, evictions and snoops is bit-identical to issuing the accesses one
+by one (enforced by ``tests/test_mem_fastpath_differential.py`` against
+:class:`repro.mem._reference.ReferenceMemoryHierarchy`).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, List, Optional
+from typing import Callable, List, Optional, Sequence
 
-from repro.mem.address import CACHE_LINE_BYTES, line_address
 from repro.mem.cache import CacheConfig, SetAssociativeCache
 from repro.mem.coherence import (
     AccessResult,
     Directory,
     LatencyConfig,
     SnoopCallback,
+    _result,
 )
 
 
@@ -44,6 +59,8 @@ class MemoryHierarchy:
     (Table I: "1 MB per core"); the directory is co-located with it.
     """
 
+    __slots__ = ("config", "l1s", "llc", "directory", "_line_bytes", "_r_llc_refill")
+
     def __init__(self, config: Optional[MemConfig] = None):
         self.config = config or MemConfig()
         cfg = self.config
@@ -58,6 +75,9 @@ class MemoryHierarchy:
         rounded_sets = 1 << (sets - 1).bit_length()
         self.llc = SetAssociativeCache(rounded_sets * ways * line, ways, line, "llc")
         self.directory = Directory(cfg.num_cores, cfg.latencies)
+        self._line_bytes = line
+        # Interned "permission hit but structurally evicted" refill result.
+        self._r_llc_refill = _result(cfg.latencies.llc_hit, "LLC", False, 0)
 
     # -- snoop passthrough -------------------------------------------------
 
@@ -76,10 +96,11 @@ class MemoryHierarchy:
         return self._access(core, addr, is_write=True)
 
     def _access(self, core: int, addr: int, is_write: bool) -> AccessResult:
-        line = line_address(addr, self.config.l1.line_bytes)
+        line = addr - addr % self._line_bytes
         l1 = self.l1s[core]
+        llc = self.llc
         structurally_present = l1.contains(line)
-        in_llc = self.llc.contains(line)
+        in_llc = llc.contains(line)
         if is_write:
             result = self.directory.write(core, line, in_llc)
         else:
@@ -87,21 +108,174 @@ class MemoryHierarchy:
         if result.hit and not structurally_present:
             # Permission said hit but the line was evicted for capacity:
             # treat as an LLC refill (the directory still lists us).
-            result = AccessResult(
-                latency=self.config.latencies.llc_hit,
-                level="LLC",
-                hit=False,
-                invalidated=result.invalidated,
-            )
+            if result.invalidated:
+                result = _result(
+                    self.config.latencies.llc_hit, "LLC", False, result.invalidated
+                )
+            else:
+                result = self._r_llc_refill
         # Maintain structural residency (and propagate capacity evictions
         # to the directory so state stays consistent).
         l1.access(line)
         if l1.last_evicted is not None:
             self.directory.evict(core, l1.last_evicted)
-        self.llc.access(line)
+        llc.access(line)
         if result.invalidated:
             self._drop_remote_copies(core, line)
         return result
+
+    def access_stream(
+        self,
+        core: int,
+        addrs: Sequence[int],
+        write: bool = False,
+        cycle_budget: Optional[int] = None,
+    ) -> List[AccessResult]:
+        """Issue ``addrs`` for ``core`` in order; one call, many accesses.
+
+        Equivalent — result-for-result and state-for-state — to calling
+        :meth:`read` (or :meth:`write`) once per address. Reads that the
+        probes prove are steady-state hits (directory permission hit and
+        the line already MRU in both its L1 set and LLC set) are
+        committed inline; every other access takes the general path
+        untouched. Hit counters for a run of consecutive fast-path polls
+        are folded in at the run's end — no callback can execute inside
+        such a run, so the deferral is unobservable (any fallback access,
+        which may fire snoop callbacks, sees fully up-to-date counters).
+
+        When ``cycle_budget`` is given, the stream stops early — after
+        the access whose latency makes the cumulative total reach the
+        budget — and returns the results so far. At least one access is
+        always issued. This lets callers with a time horizon issue one
+        call for "as many accesses as provably fit" without knowing the
+        individual latencies in advance.
+        """
+        l1 = self.l1s[core]
+        results: List[AccessResult] = []
+        if write:
+            access_write = self.write
+            for addr in addrs:
+                result = access_write(core, addr)
+                results.append(result)
+                if cycle_budget is not None:
+                    cycle_budget -= result.latency
+                    if cycle_budget <= 0:
+                        break
+            return results
+        append = results.append
+        read = self.read
+        line_bytes = self._line_bytes
+        llc = self.llc
+        directory = self.directory
+        dir_lines = directory._lines
+        r_l1_hit = directory._r_l1_hit
+        l1_lat = r_l1_hit.latency
+        l1_tags = l1._tags
+        l1_fill = l1._fill
+        l1_mask = l1._set_mask
+        l1_ways = l1.ways
+        llc_tags = llc._tags
+        llc_fill = llc._fill
+        llc_mask = llc._set_mask
+        llc_ways = llc.ways
+        l1_stats = l1.stats
+        llc_stats = llc.stats
+        budgeted = cycle_budget is not None
+        acc = 0
+        pending = 0  # deferred fast-path hit count
+        fast_tail = False  # whether the latest access took the fast path
+        for addr in addrs:
+            line = addr - addr % line_bytes
+            line_no = line // line_bytes
+            # Non-mutating probes first; fall back before touching state.
+            entry = dir_lines.get(line)
+            if entry is not None and (entry[0] == core or core in entry[2]):
+                set_idx = line_no & l1_mask
+                n = l1_fill[set_idx]
+                if n and l1_tags[set_idx * l1_ways + n - 1] == line:
+                    set_idx = line_no & llc_mask
+                    n = llc_fill[set_idx]
+                    if n and llc_tags[set_idx * llc_ways + n - 1] == line:
+                        # Steady-state poll: both caches hit with the
+                        # line already MRU.
+                        pending += 1
+                        fast_tail = True
+                        append(r_l1_hit)
+                        if budgeted:
+                            acc += l1_lat
+                            if acc >= cycle_budget:
+                                break
+                        continue
+            if pending:
+                l1_stats.hits += pending
+                llc_stats.hits += pending
+                pending = 0
+            fast_tail = False
+            result = read(core, addr)
+            append(result)
+            if budgeted:
+                acc += result.latency
+                if acc >= cycle_budget:
+                    break
+        if pending:
+            l1_stats.hits += pending
+            llc_stats.hits += pending
+        if fast_tail:
+            l1.last_evicted = None
+            llc.last_evicted = None
+        return results
+
+    def all_steady_reads(self, core: int, addrs: Sequence[int]) -> bool:
+        """Non-mutating: would every read in ``addrs`` take the fast path?
+
+        True iff each address holds a directory permission hit for
+        ``core`` with the line MRU in both its L1 set and its LLC set —
+        i.e. reading it would change no model state beyond the L1/LLC
+        hit counters. Because the fast path mutates nothing the probes
+        depend on, a True verdict stays valid for any number of repeated
+        reads of these addresses (until some *other* access intervenes);
+        :meth:`commit_steady_reads` then folds such reads in wholesale.
+        """
+        l1 = self.l1s[core]
+        line_bytes = self._line_bytes
+        llc = self.llc
+        dir_lines = self.directory._lines
+        l1_tags = l1._tags
+        l1_fill = l1._fill
+        l1_mask = l1._set_mask
+        l1_ways = l1.ways
+        llc_tags = llc._tags
+        llc_fill = llc._fill
+        llc_mask = llc._set_mask
+        llc_ways = llc.ways
+        for addr in addrs:
+            line = addr - addr % line_bytes
+            line_no = line // line_bytes
+            entry = dir_lines.get(line)
+            if entry is None or (entry[0] != core and core not in entry[2]):
+                return False
+            set_idx = line_no & l1_mask
+            n = l1_fill[set_idx]
+            if not n or l1_tags[set_idx * l1_ways + n - 1] != line:
+                return False
+            set_idx = line_no & llc_mask
+            n = llc_fill[set_idx]
+            if not n or llc_tags[set_idx * llc_ways + n - 1] != line:
+                return False
+        return True
+
+    def commit_steady_reads(self, core: int, count: int) -> None:
+        """Fold in ``count`` reads proven fast-path by :meth:`all_steady_reads`.
+
+        State-identical to issuing them individually: each such read
+        increments the L1 and LLC hit counters and leaves
+        ``last_evicted`` cleared; nothing else changes.
+        """
+        l1 = self.l1s[core]
+        l1.stats.hits += count
+        self.llc.stats.hits += count
+        l1.last_evicted = None
+        self.llc.last_evicted = None
 
     def _drop_remote_copies(self, writer: int, line: int) -> None:
         for core, l1 in enumerate(self.l1s):

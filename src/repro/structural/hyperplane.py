@@ -28,6 +28,15 @@ from repro.structural.machine import StructuralMachine
 class StructuralHyperPlane:
     """Monitoring set + ready set wired to the structural directory."""
 
+    __slots__ = (
+        "machine",
+        "monitoring",
+        "ready_set",
+        "_tag_of_qid",
+        "_halted",
+        "spurious_activations",
+    )
+
     def __init__(self, machine: StructuralMachine):
         self.machine = machine
         capacity = max(64, machine.num_queues * 2)
@@ -105,6 +114,16 @@ class StructuralHyperPlane:
 
 class StructuralHyperPlaneCore:
     """A QWAIT-driven consumer on the structural machine."""
+
+    __slots__ = (
+        "machine",
+        "accelerator",
+        "core",
+        "activity",
+        "spurious_filtered",
+        "servicing",
+        "process",
+    )
 
     def __init__(
         self,

@@ -90,6 +90,8 @@ class StructuralMachine:
             else:
                 self.ring_meta_addr[qid] = self.allocator.allocate(8)
             self.slot_base_addr[qid] = self.allocator.allocate(64 * CACHE_LINE_BYTES)
+        # Doorbell addresses indexed by qid, for batched polling scans.
+        self.doorbell_addrs: List[int] = [db.address for db in self.doorbells]
 
         self.metrics = RunMetrics(
             latency=LatencyRecorder(),
@@ -187,6 +189,30 @@ class StructuralMachine:
     def read_doorbell(self, core: int, qid: int) -> int:
         """Cycles for ``core`` to read the queue's doorbell word."""
         return self.hierarchy.read(core, self.doorbells[qid].address).latency
+
+    def read_doorbell_stream(self, core: int, addrs, cycle_budget=None) -> List[int]:
+        """Cycles for ``core`` to read each doorbell address in ``addrs``.
+
+        Equivalent to :meth:`read_doorbell` once per address (same
+        hierarchy state and latencies), batched into a single
+        :meth:`MemoryHierarchy.access_stream` call; ``cycle_budget``
+        passes through (the stream may stop early, never reading more
+        than the budget plus one access' worth of cycles).
+        """
+        return [
+            result.latency
+            for result in self.hierarchy.access_stream(core, addrs, cycle_budget=cycle_budget)
+        ]
+
+    def doorbells_steady(self, core: int) -> bool:
+        """Whether every doorbell read by ``core`` would be a steady-state
+        L1-MRU hit (see :meth:`MemoryHierarchy.all_steady_reads`)."""
+        return self.hierarchy.all_steady_reads(core, self.doorbell_addrs)
+
+    def charge_steady_doorbell_reads(self, core: int, count: int) -> None:
+        """Fold in ``count`` doorbell reads proven steady by
+        :meth:`doorbells_steady` (state-identical to issuing them)."""
+        self.hierarchy.commit_steady_reads(core, count)
 
     def dequeue_memory_cycles(self, core: int, qid: int) -> int:
         """Cycles for the dequeue's memory traffic: doorbell decrement

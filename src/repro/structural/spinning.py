@@ -12,16 +12,16 @@ one event per ~tens of cycles of simulated time — the event loop ends up
 simulating the *waiting*, which is exactly the pathology the fast model
 avoids with analytic fast-forward. The core below keeps the
 one-real-read-per-poll contract but batches consecutive empty polls into
-a single scheduler event: it polls in a tight Python loop until either a
-queue turns up work, the accumulated time reaches the next *foreign*
-pending event (``sim.peek()`` — producer wake-ups, other cores), or a
-batch cap trips, then sleeps once for the whole span.
+a single scheduler event: it polls until either a queue turns up work,
+the accumulated time reaches the next *foreign* pending event
+(``sim.peek()`` — producer wake-ups, other cores), or a batch cap trips,
+then sleeps once for the whole span.
 
 This is a pure event-count optimisation, bit-identical by construction:
 
-- every poll still performs its real :meth:`~StructuralMachine.read_doorbell`
-  hierarchy access, in the same order, so cache/coherence state and
-  latency sums are exactly those of the per-event loop;
+- every poll still performs its real doorbell read through the
+  hierarchy, in the same order, so cache/coherence state and latency
+  sums are exactly those of the per-event loop;
 - the batch never crosses ``sim.peek()``: no foreign event (a producer
   write that would invalidate a doorbell line or enqueue an item) can
   fire inside a batched span, so every in-batch emptiness check sees
@@ -30,6 +30,32 @@ This is a pure event-count optimisation, bit-identical by construction:
   matching the heap's insertion-sequence order);
 - the found-work path is unbatched: the dequeue happens after a resume
   at the same simulated time as before.
+
+Chunked doorbell reads
+----------------------
+Within one batch, queue emptiness is frozen (no yields, so no foreign
+events and no dequeues), which means the poll-by-poll break decisions
+are *predictable* up to timing: the scan can only stop at the first
+non-empty queue, at the batch-poll cap, or once accumulated time crosses
+the horizon/run bound. The loop exploits this by issuing doorbell reads
+through :meth:`StructuralMachine.read_doorbell_stream` (one Python call
+→ :meth:`MemoryHierarchy.access_stream`) in chunks sized so that only a
+chunk's *last* poll can possibly be the batch's breaking poll:
+
+- at most ``found - polled`` reads when a non-empty queue lies ``found``
+  polls ahead, so no read past the conclusive one is ever issued;
+- at most ``MAX_BATCH_POLLS - polled`` reads toward the cap;
+- at most ``(limit - t) / max_step - 1`` reads toward the earlier of the
+  horizon and the run bound, where ``max_step`` is the largest latency
+  any single read can charge — a worst-case bound with a full step of
+  slack, so conservatively-float-safe.
+
+Each chunk's results are then consumed with the exact per-poll float
+additions and break checks of the per-event loop (per-latency
+``cycles_to_seconds`` values are memoized — the conversion is a pure
+division), so timestamps, accounting, and the breaking poll are
+bit-identical; the chunking only removes Python call overhead between
+provably non-breaking polls.
 """
 
 from __future__ import annotations
@@ -63,11 +89,21 @@ class StructuralSpinningCore:
         clock = machine.clock
         activity = self.activity
         queues = machine.queues
-        read_doorbell = machine.read_doorbell
         cycles_to_seconds = clock.cycles_to_seconds
         peek = sim.peek
         core = self.core
         n = machine.num_queues
+        addrs = machine.doorbell_addrs
+        inf = float("inf")
+        sec_per_cycle = cycles_to_seconds(1)
+        l1_hit_cycles = machine.hierarchy.config.latencies.l1_hit
+        read_doorbell = machine.read_doorbell
+        # Probing all doorbells for steadiness costs ~n probes; only
+        # worth it when the time room fits at least a couple of sweeps.
+        steady_gate = 2 * n * l1_hit_cycles
+        # Latency -> seconds memo (pure division; keys are the handful
+        # of distinct read latencies the hierarchy can return).
+        sec_of = {}
         while True:
             # -- batched empty-poll scan (see module docstring) --
             # Inside this callback our own resume is off the heap, so
@@ -78,28 +114,129 @@ class StructuralSpinningCore:
             # the batch resume lands on the bit-identical timestamp.
             horizon = peek()
             bound = sim.run_until
+            limit = horizon if horizon < bound else bound
             t = sim.now
             acc_cycles = 0
             batch_polls = 0
+            pos = self.pos
+            # Emptiness is frozen until the yield below: find how many
+            # polls ahead (1-based, cyclic from pos) the first non-empty
+            # queue lies, if any.
+            found = 0
+            for i in range(n):
+                if not queues[pos + i - n if pos + i >= n else pos + i].is_empty():
+                    found = i + 1
+                    break
+            cycles = 0
+            qid = pos
             while True:
-                qid = self.pos
-                self.pos = (self.pos + 1) % n
-                # The poll: a real read of the doorbell line.
-                cycles = read_doorbell(core, qid)
-                acc_cycles += cycles
-                batch_polls += 1
-                t = t + cycles_to_seconds(cycles)
-                if not queues[qid].is_empty():
-                    # Work can only be *added* before our resume, so a
-                    # non-empty observation is conclusive even at the
-                    # horizon; dequeue after sleeping out this poll.
+                # Time room until the batch must end, in cycles (None =
+                # unbounded). Decides which scan gear to use; the gears
+                # differ only in Python overhead, never in behaviour.
+                if limit < inf:
+                    room = limit - t
+                    budget = int(room / sec_per_cycle) - 64 if room > 0.0 else 0
+                else:
+                    budget = None
+                if budget is not None and budget < 8:
+                    # Tiny room (multi-consumer ping-pong: the other
+                    # core's resume is only a poll or two away): a
+                    # direct single read beats any batching machinery.
+                    cycles = read_doorbell(core, pos)
+                    qid = pos
+                    pos = pos + 1
+                    if pos == n:
+                        pos = 0
+                    acc_cycles += cycles
+                    batch_polls += 1
+                    s = sec_of.get(cycles)
+                    if s is None:
+                        s = sec_of[cycles] = cycles_to_seconds(cycles)
+                    t = t + s
+                    if batch_polls == found:
+                        break
+                    if t >= horizon or t > bound or batch_polls >= MAX_BATCH_POLLS:
+                        break
+                    continue
+                if (
+                    not found
+                    and (budget is None or budget > steady_gate)
+                    and machine.doorbells_steady(core)
+                ):
+                    # Every doorbell is a steady-state L1-MRU hit and
+                    # every queue is empty: each remaining poll of this
+                    # batch provably charges l1_hit cycles and changes
+                    # nothing but hit counters (the probes' verdict
+                    # cannot be invalidated by the polls themselves).
+                    # Replay only the per-event loop's exact float time
+                    # chain and break checks; commit the reads in bulk.
+                    cycles = l1_hit_cycles
+                    s = sec_of.get(cycles)
+                    if s is None:
+                        s = sec_of[cycles] = cycles_to_seconds(cycles)
+                    remaining = MAX_BATCH_POLLS - batch_polls
+                    done = remaining  # cap poll breaks if time never does
+                    for i in range(1, remaining + 1):
+                        t = t + s
+                        if t >= horizon or t > bound:
+                            done = i
+                            break
+                    batch_polls += done
+                    acc_cycles += cycles * done
+                    machine.charge_steady_doorbell_reads(core, done)
+                    qid = (pos + done - 1) % n
+                    pos = (pos + done) % n
                     break
-                if t >= horizon or t > bound or batch_polls >= MAX_BATCH_POLLS:
-                    # The emptiness check for this poll lands on or past
-                    # the horizon (or past the point where this run()
-                    # stops) — only the post-resume check (below, after
-                    # foreign events have fired) is authoritative.
+                # Chunk length: reads past the first non-empty queue or
+                # the poll cap are never issued; reads toward the time
+                # horizon are cut off by the cycle budget inside the
+                # stream itself (conservatively, with a 64-cycle slack
+                # that dwarfs any float-accumulation error, so no read
+                # the per-event loop would not have issued can happen).
+                k = MAX_BATCH_POLLS - batch_polls
+                if found and found - batch_polls < k:
+                    k = found - batch_polls
+                if k < 1:
+                    k = 1
+                if k == 1:
+                    chunk = (addrs[pos],)
+                else:
+                    rot = addrs[pos:] + addrs[:pos]
+                    full, rem = divmod(k, n)
+                    chunk = rot * full + rot[:rem] if full else rot[:rem]
+                broke = False
+                for cycles in machine.read_doorbell_stream(core, chunk, budget):
+                    qid = pos
+                    pos = pos + 1
+                    if pos == n:
+                        pos = 0
+                    acc_cycles += cycles
+                    batch_polls += 1
+                    s = sec_of.get(cycles)
+                    if s is None:
+                        s = sec_of[cycles] = cycles_to_seconds(cycles)
+                    t = t + s
+                    # The poll just read the doorbell; same checks, same
+                    # order as the per-event loop. Emptiness is frozen,
+                    # so "this poll's queue is non-empty" is exactly
+                    # "this is the found-th poll of the batch".
+                    if batch_polls == found:
+                        # Work can only be *added* before our resume, so
+                        # a non-empty observation is conclusive even at
+                        # the horizon; dequeue after sleeping this poll.
+                        broke = True
+                        break
+                    if t >= horizon or t > bound or batch_polls >= MAX_BATCH_POLLS:
+                        # The emptiness check for this poll lands on or
+                        # past the horizon (or past the point where this
+                        # run() stops) — only the post-resume check
+                        # (below, after foreign events have fired) is
+                        # authoritative.
+                        broke = True
+                        break
+                if broke:
                     break
+            self.pos = pos
             # Per-poll accounting lands in the callback *after* each
             # poll's sleep, so the final poll of the batch belongs to
             # the resume below (which the run() bound may leave pending

@@ -112,3 +112,12 @@ def test_property_hits_plus_misses_equals_accesses(addresses):
         cache.access(addr)
     assert cache.stats.accesses == len(addresses)
     assert cache.stats.hits + cache.stats.misses == len(addresses)
+
+
+def test_last_evicted_readable_before_any_access():
+    # Regression: last_evicted used to be created lazily inside
+    # access(), so inspecting a fresh cache raised AttributeError.
+    cache = make_cache()
+    assert cache.last_evicted is None
+    cache.access(0x100)
+    assert cache.last_evicted is None  # first fill evicts nothing

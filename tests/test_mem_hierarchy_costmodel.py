@@ -130,3 +130,16 @@ def test_cost_ordering_is_physical():
     model = derive_cost_model()
     assert model.l1_hit < model.llc_hit < model.dram
     assert model.llc_hit < model.remote_transfer < model.dram
+
+
+def test_llc_set_count_rounds_up_for_non_power_of_two_cores():
+    # 3 cores x 1 MB = 3 MB aggregate, which is not a power-of-two set
+    # count; real indexed caches need one, so the LLC rounds up to the
+    # next power of two (4 MB of sets).
+    hierarchy = MemoryHierarchy(MemConfig(num_cores=3))
+    llc = hierarchy.llc
+    assert llc.num_sets & (llc.num_sets - 1) == 0
+    assert llc.size_bytes == 4 * 1024 * 1024
+    # Power-of-two core counts keep the exact aggregate capacity.
+    assert MemoryHierarchy(MemConfig(num_cores=4)).llc.size_bytes == 4 * 1024 * 1024
+    assert MemoryHierarchy(MemConfig(num_cores=1)).llc.size_bytes == 1 * 1024 * 1024
