@@ -365,6 +365,78 @@ def structural_spin2c_fs(quick: bool) -> Dict[str, float]:
     }
 
 
+def vec_fig8_grid(quick: bool) -> Dict[str, float]:
+    """Sweep-point throughput: the vec batch engine vs. per-point event
+    runs on the Fig. 8 fast grid (48 closed-loop points).
+
+    Rates are *sweep points per second* (``events`` = grid points), the
+    unit that matters for design-space exploration. The vec leg batches
+    the whole grid through one struct-of-arrays pass; the event leg
+    replays a slice of the same grid (the full grid when not quick)
+    through the exact simulator at the fig8 fast-mode completions
+    budget. ``speedup_vs_event`` is the points/sec ratio — the
+    committed baseline (benchmarks/perf/BENCH_vec.json) pins it at
+    >= 50x. Skipped (zero rate, ``skipped`` reason) without numpy.
+    """
+    from repro.vec import NUMPY_INSTALL_HINT, numpy_available
+
+    if not numpy_available():
+        return {
+            "wall_seconds": 0.0,
+            "events": 0,
+            "events_per_sec": 0.0,
+            "skipped": f"numpy not installed; {NUMPY_INSTALL_HINT}",
+        }
+    from repro.core.runner import run_hyperplane
+    from repro.sdp.config import SDPConfig
+    from repro.sdp.runner import run_spinning
+    from repro.vec.arrays import SweepPoint, compile_points
+    from repro.vec.backend import peak_grid
+
+    grid = [
+        (workload, shape, count, mechanism)
+        for workload in ("packet-encapsulation", "crypto-forwarding")
+        for shape in ("FB", "PC", "NC", "SQ")
+        for count in (1, 200, 1000)
+        for mechanism in ("spinning", "hyperplane")
+    ]
+
+    t0 = time.perf_counter()
+    points = [
+        SweepPoint(workload, shape, count, mechanism=mechanism)
+        for (workload, shape, count, mechanism) in grid
+    ]
+    compiled = compile_points(points)
+    mtps = peak_grid(compiled, seed=42)
+    vec_wall = time.perf_counter() - t0
+
+    event_grid = grid[:: len(grid) // 6] if quick else grid
+    target = 1500
+    t0 = time.perf_counter()
+    for workload, shape, count, mechanism in event_grid:
+        runner = run_spinning if mechanism == "spinning" else run_hyperplane
+        runner(
+            SDPConfig(num_queues=count, workload=workload, shape=shape, seed=42),
+            closed_loop=True,
+            target_completions=target,
+            max_seconds=3.0,
+        )
+    event_wall = time.perf_counter() - t0
+
+    vec_rate = len(grid) / vec_wall if vec_wall > 0 else 0.0
+    event_rate = len(event_grid) / event_wall if event_wall > 0 else 0.0
+    return {
+        "wall_seconds": vec_wall,
+        "events": len(grid),
+        "events_per_sec": vec_rate,
+        "event_points": len(event_grid),
+        "event_wall_seconds": event_wall,
+        "event_points_per_sec": event_rate,
+        "speedup_vs_event": vec_rate / event_rate if event_rate > 0 else 0.0,
+        "peak_mtps": float(mtps.max()),
+    }
+
+
 def costmodel_derive(quick: bool) -> Dict[str, float]:
     """Empty-poll cost-curve derivation: hundreds of thousands of
     structural accesses per curve, the price of building a data-plane
@@ -429,6 +501,11 @@ SCENARIOS: Dict[str, Scenario] = {
             "structural_spin2c_fs",
             "2 spinning consumers + doorbell false sharing (general paths)",
             structural_spin2c_fs,
+        ),
+        Scenario(
+            "vec_fig8_grid",
+            "vec batch engine vs event path, points/sec on the Fig. 8 grid",
+            vec_fig8_grid,
         ),
         Scenario(
             "costmodel_derive",
@@ -504,6 +581,9 @@ def compare_reports(
     for sid, measured in current.get("scenarios", {}).items():
         base = baseline.get("scenarios", {}).get(sid)
         if base is None:
+            continue
+        # A skipped leg (e.g. vec without numpy) carries no rate signal.
+        if measured.get("skipped") or base.get("skipped"):
             continue
         base_rate = base.get("events_per_sec", 0.0)
         rate = measured.get("events_per_sec", 0.0)

@@ -16,6 +16,7 @@ import os
 import sys
 import time
 
+from repro.experiments.base import BACKENDS
 from repro.experiments.registry import REGISTRY, run_experiment
 
 
@@ -40,6 +41,12 @@ def main(argv=None) -> int:
         type=int,
         default=0,
         help="root seed threaded into every simulation (default 0)",
+    )
+    parser.add_argument(
+        "--backend",
+        default="event",
+        help=f"execution backend, one of {list(BACKENDS)} (default "
+        "'event'; vec/surrogate need numpy — see docs/vectorized.md)",
     )
     parser.add_argument(
         "--json",
@@ -74,9 +81,19 @@ def main(argv=None) -> int:
 
             metrics = MetricsRegistry(enabled=True)
         started = time.time()
-        result = run_experiment(
-            experiment_id, fast=not args.full, seed=args.seed, metrics=metrics
-        )
+        try:
+            result = run_experiment(
+                experiment_id,
+                fast=not args.full,
+                seed=args.seed,
+                metrics=metrics,
+                backend=args.backend,
+            )
+        except ValueError as exc:
+            # Unknown experiment / backend / unsupported combination:
+            # the message already lists the valid choices.
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
         elapsed = time.time() - started
         print(result.format_table())
         print(f"({experiment_id} finished in {elapsed:.1f} s)")

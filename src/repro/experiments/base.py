@@ -28,6 +28,35 @@ from repro.obs.manifest import RunManifest
 # (pre-observability archives); 2 = adds "schema" and "manifest".
 RESULT_SCHEMA_VERSION = 2
 
+# Execution backends for the sweep-style experiments:
+#   event     - the exact discrete-event simulators (the ground truth);
+#   vec       - the numpy batch engine (statistically faithful within
+#               the tolerances documented in repro.vec.oracle);
+#   surrogate - analytic predictors fitted on vec output, spot-checked
+#               against the exact simulator.
+BACKENDS = ("event", "vec", "surrogate")
+
+
+def validate_backend(backend: str) -> str:
+    """Validate a config/CLI backend choice with actionable errors.
+
+    Unknown names list the accepted choices; ``vec``/``surrogate``
+    without numpy installed explain the optional dependency instead of
+    failing later with a bare ImportError deep in the engine.
+    """
+    if backend not in BACKENDS:
+        raise ValueError(
+            f"unknown backend {backend!r}; expected one of {list(BACKENDS)}"
+        )
+    if backend != "event":
+        from repro.vec import NUMPY_INSTALL_HINT, numpy_available
+
+        if not numpy_available():
+            raise ValueError(
+                f"backend={backend!r} is unavailable: {NUMPY_INSTALL_HINT}"
+            )
+    return backend
+
 
 @dataclass(frozen=True)
 class ExperimentConfig:
@@ -99,6 +128,9 @@ class ExperimentResult:
     row); ``notes`` carries the headline comparisons asserted against
     the paper; ``manifest`` (when run through the registry) records the
     provenance — config hash, seed, version, wall time, event count.
+    ``vec_info`` is set by experiments that ran on a non-event backend
+    (see :func:`repro.vec.backend.vec_provenance`); the registry folds
+    it into the manifest, so it is not serialised separately.
     """
 
     experiment_id: str
@@ -106,6 +138,7 @@ class ExperimentResult:
     rows: List[Dict[str, Any]] = field(default_factory=list)
     notes: List[str] = field(default_factory=list)
     manifest: Optional[RunManifest] = None
+    vec_info: Optional[Dict[str, Any]] = None
 
     @property
     def columns(self) -> List[str]:

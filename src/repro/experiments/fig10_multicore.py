@@ -20,6 +20,7 @@ from repro.experiments.base import (
     ExperimentResult,
     deprecated_runner,
     run_with_tracing,
+    validate_backend,
 )
 from repro.sdp.config import SDPConfig
 from repro.sdp.runner import run_spinning
@@ -64,40 +65,117 @@ class Fig10Config(ExperimentConfig):
 
     ``trace`` runs the panel under a causal tracer (repro.obs.trace)
     and appends the per-mechanism latency decomposition to the notes.
+    ``backend`` selects event (exact) / vec / surrogate execution; see
+    docs/vectorized.md for the tolerance contract.
     """
 
     panel: str = "a"
     trace: bool = False
+    backend: str = "event"
 
     def __post_init__(self):
         if self.panel not in ("a", "b"):
             raise ValueError(f"unknown Fig. 10 panel {self.panel!r}; use a/b")
+        validate_backend(self.backend)
 
 
 def run(config: Optional[Fig10Config] = None) -> ExperimentResult:
     """Reproduce one Fig. 10 panel."""
     config = config or Fig10Config()
     panel = {"a": _fig10a, "b": _fig10b}[config.panel]
-    return run_with_tracing(config, lambda: panel(config.fast, config.seed))
+    return run_with_tracing(config, lambda: panel(config))
 
 
-def _fig10a(fast: bool, seed: int) -> ExperimentResult:
+def _vec_latencies(config: Fig10Config, cells, result: ExperimentResult):
+    """(p99_us, mean_us) per cell via the vec / surrogate path.
+
+    ``cells`` is a sequence of (system, shape, cluster_cores, load,
+    imbalance) tuples; one batched engine pass covers them all. The
+    surrogate backend fits a tail predictor on the vec output, predicts
+    the p99 column from the fit (means pass through from vec), and
+    spot-checks against the exact simulator.
+    """
+    from repro.vec.arrays import SweepPoint, compile_points
+    from repro.vec.backend import latency_grid, vec_provenance
+
+    points = [
+        SweepPoint(
+            "packet-encapsulation",
+            shape,
+            NUM_QUEUES,
+            mechanism=system,
+            num_cores=NUM_CORES,
+            cluster_cores=cluster_cores,
+            load=load,
+            imbalance=imbalance,
+        )
+        for (system, shape, cluster_cores, load, imbalance) in cells
+    ]
+    compiled = compile_points(points)
+    res = latency_grid(compiled, seed=config.seed)
+    p99 = res.p99_us
+    oracle = None
+    if config.backend == "surrogate":
+        from repro.vec.surrogate import LatencySurrogate, validate_against_oracle
+
+        surrogate = LatencySurrogate()
+        fit = surrogate.fit(compiled, p99)
+        p99 = surrogate.predict(compiled)
+        oracle = validate_against_oracle(
+            surrogate,
+            compiled,
+            samples=2 if config.fast else 4,
+            seed=config.seed,
+            target_completions=1500 if config.fast else 3000,
+        )
+        result.notes.append(
+            f"surrogate fit over {fit.num_points} points: max training "
+            f"residual {fit.max_rel_error:.1%}; oracle spot-check max "
+            f"error {oracle.max_rel_error:.1%} (tolerance "
+            f"{oracle.tolerance:.0%})"
+        )
+    result.vec_info = vec_provenance(backend=config.backend, oracle=oracle)
+    result.notes.append(
+        f"backend={config.backend}: {len(points)} sweep points batched "
+        "(tolerance contract: repro.vec.oracle; see docs/vectorized.md)"
+    )
+    return [(float(p99[i]), float(res.mean_us[i])) for i in range(len(cells))]
+
+
+def _fig10a(config: Fig10Config) -> ExperimentResult:
     """Fig. 10(a): FB traffic, three organisations per system."""
+    fast, seed = config.fast, config.seed
     loads: Sequence[float] = FAST_LOADS if fast else FULL_LOADS
     completions = 3000 if fast else 8000
     result = ExperimentResult(
         "fig10a", "Fig 10(a): 99% tail latency (us), FB, 4 cores, 400 queues"
     )
-    for load in loads:
-        row = {"load": load}
-        for cluster_cores, label in ((1, "out"), (2, "up2"), (4, "up4")):
-            row[f"spin_{label}"] = _tail(
-                "spinning", "FB", cluster_cores, load, seed, completions
-            )
-            row[f"hp_{label}"] = _tail(
-                "hyperplane", "FB", cluster_cores, load, seed, completions
-            )
-        result.rows.append(row)
+    organisations = ((1, "out"), (2, "up2"), (4, "up4"))
+    if config.backend != "event":
+        cells = [
+            (system, "FB", cluster_cores, load, 0.0)
+            for load in loads
+            for cluster_cores, _label in organisations
+            for system in ("spinning", "hyperplane")
+        ]
+        latencies = iter(_vec_latencies(config, cells, result))
+        for load in loads:
+            row = {"load": load}
+            for _cluster_cores, label in organisations:
+                row[f"spin_{label}"] = next(latencies)[0]
+                row[f"hp_{label}"] = next(latencies)[0]
+            result.rows.append(row)
+    else:
+        for load in loads:
+            row = {"load": load}
+            for cluster_cores, label in organisations:
+                row[f"spin_{label}"] = _tail(
+                    "spinning", "FB", cluster_cores, load, seed, completions
+                )
+                row[f"hp_{label}"] = _tail(
+                    "hyperplane", "FB", cluster_cores, load, seed, completions
+                )
+            result.rows.append(row)
     mid = min(result.rows, key=lambda r: abs(r["load"] - 0.5))
     result.notes.append(
         f"at 50% load: scale-out HyperPlane cuts tail {mid['spin_out'] / mid['hp_out']:.1f}x "
@@ -108,8 +186,9 @@ def _fig10a(fast: bool, seed: int) -> ExperimentResult:
     return result
 
 
-def _fig10b(fast: bool, seed: int) -> ExperimentResult:
+def _fig10b(config: Fig10Config) -> ExperimentResult:
     """Fig. 10(b): PC traffic with 10% static scale-out imbalance."""
+    fast, seed = config.fast, config.seed
     loads: Sequence[float] = FAST_LOADS if fast else FULL_LOADS
     # The imbalance contrast needs more samples than Fig. 10(a): the
     # effect lives in the overloaded cluster's tail.
@@ -117,24 +196,39 @@ def _fig10b(fast: bool, seed: int) -> ExperimentResult:
     result = ExperimentResult(
         "fig10b", "Fig 10(b): 99% tail latency (us), PC, 4 cores, 400 queues"
     )
-    for load in loads:
-        row = {"load": load}
-        cells = {
-            "spin_out": ("spinning", 1, 0.0),
-            "spin_out_imb": ("spinning", 1, 0.10),
-            "spin_up2": ("spinning", 2, 0.0),
-            "hp_out": ("hyperplane", 1, 0.0),
-            "hp_out_imb": ("hyperplane", 1, 0.10),
-            "hp_up2": ("hyperplane", 2, 0.0),
-        }
-        for name, (system, cluster_cores, imbalance) in cells.items():
-            p99, mean = _latency(
-                system, "PC", cluster_cores, load, seed, completions,
-                imbalance=imbalance,
-            )
-            row[name] = p99
-            row[f"{name}_avg"] = mean
-        result.rows.append(row)
+    cells = {
+        "spin_out": ("spinning", 1, 0.0),
+        "spin_out_imb": ("spinning", 1, 0.10),
+        "spin_up2": ("spinning", 2, 0.0),
+        "hp_out": ("hyperplane", 1, 0.0),
+        "hp_out_imb": ("hyperplane", 1, 0.10),
+        "hp_up2": ("hyperplane", 2, 0.0),
+    }
+    if config.backend != "event":
+        flat = [
+            (system, "PC", cluster_cores, load, imbalance)
+            for load in loads
+            for (system, cluster_cores, imbalance) in cells.values()
+        ]
+        latencies = iter(_vec_latencies(config, flat, result))
+        for load in loads:
+            row = {"load": load}
+            for name in cells:
+                p99, mean = next(latencies)
+                row[name] = p99
+                row[f"{name}_avg"] = mean
+            result.rows.append(row)
+    else:
+        for load in loads:
+            row = {"load": load}
+            for name, (system, cluster_cores, imbalance) in cells.items():
+                p99, mean = _latency(
+                    system, "PC", cluster_cores, load, seed, completions,
+                    imbalance=imbalance,
+                )
+                row[name] = p99
+                row[f"{name}_avg"] = mean
+            result.rows.append(row)
     high = max(result.rows, key=lambda r: r["load"])
     result.notes.append(
         "imbalance inflates scale-out latency only (scale-up is immune): at "

@@ -10,7 +10,12 @@ from dataclasses import dataclass
 from typing import Optional, Sequence, Tuple
 
 from repro.core.runner import run_hyperplane
-from repro.experiments.base import ExperimentConfig, ExperimentResult, deprecated_runner
+from repro.experiments.base import (
+    ExperimentConfig,
+    ExperimentResult,
+    deprecated_runner,
+    validate_backend,
+)
 from repro.sdp.config import SDPConfig
 from repro.sdp.runner import run_spinning
 from repro.workloads.service import WORKLOADS
@@ -24,7 +29,17 @@ FULL_COUNTS = (1, 100, 200, 400, 600, 800, 1000)
 
 @dataclass(frozen=True)
 class Fig8Config(ExperimentConfig):
-    """Fig. 8 settings (defaults = paper grid trimmed by ``fast``)."""
+    """Fig. 8 settings (defaults = paper grid trimmed by ``fast``).
+
+    ``backend`` selects the execution engine: ``event`` (exact),
+    ``vec`` (numpy batch engine), or ``surrogate`` (fitted predictor,
+    spot-checked against the exact simulator). See docs/vectorized.md.
+    """
+
+    backend: str = "event"
+
+    def __post_init__(self):
+        validate_backend(self.backend)
 
 
 def peak_point(
@@ -72,9 +87,12 @@ def run(config: Optional[Fig8Config] = None) -> ExperimentResult:
         for shape in SHAPES
         for count in counts
     ]
-    measurements = parallel_map(
-        _peak_point_star, grid, processes=1 if fast else None
-    )
+    if config.backend != "event":
+        measurements = _vec_measurements(config, grid, result)
+    else:
+        measurements = parallel_map(
+            _peak_point_star, grid, processes=1 if fast else None
+        )
     gains = []
     for (workload, shape, count, _seed, _completions), (spin, hyper) in zip(
         grid, measurements
@@ -102,6 +120,52 @@ def run(config: Optional[Fig8Config] = None) -> ExperimentResult:
             f"{geo_mean:.2f}x, mean {arith:.2f}x (paper average: 4.1x)"
         )
     return result
+
+
+def _vec_measurements(config: Fig8Config, grid, result: ExperimentResult):
+    """(spinning, hyperplane) per grid point via the vec / surrogate path.
+
+    ``vec`` runs the batch engine directly; ``surrogate`` fits a
+    throughput surrogate on that output, predicts from the fit, and
+    spot-checks the predictions against the exact simulator — the
+    oracle summary lands in the run manifest via ``result.vec_info``.
+    """
+    from repro.vec.arrays import SweepPoint, compile_points
+    from repro.vec.backend import peak_grid, vec_provenance
+
+    points = [
+        SweepPoint(workload, shape, count, mechanism=mechanism)
+        for (workload, shape, count, _seed, _completions) in grid
+        for mechanism in ("spinning", "hyperplane")
+    ]
+    compiled = compile_points(points)
+    mtps = peak_grid(compiled, seed=config.seed)
+    oracle = None
+    if config.backend == "surrogate":
+        from repro.vec.surrogate import ThroughputSurrogate, validate_against_oracle
+
+        surrogate = ThroughputSurrogate()
+        fit = surrogate.fit(compiled, mtps)
+        mtps = surrogate.predict(compiled)
+        oracle = validate_against_oracle(
+            surrogate,
+            compiled,
+            samples=2 if config.fast else 4,
+            seed=config.seed,
+            target_completions=800 if config.fast else 1500,
+        )
+        result.notes.append(
+            f"surrogate fit over {fit.num_points} points: max training "
+            f"residual {fit.max_rel_error:.1%}; oracle spot-check max "
+            f"error {oracle.max_rel_error:.1%} (tolerance "
+            f"{oracle.tolerance:.0%})"
+        )
+    result.vec_info = vec_provenance(backend=config.backend, oracle=oracle)
+    result.notes.append(
+        f"backend={config.backend}: {len(points)} sweep points batched "
+        "(tolerance contract: repro.vec.oracle; see docs/vectorized.md)"
+    )
+    return [(float(mtps[2 * i]), float(mtps[2 * i + 1])) for i in range(len(grid))]
 
 
 def run_fig8(fast: bool = True, seed: int = 0) -> ExperimentResult:

@@ -11,7 +11,7 @@ with a :class:`~repro.obs.manifest.RunManifest`.
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Any, Callable, Dict, Optional
 
 from repro.experiments import (
@@ -26,7 +26,11 @@ from repro.experiments import (
     headline,
     hwcost,
 )
-from repro.experiments.base import ExperimentConfig, ExperimentResult
+from repro.experiments.base import (
+    ExperimentConfig,
+    ExperimentResult,
+    validate_backend,
+)
 from repro.obs.manifest import RunManifest
 from repro.obs.registry import MetricsRegistry
 from repro.obs.runtime import active_registry
@@ -139,13 +143,28 @@ REGISTRY: Dict[str, ExperimentSpec] = {
 }
 
 
+def backend_capable_experiments() -> list:
+    """Experiment ids whose configs accept a ``backend`` field."""
+    return sorted(
+        experiment_id
+        for experiment_id, spec in REGISTRY.items()
+        if hasattr(spec.config(), "backend")
+    )
+
+
 def run_experiment(
     experiment_id: str,
     fast: bool = True,
     seed: int = 0,
     metrics: Optional[MetricsRegistry] = None,
+    backend: str = "event",
 ) -> ExperimentResult:
     """Run one experiment by id, stamping the result with its manifest.
+
+    ``backend`` selects event / vec / surrogate execution for the
+    experiments that support it (:func:`backend_capable_experiments`);
+    unknown backends and unsupported experiments raise ``ValueError``
+    with the valid choices listed.
 
     When ``metrics`` is an enabled :class:`MetricsRegistry`, it is
     installed as the ambient registry for the duration of the run so
@@ -163,6 +182,15 @@ def run_experiment(
             f"unknown experiment {experiment_id!r}; known: {sorted(REGISTRY)}"
         )
     config = spec.config(fast=fast, seed=seed)
+    if backend != "event":
+        validate_backend(backend)
+        if not hasattr(config, "backend"):
+            raise ValueError(
+                f"experiment {experiment_id!r} does not support "
+                f"backend={backend!r}; backend-capable experiments: "
+                f"{backend_capable_experiments()}"
+            )
+        config = replace(config, backend=backend)
     metrics_enabled = metrics is not None and metrics.enabled
 
     started_at = time.time()
@@ -181,5 +209,7 @@ def run_experiment(
         wall_seconds=wall_seconds,
         sim_events=sim_events,
         metrics_enabled=metrics_enabled,
+        backend=getattr(config, "backend", None),
+        vec=result.vec_info,
     )
     return result

@@ -35,8 +35,14 @@ _REQUIRED_FIELDS: Dict[str, tuple] = {
 }
 
 # Optional fields: absent in manifests written by older builds.
+# ``backend`` names the execution backend ("event" / "vec" /
+# "surrogate"); ``vec`` is the vec-backend provenance record (numpy
+# version, oracle spot-check summary) from
+# :func:`repro.vec.backend.vec_provenance`.
 _OPTIONAL_FIELDS: Dict[str, tuple] = {
     "env_overrides": (dict,),
+    "backend": (str,),
+    "vec": (dict,),
 }
 
 ENV_OVERRIDE_PREFIX = "REPRO_"
@@ -92,6 +98,8 @@ class RunManifest:
     sim_events: int = 0
     metrics_enabled: bool = False
     env_overrides: Dict[str, str] = field(default_factory=dict)
+    backend: Optional[str] = None
+    vec: Optional[Dict[str, Any]] = None
     schema: int = MANIFEST_SCHEMA_VERSION
 
     @classmethod
@@ -105,6 +113,8 @@ class RunManifest:
         sim_events: int = 0,
         metrics_enabled: bool = False,
         environ: Optional[Dict[str, str]] = None,
+        backend: Optional[str] = None,
+        vec: Optional[Dict[str, Any]] = None,
     ) -> "RunManifest":
         """Build a manifest, deriving hash, version, timestamp, and the
         ``REPRO_*`` environment overrides in effect."""
@@ -121,10 +131,18 @@ class RunManifest:
             sim_events=sim_events,
             metrics_enabled=metrics_enabled,
             env_overrides=env_overrides(environ),
+            backend=backend,
+            vec=vec,
         )
 
     def to_dict(self) -> Dict[str, Any]:
-        return asdict(self)
+        # Optional provenance that was not recorded is omitted rather
+        # than serialised as null, so older readers see the old shape.
+        data = asdict(self)
+        for key in ("backend", "vec"):
+            if data.get(key) is None:
+                del data[key]
+        return data
 
     def to_json(self, indent: int = 2) -> str:
         return json.dumps(self.to_dict(), indent=indent, default=str)

@@ -1,0 +1,104 @@
+"""repro.vec: vectorized batch sweep backend + surrogate predictors.
+
+The scalar event loop (repro.sim / repro.sdp) simulates one system at a
+time; this package advances *many independent sweep points
+simultaneously* on numpy struct-of-arrays state — per-queue occupancy,
+next-arrival/next-completion times, and notify-mechanism state (spin
+poll cursors, interrupt pending masks, HyperPlane ready-set membership)
+live in arrays indexed by sweep lane. Cycle costs come from the same
+:class:`repro.mem.costmodel.CostModel` and
+:class:`repro.sdp.locality.LocalityModel` the scalar SDP path uses, so
+the two backends share one cost database and differ only in execution
+strategy.
+
+Contract: the vec backend is *statistically* faithful, not bit-identical
+(contrast PRs 3/5, whose fast paths reproduce the event loop bit for
+bit). Its throughput / tail-latency curves must agree with the event
+backend within the documented tolerances in :mod:`repro.vec.oracle`;
+``validate_against_oracle`` enforces that on demand by re-running the
+exact simulator on a deterministic subsample of grid points. See
+docs/vectorized.md.
+
+numpy is an *optional* dependency (``pip install repro[vec]``). This
+module imports without it; every entry point that needs arrays calls
+:func:`require_numpy` and raises :class:`MissingNumpyError` with an
+install hint when it is absent.
+"""
+
+from __future__ import annotations
+
+try:  # pragma: no cover - exercised via monkeypatching in tests
+    import numpy as _np
+except ImportError:  # pragma: no cover - the no-numpy CI leg covers this
+    _np = None
+
+NUMPY_INSTALL_HINT = (
+    "the repro.vec batch backend needs numpy, which is an optional "
+    "dependency; install it with `pip install numpy` or "
+    "`pip install repro[vec]`. The scalar event backend "
+    "(backend=\"event\") works without it."
+)
+
+
+class MissingNumpyError(ImportError):
+    """numpy is not installed but a vec entry point needs it."""
+
+
+def numpy_available() -> bool:
+    """True when numpy imported successfully at package load."""
+    return _np is not None
+
+
+def numpy_version() -> str:
+    """The numpy version string, or ``"absent"`` (manifest provenance)."""
+    return "absent" if _np is None else _np.__version__
+
+
+def require_numpy():
+    """Return the numpy module or raise :class:`MissingNumpyError`."""
+    if _np is None:
+        raise MissingNumpyError(NUMPY_INSTALL_HINT)
+    return _np
+
+
+__all__ = [
+    "MissingNumpyError",
+    "NUMPY_INSTALL_HINT",
+    "numpy_available",
+    "numpy_version",
+    "require_numpy",
+    # Re-exported lazily below.
+    "SweepPoint",
+    "compile_points",
+    "peak_grid",
+    "latency_grid",
+    "vec_provenance",
+    "ThroughputSurrogate",
+    "LatencySurrogate",
+    "SurrogateValidationError",
+    "OracleReport",
+    "validate_against_oracle",
+]
+
+
+def __getattr__(name: str):
+    """Lazy re-exports so ``import repro.vec`` stays numpy-free."""
+    if name in ("SweepPoint", "compile_points"):
+        from repro.vec import arrays
+
+        return getattr(arrays, name)
+    if name in ("peak_grid", "latency_grid", "vec_provenance"):
+        from repro.vec import backend
+
+        return getattr(backend, name)
+    if name in (
+        "ThroughputSurrogate",
+        "LatencySurrogate",
+        "SurrogateValidationError",
+        "OracleReport",
+        "validate_against_oracle",
+    ):
+        from repro.vec import surrogate
+
+        return getattr(surrogate, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

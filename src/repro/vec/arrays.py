@@ -1,0 +1,333 @@
+"""Sweep points and their struct-of-arrays compilation.
+
+A :class:`SweepPoint` names one simulated system (workload x shape x
+queue count x mechanism x organization x load); :func:`compile_points`
+lowers a batch of them into :class:`CompiledGrid` — flat numpy arrays of
+per-point and per-lane constants that the vectorized engine consumes.
+
+A *lane* is one (point, cluster) pair: clusters are independent queue
+partitions served by disjoint cores (``repro.sdp.organizations``), so
+each becomes its own parallel simulation lane. All cycle costs are
+computed from the exact same sources as the scalar event backend —
+:class:`repro.mem.costmodel.CostModel`,
+:class:`repro.sdp.locality.LocalityModel`,
+:func:`repro.sdp.organizations.plan_clusters`, and the traffic shapes —
+so the two backends cannot drift apart on the cost database.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+from repro.mem.costmodel import READY_SET_SELECT_NS, CostModel, derive_cost_model
+from repro.sdp.interrupts import INTERRUPT_OVERHEAD_CYCLES
+from repro.sdp.locality import POST_TASK_COLD_POLLS, LocalityModel
+from repro.sdp.organizations import plan_clusters
+from repro.traffic.arrivals import load_to_rate
+from repro.traffic.shapes import SHAPES, shape_by_name
+from repro.vec import require_numpy
+from repro.workloads.service import workload_by_name
+
+np = require_numpy()
+
+MECHANISMS: Tuple[str, ...] = ("spinning", "hyperplane", "interrupts")
+MECH_SPINNING, MECH_HYPERPLANE, MECH_INTERRUPTS = range(3)
+_MECH_CODE = {name: code for code, name in enumerate(MECHANISMS)}
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One grid point of a sweep: a fully specified simulated system.
+
+    ``load=None`` means closed loop (peak throughput); a float in (0, 1)
+    means an open-loop Poisson producer at that utilisation, matching
+    the event backend's ``run_*(config, load=...)`` drivers.
+    """
+
+    workload: str
+    shape: str
+    num_queues: int
+    mechanism: str = "spinning"
+    num_cores: int = 1
+    cluster_cores: Optional[int] = None
+    load: Optional[float] = None
+    imbalance: float = 0.0
+    service_scv: Optional[float] = None
+
+    def __post_init__(self):
+        from repro.workloads.service import WORKLOADS
+
+        if self.workload not in WORKLOADS:
+            raise ValueError(
+                f"unknown workload {self.workload!r}; "
+                f"expected one of {sorted(WORKLOADS)}"
+            )
+        if self.mechanism not in _MECH_CODE:
+            raise ValueError(
+                f"unknown mechanism {self.mechanism!r}; "
+                f"expected one of {list(MECHANISMS)}"
+            )
+        if self.shape.upper() not in SHAPES:
+            raise ValueError(
+                f"unknown traffic shape {self.shape!r}; "
+                f"expected one of {sorted(SHAPES)}"
+            )
+        if self.num_queues <= 0:
+            raise ValueError("num_queues must be positive")
+        if self.num_cores <= 0:
+            raise ValueError("need at least one data-plane core")
+        cluster = self.cluster_cores
+        if cluster is not None and self.num_cores % cluster:
+            raise ValueError("cluster_cores must divide num_cores")
+        if self.load is not None and not 0.0 < self.load < 1.0:
+            raise ValueError("open-loop load must be in (0, 1)")
+        if not 0.0 <= self.imbalance < 1.0:
+            raise ValueError("imbalance must be in [0, 1)")
+
+    @property
+    def closed_loop(self) -> bool:
+        return self.load is None
+
+    @property
+    def effective_cluster_cores(self) -> int:
+        return self.num_cores if self.cluster_cores is None else self.cluster_cores
+
+
+@dataclass
+class CompiledGrid:
+    """Struct-of-arrays constants for a batch of sweep points.
+
+    Per-point arrays are indexed ``[P]``; per-lane arrays ``[L]`` with
+    ``lane_point`` mapping each lane back to its point. Cycle quantities
+    are CPU cycles at ``frequency_hz``.
+    """
+
+    points: Tuple[SweepPoint, ...]
+    frequency_hz: float
+    cost_model: CostModel
+
+    # -- per point [P] -------------------------------------------------------
+    mech: "np.ndarray"
+    mean_service: "np.ndarray"  # seconds
+    scv: "np.ndarray"
+    stall_cycles: "np.ndarray"  # LLC-overflow stall per task
+    servers_total: "np.ndarray"
+    arrival_rate: "np.ndarray"  # tasks/s (0 for closed loop)
+    closed: "np.ndarray"  # bool
+
+    # -- per lane (= per point x cluster) [L] --------------------------------
+    lane_point: "np.ndarray"
+    lane_servers: "np.ndarray"
+    lane_queues: "np.ndarray"  # queues in this cluster
+    lane_weight: "np.ndarray"  # arrival share within the point
+    lane_rate: "np.ndarray"  # tasks/s into this cluster (open loop)
+    lane_mech: "np.ndarray"
+    lane_mean_service: "np.ndarray"
+    lane_scv: "np.ndarray"
+    lane_empty_poll: "np.ndarray"  # cycles per empty head poll
+    lane_cold_penalty: "np.ndarray"  # extra cycles per cold poll
+    lane_ready_poll: "np.ndarray"
+    lane_base_cycles: "np.ndarray"  # fixed per-task path incl. stall
+    lane_idle_extra_cycles: "np.ndarray"  # extra on idle->busy (irq delivery)
+    lane_closed_scan_cycles: "np.ndarray"  # saturation scan cost per task
+    lane_hot_queues: "np.ndarray"  # hot queues in this cluster
+    lane_active: "np.ndarray"  # bool: cluster has hot queues
+
+    @property
+    def num_points(self) -> int:
+        return len(self.points)
+
+    @property
+    def num_lanes(self) -> int:
+        return int(self.lane_point.shape[0])
+
+
+def _sync_cycles(cost_model: CostModel, cluster_cores: int) -> float:
+    """Expected shared-dequeue synchronisation cycles per task.
+
+    Mirrors the spinning core's shared path: SpinLock.acquire_cost with
+    ``cluster_cores`` contenders plus the queue-head line ping-pong. The
+    owner-change transfer is paid whenever another core dequeued since we
+    last did — probability ``(c-1)/c`` with round-robin-ish interleaving.
+    """
+    if cluster_cores <= 1:
+        return 0.0
+    transfer = cost_model.remote_transfer
+    lock = (
+        cost_model.lock_uncontended
+        + transfer * (cluster_cores - 1) / cluster_cores
+        + (cluster_cores - 1) * transfer // 2
+    )
+    return lock + transfer
+
+
+def _per_task_base_cycles(
+    mechanism: int,
+    cost_model: CostModel,
+    frequency_hz: float,
+    cluster_cores: int,
+    stall_cycles: float,
+) -> float:
+    """Deterministic per-task cycles excluding scanning and service."""
+    cm = cost_model
+    if mechanism == MECH_SPINNING:
+        return (
+            cm.dequeue
+            + cm.doorbell_update
+            + _sync_cycles(cm, cluster_cores)
+            + stall_cycles
+        )
+    if mechanism == MECH_HYPERPLANE:
+        select = READY_SET_SELECT_NS * 1e-9 * frequency_hz
+        return (
+            cm.qwait
+            + select
+            + cm.qwait_verify
+            + cm.dequeue
+            + cm.qwait_reconsider
+            + cm.doorbell_update
+            + stall_cycles
+        )
+    # Interrupts: dequeue/doorbell on the drain path; delivery is the
+    # idle-to-busy extra (closed loop coalesces it away entirely).
+    return cm.dequeue + cm.doorbell_update + stall_cycles
+
+
+def compile_points(
+    points: Sequence[SweepPoint],
+    cost_model: Optional[CostModel] = None,
+    frequency_hz: float = 3.0e9,
+) -> CompiledGrid:
+    """Lower sweep points into flat per-point / per-lane constant arrays."""
+    points = tuple(points)
+    if not points:
+        raise ValueError("need at least one sweep point")
+    cm = cost_model or derive_cost_model()
+    locality = LocalityModel(cm)
+    ready_poll = float(cm.remote_transfer + cm.poll_loop_overhead)
+
+    p_mech: List[int] = []
+    p_mean: List[float] = []
+    p_scv: List[float] = []
+    p_stall: List[float] = []
+    p_servers: List[int] = []
+    p_rate: List[float] = []
+    p_closed: List[bool] = []
+
+    l_point: List[int] = []
+    l_servers: List[int] = []
+    l_queues: List[int] = []
+    l_weight: List[float] = []
+    l_rate: List[float] = []
+    l_mech: List[int] = []
+    l_mean: List[float] = []
+    l_scv: List[float] = []
+    l_ce: List[float] = []
+    l_cold: List[float] = []
+    l_ready: List[float] = []
+    l_base: List[float] = []
+    l_idle_extra: List[float] = []
+    l_closed_scan: List[float] = []
+    l_hot: List[int] = []
+    l_active: List[bool] = []
+
+    for index, point in enumerate(points):
+        spec = workload_by_name(point.workload)
+        scv = spec.scv if point.service_scv is None else point.service_scv
+        mech = _MECH_CODE[point.mechanism]
+        shape = shape_by_name(point.shape)
+        hot_ids = shape.hot_queue_ids(point.num_queues)
+        hot_set = set(hot_ids)
+        weights = shape.normalized_weights(point.num_queues)
+        cluster_cores = point.effective_cluster_cores
+        plans = plan_clusters(
+            point.num_queues,
+            point.num_cores,
+            cluster_cores,
+            hot_queue_ids=hot_ids,
+            imbalance=point.imbalance,
+        )
+        stall = locality.task_data_stall_cycles(point.num_queues)
+        rate = 0.0
+        if point.load is not None:
+            rate = load_to_rate(
+                point.load, spec.mean_service_seconds, point.num_cores
+            )
+
+        p_mech.append(mech)
+        p_mean.append(spec.mean_service_seconds)
+        p_scv.append(scv)
+        p_stall.append(stall)
+        p_servers.append(point.num_cores)
+        p_rate.append(rate)
+        p_closed.append(point.closed_loop)
+
+        # Interrupt cores: one per cluster (vectors are affinitised).
+        lane_servers = 1 if mech == MECH_INTERRUPTS else cluster_cores
+        base = _per_task_base_cycles(mech, cm, frequency_hz, cluster_cores, stall)
+        for plan in plans:
+            n_q = len(plan.queue_ids)
+            hot_k = sum(1 for qid in plan.queue_ids if qid in hot_set)
+            share = sum(weights[qid] for qid in plan.queue_ids)
+            empty = locality.empty_poll_cost(n_q, point.num_queues)
+            cold_pen = max(0.0, cm.llc_hit - empty)
+            if mech == MECH_SPINNING and hot_k > 0:
+                polls = (n_q - hot_k) / hot_k
+                closed_scan = (
+                    polls * empty
+                    + min(polls, float(POST_TASK_COLD_POLLS)) * cold_pen
+                    + ready_poll
+                )
+            else:
+                closed_scan = 0.0
+            idle_extra = 0.0
+            if mech == MECH_INTERRUPTS:
+                # MSI-X delivery + final NAPI re-poll before unmasking.
+                idle_extra = float(INTERRUPT_OVERHEAD_CYCLES) + ready_poll
+
+            l_point.append(index)
+            l_servers.append(lane_servers)
+            l_queues.append(n_q)
+            l_weight.append(share)
+            l_rate.append(rate * share)
+            l_mech.append(mech)
+            l_mean.append(spec.mean_service_seconds)
+            l_scv.append(scv)
+            l_ce.append(empty)
+            l_cold.append(cold_pen)
+            l_ready.append(ready_poll)
+            l_base.append(base)
+            l_idle_extra.append(idle_extra)
+            l_closed_scan.append(closed_scan)
+            l_hot.append(hot_k)
+            l_active.append(hot_k > 0)
+
+    return CompiledGrid(
+        points=points,
+        frequency_hz=frequency_hz,
+        cost_model=cm,
+        mech=np.asarray(p_mech, dtype=np.int8),
+        mean_service=np.asarray(p_mean),
+        scv=np.asarray(p_scv),
+        stall_cycles=np.asarray(p_stall),
+        servers_total=np.asarray(p_servers, dtype=np.int64),
+        arrival_rate=np.asarray(p_rate),
+        closed=np.asarray(p_closed, dtype=bool),
+        lane_point=np.asarray(l_point, dtype=np.int64),
+        lane_servers=np.asarray(l_servers, dtype=np.int64),
+        lane_queues=np.asarray(l_queues, dtype=np.int64),
+        lane_weight=np.asarray(l_weight),
+        lane_rate=np.asarray(l_rate),
+        lane_mech=np.asarray(l_mech, dtype=np.int8),
+        lane_mean_service=np.asarray(l_mean),
+        lane_scv=np.asarray(l_scv),
+        lane_empty_poll=np.asarray(l_ce),
+        lane_cold_penalty=np.asarray(l_cold),
+        lane_ready_poll=np.asarray(l_ready),
+        lane_base_cycles=np.asarray(l_base),
+        lane_idle_extra_cycles=np.asarray(l_idle_extra),
+        lane_closed_scan_cycles=np.asarray(l_closed_scan),
+        lane_hot_queues=np.asarray(l_hot, dtype=np.int64),
+        lane_active=np.asarray(l_active, dtype=bool),
+    )

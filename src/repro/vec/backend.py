@@ -1,0 +1,116 @@
+"""High-level vec backend entry points used by the experiment layer.
+
+``peak_grid`` / ``latency_grid`` wrap compile + engine into the shapes
+the experiments consume, flow batch counters into the active
+:class:`~repro.obs.registry.MetricsRegistry` (same ambient-context
+mechanism the event backend uses, so vec runs show up in the same
+metric exports), and ``vec_provenance`` builds the manifest record that
+pins a vec/surrogate run to a numpy version and an oracle spot-check.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence
+
+from repro.mem.costmodel import CostModel
+from repro.obs.runtime import get_active_registry
+from repro.vec import numpy_version, require_numpy
+from repro.vec.arrays import CompiledGrid, SweepPoint, compile_points
+from repro.vec.engine import (
+    DEFAULT_CLOSED_DRAWS,
+    DEFAULT_OPEN_TASKS,
+    DEFAULT_WARMUP_TASKS,
+    OpenLoopResult,
+    open_loop_latency,
+    peak_throughput,
+)
+
+np = require_numpy()
+
+
+def _record_batch(grid: CompiledGrid, tasks_per_point: int) -> None:
+    registry = get_active_registry()
+    if registry is None:
+        return
+    registry.counter(
+        "vec.points_total", help="sweep points advanced by the vec backend"
+    ).inc(grid.num_points)
+    registry.counter(
+        "vec.lanes_total", help="simulation lanes (point x cluster) advanced"
+    ).inc(grid.num_lanes)
+    registry.counter(
+        "vec.tasks_total", help="task slots simulated across all lanes"
+    ).inc(grid.num_lanes * tasks_per_point)
+
+
+def _as_grid(
+    points,
+    cost_model: Optional[CostModel],
+    frequency_hz: float,
+) -> CompiledGrid:
+    if isinstance(points, CompiledGrid):
+        return points
+    return compile_points(points, cost_model=cost_model, frequency_hz=frequency_hz)
+
+
+def peak_grid(
+    points: Sequence[SweepPoint],
+    completions: int = DEFAULT_CLOSED_DRAWS,
+    seed: int = 0,
+    cost_model: Optional[CostModel] = None,
+    frequency_hz: float = 3.0e9,
+) -> "np.ndarray":
+    """Closed-loop peak throughput (Mtasks/s) for a batch of points.
+
+    Accepts raw :class:`SweepPoint` sequences or an already-compiled
+    grid. Every point must be closed loop (``load=None``).
+    """
+    grid = _as_grid(points, cost_model, frequency_hz)
+    if not bool(grid.closed.all()):
+        raise ValueError(
+            "peak_grid needs closed-loop points (load=None); use "
+            "latency_grid for open-loop sweeps"
+        )
+    _record_batch(grid, completions)
+    return peak_throughput(grid, completions=completions, seed=seed)
+
+
+def latency_grid(
+    points: Sequence[SweepPoint],
+    tasks: int = DEFAULT_OPEN_TASKS,
+    warmup_tasks: int = DEFAULT_WARMUP_TASKS,
+    seed: int = 0,
+    cost_model: Optional[CostModel] = None,
+    frequency_hz: float = 3.0e9,
+) -> OpenLoopResult:
+    """Open-loop latency distributions for a batch of points.
+
+    Every point must carry ``load=...``; closed-loop points have no
+    arrival process to measure latency against.
+    """
+    grid = _as_grid(points, cost_model, frequency_hz)
+    if bool(grid.closed.any()):
+        raise ValueError(
+            "latency_grid needs open-loop points (load=...); use "
+            "peak_grid for closed-loop sweeps"
+        )
+    _record_batch(grid, tasks)
+    return open_loop_latency(grid, tasks=tasks, warmup_tasks=warmup_tasks, seed=seed)
+
+
+def vec_provenance(
+    backend: str = "vec",
+    oracle=None,
+) -> Dict[str, object]:
+    """The manifest ``vec`` record: numpy version + oracle spot-check.
+
+    ``oracle`` is an :class:`~repro.vec.surrogate.OracleReport`, an
+    equivalent dict, or ``None`` when no validation ran.
+    """
+    if oracle is not None and hasattr(oracle, "to_dict"):
+        oracle = oracle.to_dict()
+    return {
+        "backend": backend,
+        "numpy": numpy_version(),
+        "oracle": oracle,
+    }

@@ -1,0 +1,276 @@
+"""The vectorized batch engine: all sweep points advance together.
+
+Two entry points mirror the event backend's two traffic modes:
+
+- :func:`peak_throughput` — closed loop (Figs. 3a/8/13): at saturation
+  the per-task cycle path is deterministic per lane (scan + notify +
+  dequeue + stall) and only service times are random, so peak rate is a
+  pure array computation over Monte-Carlo service draws.
+- :func:`open_loop_latency` — open loop (Figs. 3b/9/10/12b): a
+  Kiefer-Wolfowitz / Lindley recursion over the task index, vectorized
+  across lanes. Per-lane notify-mechanism state lives in arrays: spin
+  poll cursors (scan distance to the arriving queue), interrupt pending
+  masks (idle-to-busy deliveries), and the HyperPlane ready-set path
+  whose selection cost is constant by construction (hardware ready set).
+
+The recursion treats each cluster as a FCFS multi-server station; the
+event backend's scan ordering is not FIFO within a cluster, so tails
+agree statistically, not bit-for-bit — tolerances are documented and
+enforced in :mod:`repro.vec.oracle`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.sdp.locality import POST_TASK_COLD_POLLS
+from repro.sim.rng import derive_seed
+from repro.vec import require_numpy
+from repro.vec.arrays import MECH_INTERRUPTS, MECH_SPINNING, CompiledGrid
+
+np = require_numpy()
+
+# Samples dropped from the head of every open-loop lane before
+# percentiles are taken (the event backend's ~200-task warm-up).
+DEFAULT_WARMUP_TASKS = 200
+# Service draws per lane for the closed-loop Monte-Carlo mean.
+DEFAULT_CLOSED_DRAWS = 4096
+# Tasks simulated per open-loop lane (after warm-up this leaves enough
+# samples for a stable p99).
+DEFAULT_OPEN_TASKS = 6000
+
+
+@dataclass
+class OpenLoopResult:
+    """Per-point open-loop latency summaries (microseconds)."""
+
+    mean_us: "np.ndarray"
+    p50_us: "np.ndarray"
+    p99_us: "np.ndarray"
+    tasks_simulated: int
+
+
+def draw_service(rng, mean, scv, count: int):
+    """Vectorized service draws: [len(mean), count] seconds.
+
+    Matches :class:`repro.workloads.service.ServiceTimeModel`'s
+    distribution family per SCV: deterministic (0), exponential (1),
+    Erlang-k (<1), balanced-means H2 (>1) — drawn with numpy streams, so
+    equal in distribution (not in sequence) to the event backend.
+    """
+    mean = np.asarray(mean, dtype=float)
+    scv = np.asarray(scv, dtype=float)
+    lanes = mean.shape[0]
+    out = np.empty((lanes, count))
+    for value in np.unique(scv):
+        mask = scv == value
+        m = mean[mask][:, None]
+        size = (int(mask.sum()), count)
+        if value == 0.0:
+            out[mask] = np.broadcast_to(m, size)
+        elif value == 1.0:
+            out[mask] = rng.standard_exponential(size) * m
+        elif value < 1.0:
+            k = max(1, round(1.0 / value))
+            out[mask] = rng.gamma(shape=k, scale=1.0 / k, size=size) * m
+        else:
+            p1 = 0.5 * (1.0 + np.sqrt((value - 1.0) / (value + 1.0)))
+            mean1 = m / (2.0 * p1)
+            mean2 = m / (2.0 * (1.0 - p1))
+            branch = rng.random(size) < p1
+            draws = rng.standard_exponential(size)
+            out[mask] = draws * np.where(branch, mean1, mean2)
+    return out
+
+
+def peak_throughput(
+    grid: CompiledGrid,
+    completions: int = DEFAULT_CLOSED_DRAWS,
+    seed: int = 0,
+) -> "np.ndarray":
+    """Closed-loop peak throughput per point, in Mtask/s ([P]).
+
+    Every lane (cluster) runs saturated: hot queues always ready, so per
+    task a core pays the deterministic lane path (scan + base + stall)
+    plus a random service time. Lane rate is ``servers / E[task time]``;
+    point rate sums its lanes. Lanes with no hot queues contribute
+    nothing (their cold traffic is negligible at saturation, exactly as
+    in the event backend's closed loop, which only refills hot queues).
+    """
+    if completions < 2:
+        raise ValueError("need at least two service draws per lane")
+    rng = np.random.default_rng(derive_seed(seed, "vec.engine.closed"))
+    draws = draw_service(
+        rng, grid.lane_mean_service, grid.lane_scv, completions
+    )
+    service_mean = draws.mean(axis=1)
+    det_cycles = grid.lane_closed_scan_cycles + grid.lane_base_cycles
+    task_seconds = det_cycles / grid.frequency_hz + service_mean
+    lane_rate = np.where(
+        grid.lane_active, grid.lane_servers / task_seconds, 0.0
+    )
+    totals = np.zeros(grid.num_points)
+    np.add.at(totals, grid.lane_point, lane_rate)
+    return totals / 1e6
+
+
+def open_loop_latency(
+    grid: CompiledGrid,
+    tasks: int = DEFAULT_OPEN_TASKS,
+    warmup_tasks: int = DEFAULT_WARMUP_TASKS,
+    seed: int = 0,
+    percentiles: Optional[Dict[str, float]] = None,
+) -> OpenLoopResult:
+    """Open-loop end-to-end latency per point ([P] arrays, microseconds).
+
+    Lindley recursion across the task index ``i`` (the only Python
+    loop); every array op spans all lanes at once. State per lane:
+
+    - ``free[l, s]``: next-completion time of each server (core),
+    - ``arrivals[l]``: next-arrival clock (Poisson),
+    - ``cursor[l, s]``: spin poll cursor — scan distance to the arriving
+      queue is ``(queue - cursor) mod n_q``, exactly the event
+      backend's fast-forwarded iterator position,
+    - ``irq_pending[l]``: outstanding unmasked-vector deliveries
+      (interrupt lanes pay the MSI-X path on each idle-to-busy wake).
+
+    Latency of task i = wait (Lindley) + scan + fixed path + service.
+    """
+    open_mask = ~grid.closed[grid.lane_point] & (grid.lane_rate > 0)
+    if not open_mask.any():
+        raise ValueError("no open-loop lanes in this grid (all closed loop?)")
+    if tasks <= warmup_tasks + 100:
+        raise ValueError("need at least warmup_tasks + 100 tasks")
+    idx = np.nonzero(open_mask)[0]
+    lanes = idx.shape[0]
+    rate = grid.lane_rate[idx]
+    servers = grid.lane_servers[idx]
+    n_q = grid.lane_queues[idx].astype(float)
+    is_spin = grid.lane_mech[idx] == MECH_SPINNING
+    is_irq = grid.lane_mech[idx] == MECH_INTERRUPTS
+    hot = np.maximum(grid.lane_hot_queues[idx].astype(float), 1.0)
+    empty_poll = grid.lane_empty_poll[idx]
+    cold_pen = grid.lane_cold_penalty[idx]
+    ready_poll = grid.lane_ready_poll[idx]
+    base = grid.lane_base_cycles[idx]
+    idle_extra = grid.lane_idle_extra_cycles[idx]
+    f = grid.frequency_hz
+
+    rng = np.random.default_rng(derive_seed(seed, "vec.engine.open"))
+    service = draw_service(
+        rng, grid.lane_mean_service[idx], grid.lane_scv[idx], tasks
+    )
+    interarrival = rng.standard_exponential((lanes, tasks)) / rate[:, None]
+    queue_draw = (rng.random((lanes, tasks)) * n_q[:, None]).astype(np.int64)
+
+    max_servers = int(servers.max())
+    free = np.zeros((lanes, max_servers))
+    # Mask off nonexistent servers so argmin never picks them.
+    server_alive = np.arange(max_servers)[None, :] < servers[:, None]
+    free[~server_alive] = np.inf
+    cursor = np.zeros((lanes, max_servers), dtype=np.int64)
+    irq_pending = np.zeros(lanes, dtype=np.int64)
+    rows = np.arange(lanes)
+
+    arrivals = np.zeros(lanes)
+    latency = np.empty((lanes, tasks))
+    cold_cap = float(POST_TASK_COLD_POLLS)
+    for i in range(tasks):
+        arrivals = arrivals + interarrival[:, i]
+        pick = np.argmin(free, axis=1)
+        free_min = free[rows, pick]
+        start = np.maximum(arrivals, free_min)
+        wait = start - arrivals
+        idle = free_min <= arrivals
+
+        qpos = queue_draw[:, i]
+        idle_free = (free <= arrivals[:, None]) & server_alive
+        k_idle = np.maximum(idle_free.sum(axis=1), 1)
+        # Idle wake: every idle core in the cluster scans toward the new
+        # arrival. They race to the *same* ready bit, so after each find
+        # the cores converge to the same ring position and sweep as one
+        # clustered beam — no min-of-k parallel-search benefit. The
+        # winning distance stays a single uniform draw from the cursor.
+        idle_dist = np.mod(qpos - cursor[rows, pick], n_q.astype(np.int64))
+        # Busy pick: ~lambda*wait tasks are backed up. For FB they sit in
+        # uniformly random queues (next ready head at n/(r+1)); for
+        # concentrated shapes the backlog collapses onto the hot set the
+        # core just swept past, flooring the scan at the hot stride — SQ
+        # degenerates to a full ring wrap, FB at saturation to the
+        # closed-loop stride. The event backend's ready mask densifies
+        # under load the same way.
+        ready_est = rate * wait + 1.0
+        busy_dist = np.maximum(n_q / (ready_est + 1.0), n_q / hot - 1.0)
+        dist = np.where(idle, idle_dist, busy_dist)
+        scan = np.where(
+            is_spin,
+            dist * empty_poll
+            + np.minimum(dist, cold_cap) * cold_pen
+            + ready_poll,
+            0.0,
+        )
+        # Losing idle spinners are not free: each pays its own full scan
+        # before finding the ready bit already cleared and re-idling, so
+        # it cannot pick up an arrival that lands mid-scan. Bump the
+        # losers' free clocks past the wasted scan.
+        waste_lanes = is_spin & idle & (k_idle > 1)
+        if waste_lanes.any():
+            waste_dist = rng.random((lanes, max_servers)) * n_q[:, None]
+            waste = (waste_dist * empty_poll[:, None] + ready_poll[:, None]) / f
+            losers = idle_free & waste_lanes[:, None]
+            losers[rows, pick] = False
+            free = np.where(losers, arrivals[:, None] + waste, free)
+        # Busy picks collide too: cluster-mates finishing their own tasks
+        # within this scan's window race to the same ready bit and rescan
+        # ("another cluster core drained it during our scan"). Charge the
+        # next-free server the expected wasted scan — capacity loss, not
+        # direct latency.
+        shared_busy = is_spin & ~idle & (servers > 1)
+        if shared_busy.any():
+            t_scan = scan / f
+            p_collide = -np.expm1(-rate * t_scan * (servers - 1) / servers)
+            blocked = free.copy()
+            blocked[rows, pick] = np.inf
+            second = np.argmin(blocked, axis=1)
+            bump = np.where(shared_busy, p_collide * t_scan, 0.0)
+            finite = np.isfinite(free[rows, second])
+            free[rows, second] = np.where(
+                finite, free[rows, second] + bump, free[rows, second]
+            )
+        extra = np.where(is_irq & idle, idle_extra, 0.0)
+        irq_pending += (is_irq & ~idle).astype(np.int64)
+        irq_pending -= np.minimum(irq_pending, (is_irq & idle).astype(np.int64))
+
+        gross = (scan + base + extra) / f + service[:, i]
+        depart = start + gross
+        free[rows, pick] = depart
+        cursor[rows, pick] = np.mod(qpos + 1, n_q.astype(np.int64))
+        latency[:, i] = depart - arrivals
+
+    samples = latency[:, warmup_tasks:]
+    weights = grid.lane_weight[idx]
+    lane_point = grid.lane_point[idx]
+    wanted = percentiles or {"p50": 0.50, "p99": 0.99}
+
+    num_points = grid.num_points
+    mean_us = np.full(num_points, np.nan)
+    out = {name: np.full(num_points, np.nan) for name in wanted}
+    for point in np.unique(lane_point):
+        rows_p = lane_point == point
+        values = samples[rows_p].ravel()
+        share = np.repeat(weights[rows_p], samples.shape[1])
+        share = share / share.sum()
+        mean_us[point] = float((values * share).sum()) * 1e6
+        order = np.argsort(values)
+        cum = np.cumsum(share[order])
+        for name, q in wanted.items():
+            pos = int(np.searchsorted(cum, q, side="left"))
+            pos = min(pos, values.shape[0] - 1)
+            out[name][point] = values[order][pos] * 1e6
+    return OpenLoopResult(
+        mean_us=mean_us,
+        p50_us=out.get("p50", mean_us),
+        p99_us=out.get("p99", mean_us),
+        tasks_simulated=tasks,
+    )

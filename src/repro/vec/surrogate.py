@@ -1,0 +1,321 @@
+"""Cheap surrogate predictors fitted on simulator output.
+
+A surrogate answers "what would this sweep point report?" in
+microseconds instead of seconds: an analytic queueing baseline (the
+closed forms in :mod:`repro.queueing.theory`, fed the same per-task
+cycle costs the backends use) is corrected by a least-squares fit
+against simulator output — typically a vec-backend grid, optionally the
+exact event backend. That makes dense design-space exploration (1000+
+point grids) essentially free after one fitting sweep.
+
+A surrogate is only trustworthy where it was fitted, so
+:func:`validate_against_oracle` re-runs the *exact* event simulator on a
+deterministic subsample of grid points and fails loudly
+(:class:`SurrogateValidationError`) when any prediction exceeds the
+configured relative tolerance. The resulting :class:`OracleReport` is
+recorded in the run manifest so a published number can always be traced
+back to which points were spot-checked and how far off they were.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.queueing.theory import mmc_wait_percentile
+from repro.vec import require_numpy
+from repro.vec.arrays import MECH_SPINNING, CompiledGrid
+from repro.vec.oracle import (
+    DEFAULT_ORACLE_COMPLETIONS,
+    DEFAULT_ORACLE_MAX_SECONDS,
+    DEFAULT_ORACLE_SAMPLES,
+    TOLERANCES,
+    oracle_sample_indices,
+    simulate_point_exact,
+)
+
+np = require_numpy()
+
+# Queueing baselines are undefined at rho >= 1; cap the offered load so
+# near-saturation points get a large-but-finite baseline the linear
+# correction can still work with.
+_MAX_RHO = 0.95
+_TINY = 1e-12
+
+
+@dataclass(frozen=True)
+class FitReport:
+    """How well a surrogate reproduces its own training grid."""
+
+    metric: str
+    num_points: int
+    coefficients: tuple
+    max_rel_error: float
+    mean_rel_error: float
+
+
+@dataclass(frozen=True)
+class OracleReport:
+    """Result of spot-checking predictions against the exact simulator."""
+
+    metric: str
+    sample_indices: tuple
+    rel_errors: tuple
+    tolerance: float
+
+    @property
+    def max_rel_error(self) -> float:
+        return max(self.rel_errors) if self.rel_errors else 0.0
+
+    @property
+    def passed(self) -> bool:
+        return self.max_rel_error <= self.tolerance
+
+    def to_dict(self) -> Dict[str, object]:
+        """Manifest-friendly provenance summary."""
+        return {
+            "metric": self.metric,
+            "sample_indices": list(self.sample_indices),
+            "rel_errors": [round(e, 6) for e in self.rel_errors],
+            "max_rel_error": round(self.max_rel_error, 6),
+            "tolerance": self.tolerance,
+            "passed": self.passed,
+        }
+
+
+class SurrogateValidationError(RuntimeError):
+    """A surrogate prediction strayed past the oracle tolerance."""
+
+    def __init__(self, message: str, report: OracleReport):
+        super().__init__(message)
+        self.report = report
+
+
+def _rel_errors(predicted: "np.ndarray", observed: "np.ndarray") -> "np.ndarray":
+    return np.abs(predicted - observed) / np.maximum(np.abs(observed), _TINY)
+
+
+def _fit_report(metric, predicted, observed, theta) -> FitReport:
+    errs = _rel_errors(predicted, observed)
+    return FitReport(
+        metric=metric,
+        num_points=int(observed.shape[0]),
+        coefficients=tuple(float(c) for c in theta),
+        max_rel_error=float(errs.max()),
+        mean_rel_error=float(errs.mean()),
+    )
+
+
+def _det_overhead_seconds(grid: CompiledGrid) -> "np.ndarray":
+    """Per-point deterministic cycles per task, server-weighted, in sec.
+
+    Throughput sums ``servers / task_time`` over lanes, so the average
+    that preserves it weights each lane by its server count.
+    """
+    lane_det = (grid.lane_closed_scan_cycles + grid.lane_base_cycles) / grid.frequency_hz
+    weights = np.where(grid.lane_active, grid.lane_servers.astype(float), 0.0)
+    num = np.zeros(grid.num_points)
+    den = np.zeros(grid.num_points)
+    np.add.at(num, grid.lane_point, lane_det * weights)
+    np.add.at(den, grid.lane_point, weights)
+    return num / np.maximum(den, _TINY)
+
+
+class ThroughputSurrogate:
+    """Linear-corrected analytic model of closed-loop peak throughput.
+
+    The analytic seed says seconds-per-task-per-server is
+    ``overhead + mean_service``; least squares fits an affine correction
+    ``[intercept, overhead, service]`` on simulator output so systematic
+    model error (e.g. cold-poll undercounting) is absorbed.
+    """
+
+    metric = "throughput_mtps"
+
+    def __init__(self):
+        self._theta: Optional["np.ndarray"] = None
+
+    @property
+    def fitted(self) -> bool:
+        return self._theta is not None
+
+    @staticmethod
+    def _features(grid: CompiledGrid) -> "np.ndarray":
+        return np.column_stack(
+            [
+                np.ones(grid.num_points),
+                _det_overhead_seconds(grid),
+                grid.mean_service,
+            ]
+        )
+
+    def fit(self, grid: CompiledGrid, observed_mtps: Sequence[float]) -> FitReport:
+        """Fit on simulator output; returns training-set residuals."""
+        observed = np.asarray(observed_mtps, dtype=float)
+        if observed.shape != (grid.num_points,):
+            raise ValueError("observed_mtps must have one entry per grid point")
+        if np.any(observed <= 0):
+            raise ValueError("throughput training data must be positive")
+        seconds_per_task = grid.servers_total / (observed * 1e6)
+        features = self._features(grid)
+        theta, *_ = np.linalg.lstsq(features, seconds_per_task, rcond=None)
+        self._theta = theta
+        return _fit_report(self.metric, self.predict(grid), observed, theta)
+
+    def predict(self, grid: CompiledGrid) -> "np.ndarray":
+        """Predicted peak throughput (Mtasks/s) per grid point."""
+        if self._theta is None:
+            raise RuntimeError("surrogate is not fitted; call fit() first")
+        seconds_per_task = self._features(grid) @ self._theta
+        return grid.servers_total / (np.maximum(seconds_per_task, _TINY) * 1e6)
+
+
+class LatencySurrogate:
+    """Linear-corrected M/M/c model of open-loop latency percentiles.
+
+    Baseline: the M/M/c wait percentile at an effective service rate of
+    ``1 / (mean_service + per-task overhead)``, plus the service time
+    itself. Least squares then maps baseline to observed values with
+    per-mechanism and per-organization slopes (spinning's scan
+    amplification and shared-cluster sync inflate tails in ways one
+    global slope cannot track). Scan ordering in the event backend is
+    not FCFS either — exactly the kind of systematic gap the fitted
+    correction absorbs.
+    """
+
+    def __init__(self, percentile: float = 99.0):
+        if not 0.0 < percentile < 100.0:
+            raise ValueError("percentile must be in (0, 100)")
+        self.percentile = percentile
+        self._theta: Optional["np.ndarray"] = None
+
+    @property
+    def metric(self) -> str:
+        return "p99_us" if self.percentile == 99.0 else "mean_us"
+
+    @property
+    def fitted(self) -> bool:
+        return self._theta is not None
+
+    def _baseline_us(self, grid: CompiledGrid) -> "np.ndarray":
+        det = _det_overhead_seconds(grid)
+        baselines = np.zeros(grid.num_points)
+        for i, _point in enumerate(grid.points):
+            if grid.closed[i]:
+                continue
+            effective_service = grid.mean_service[i] + det[i]
+            mu = 1.0 / max(effective_service, _TINY)
+            servers = int(grid.servers_total[i])
+            rate = min(grid.arrival_rate[i], _MAX_RHO * servers * mu)
+            # theory.py takes the percentile as a fraction in (0, 1).
+            wait = mmc_wait_percentile(rate, mu, servers, self.percentile / 100.0)
+            baselines[i] = (wait + effective_service) * 1e6
+        return baselines
+
+    def _features(self, grid: CompiledGrid) -> "np.ndarray":
+        baseline = self._baseline_us(grid)
+        spin = (grid.mech == MECH_SPINNING).astype(float)
+        shared = np.asarray(
+            [float(p.effective_cluster_cores > 1) for p in grid.points]
+        )
+        return np.column_stack(
+            [
+                np.ones(grid.num_points),
+                baseline,
+                spin * baseline,
+                shared * baseline,
+                spin * shared * baseline,
+            ]
+        )
+
+    def fit(self, grid: CompiledGrid, observed_us: Sequence[float]) -> FitReport:
+        """Fit on simulator latency output (µs); returns residuals."""
+        observed = np.asarray(observed_us, dtype=float)
+        if observed.shape != (grid.num_points,):
+            raise ValueError("observed_us must have one entry per grid point")
+        if np.any(grid.closed):
+            raise ValueError(
+                "latency surrogates fit on open-loop grids (every point "
+                "needs load=...)"
+            )
+        features = self._features(grid)
+        theta, *_ = np.linalg.lstsq(features, observed, rcond=None)
+        self._theta = theta
+        return _fit_report(self.metric, self.predict(grid), observed, theta)
+
+    def predict(self, grid: CompiledGrid) -> "np.ndarray":
+        """Predicted latency percentile (µs) per grid point."""
+        if self._theta is None:
+            raise RuntimeError("surrogate is not fitted; call fit() first")
+        predicted = self._features(grid) @ self._theta
+        floor = grid.mean_service * 1e6
+        return np.maximum(predicted, floor)
+
+
+def validate_against_oracle(
+    surrogate,
+    grid: CompiledGrid,
+    predictions: Optional[Sequence[float]] = None,
+    metric: Optional[str] = None,
+    samples: int = DEFAULT_ORACLE_SAMPLES,
+    seed: int = 0,
+    tolerance: Optional[float] = None,
+    target_completions: int = DEFAULT_ORACLE_COMPLETIONS,
+    max_seconds: float = DEFAULT_ORACLE_MAX_SECONDS,
+) -> OracleReport:
+    """Spot-check predictions against the exact event simulator.
+
+    ``surrogate`` may be a fitted surrogate (its ``predict``/``metric``
+    are used) or ``None`` with explicit ``predictions`` + ``metric`` —
+    the latter lets the vec backend validate its own raw output. Runs
+    :func:`repro.vec.oracle.simulate_point_exact` on a deterministic
+    subsample of grid indices and raises
+    :class:`SurrogateValidationError` if any relative error exceeds the
+    tolerance (default: the documented contract in ``TOLERANCES``).
+    """
+    if surrogate is not None:
+        predicted = np.asarray(surrogate.predict(grid), dtype=float)
+        metric = metric or surrogate.metric
+    else:
+        if predictions is None or metric is None:
+            raise ValueError(
+                "without a surrogate, pass predictions= and metric= explicitly"
+            )
+        predicted = np.asarray(predictions, dtype=float)
+    if metric not in TOLERANCES:
+        raise ValueError(
+            f"unknown metric {metric!r}; expected one of {sorted(TOLERANCES)}"
+        )
+    if predicted.shape != (grid.num_points,):
+        raise ValueError("predictions must have one entry per grid point")
+    if tolerance is None:
+        tolerance = TOLERANCES[metric]
+
+    indices = oracle_sample_indices(grid.num_points, samples=samples, seed=seed)
+    rel_errors: List[float] = []
+    for i in indices:
+        exact = simulate_point_exact(
+            grid.points[i],
+            seed=seed,
+            target_completions=target_completions,
+            max_seconds=max_seconds,
+        )[metric]
+        rel = abs(float(predicted[i]) - exact) / max(abs(exact), _TINY)
+        rel_errors.append(rel)
+
+    report = OracleReport(
+        metric=metric,
+        sample_indices=tuple(indices),
+        rel_errors=tuple(rel_errors),
+        tolerance=float(tolerance),
+    )
+    if not report.passed:
+        worst = int(np.argmax(np.asarray(rel_errors)))
+        raise SurrogateValidationError(
+            f"surrogate validation failed for {metric}: point "
+            f"{indices[worst]} off by {rel_errors[worst]:.1%} "
+            f"(tolerance {tolerance:.1%}); refit or widen the tolerance "
+            "only with cause",
+            report,
+        )
+    return report

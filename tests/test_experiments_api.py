@@ -125,6 +125,86 @@ def test_cli_seed_threads_into_manifest(tmp_path):
     assert manifest["root_seed"] == 9
 
 
+# -- backend selection (event / vec / surrogate) -----------------------------
+
+
+def test_unknown_backend_rejected_with_choices_listed():
+    from repro.experiments.base import BACKENDS, validate_backend
+
+    with pytest.raises(ValueError) as excinfo:
+        validate_backend("quantum")
+    for choice in BACKENDS:
+        assert choice in str(excinfo.value)
+    with pytest.raises(ValueError, match="event"):
+        run_experiment("fig8", backend="quantum")
+
+
+def test_backend_config_field_validates_at_construction():
+    from repro.experiments.fig8_peak_throughput import Fig8Config
+    from repro.experiments.fig10_multicore import Fig10Config
+
+    with pytest.raises(ValueError, match="surrogate"):
+        Fig8Config(backend="bogus")
+    with pytest.raises(ValueError, match="vec"):
+        Fig10Config(backend="warp")
+    assert Fig8Config().backend == "event"
+
+
+def test_backend_unsupported_experiment_lists_capable_ones():
+    pytest.importorskip("numpy")
+    with pytest.raises(ValueError) as excinfo:
+        run_experiment("hwcost", backend="vec")
+    message = str(excinfo.value)
+    assert "fig8" in message and "cluster_scaleout" in message
+
+
+def test_backend_capable_experiments_cover_the_issue_surface():
+    from repro.experiments.registry import backend_capable_experiments
+
+    assert {"fig8", "fig10a", "fig10b", "cluster_scaleout"} <= set(
+        backend_capable_experiments()
+    )
+
+
+def test_vec_backend_without_numpy_gives_install_hint(monkeypatch):
+    import repro.vec as vec
+
+    monkeypatch.setattr(vec, "_np", None)
+    with pytest.raises(ValueError, match="pip install"):
+        run_experiment("fig8", backend="vec")
+    from repro.experiments.fig8_peak_throughput import Fig8Config
+
+    with pytest.raises(ValueError, match="pip install"):
+        Fig8Config(backend="surrogate")
+
+
+def test_cli_backend_errors_exit_nonzero_with_message(capsys):
+    from repro.experiments.__main__ import main
+
+    assert main(["fig8", "--backend", "quantum"]) == 2
+    err = capsys.readouterr().err
+    assert "error:" in err and "event" in err and "traceback" not in err.lower()
+
+    assert main(["fig9a", "--backend", "vec"]) == 2
+    err = capsys.readouterr().err
+    assert "does not support" in err or "pip install" in err
+
+    assert main(["nosuch"]) == 2
+    assert "unknown experiment" in capsys.readouterr().err
+
+
+def test_vec_backend_runs_fig8_and_stamps_manifest():
+    pytest.importorskip("numpy")
+    result = run_experiment("fig8", fast=True, backend="vec")
+    assert result.manifest.backend == "vec"
+    assert result.manifest.vec["backend"] == "vec"
+    assert result.manifest.vec["numpy"] not in (None, "absent")
+    validate_manifest(result.manifest.to_dict())
+    # Same grid shape as the event path: rows carry the same keys.
+    event_row = run_experiment("fig8", fast=True).rows[0]
+    assert set(result.rows[0]) == set(event_row)
+
+
 def test_fig8_hot_path_untouched_with_disabled_registry():
     # The Fig. 8 guard: under a *disabled* ambient registry the peak-
     # throughput hot path must build the exact uninstrumented system —

@@ -120,6 +120,60 @@ def test_capture_records_env_overrides(monkeypatch):
     assert pinned.env_overrides == {"REPRO_CURVE_CACHE": "1"}
 
 
+def test_backend_and_vec_provenance_roundtrip_and_validate():
+    oracle = {
+        "metric": "throughput_mtps",
+        "sample_indices": [3, 17],
+        "rel_errors": [0.021, 0.034],
+        "max_rel_error": 0.034,
+        "tolerance": 0.12,
+        "passed": True,
+    }
+    manifest = RunManifest.capture(
+        experiment_id="fig8",
+        config={"fast": True, "backend": "surrogate"},
+        root_seed=0,
+        wall_seconds=0.2,
+        backend="surrogate",
+        vec={"backend": "surrogate", "numpy": "1.26.4", "oracle": oracle},
+    )
+    data = manifest.to_dict()
+    assert manifest_problems(data) == []
+    restored = RunManifest.from_dict(data)
+    assert restored == manifest
+    assert restored.backend == "surrogate"
+    assert restored.vec["oracle"]["sample_indices"] == [3, 17]
+    # Parser round-trip through JSON (what --metrics-out writes).
+    assert RunManifest.from_dict(json.loads(manifest.to_json())).vec == manifest.vec
+    # Manifests from event-backend runs and older builds omit both
+    # fields and still validate/load.
+    legacy = {k: v for k, v in data.items() if k not in ("backend", "vec")}
+    assert manifest_problems(legacy) == []
+    assert RunManifest.from_dict(legacy).backend is None
+    assert RunManifest.from_dict(legacy).vec is None
+    # Present-and-mistyped fields are rejected.
+    assert any(
+        "backend" in problem
+        for problem in manifest_problems(dict(data, backend=3))
+    )
+    assert any(
+        "vec" in problem
+        for problem in manifest_problems(dict(data, vec="numpy"))
+    )
+
+
+def test_event_backend_manifest_omits_vec_record():
+    manifest = RunManifest.capture(
+        experiment_id="fig9a",
+        config={"fast": True},
+        root_seed=0,
+        wall_seconds=0.1,
+    )
+    data = manifest.to_dict()
+    assert "backend" not in data and "vec" not in data
+    assert manifest_problems(data) == []
+
+
 def test_env_overrides_roundtrip_and_validate():
     manifest = RunManifest.capture(
         experiment_id="fig9a",

@@ -1,0 +1,144 @@
+"""repro.vec: sweep-point validation, batch engine sanity, numpy gate."""
+
+import pytest
+
+from repro.vec import MissingNumpyError, numpy_available, numpy_version
+
+np = pytest.importorskip("numpy")
+
+from repro.vec.arrays import (  # noqa: E402
+    MECH_HYPERPLANE,
+    MECH_SPINNING,
+    SweepPoint,
+    compile_points,
+)
+from repro.vec.backend import latency_grid, peak_grid, vec_provenance  # noqa: E402
+
+
+# -- SweepPoint validation ---------------------------------------------------
+
+
+def test_sweep_point_rejects_unknowns_with_choices_listed():
+    with pytest.raises(ValueError, match="workload"):
+        SweepPoint("no-such-workload", "FB", 100)
+    with pytest.raises(ValueError, match="FB"):
+        SweepPoint("packet-encapsulation", "XX", 100)
+    with pytest.raises(ValueError, match="spinning"):
+        SweepPoint("packet-encapsulation", "FB", 100, mechanism="dpdk")
+    with pytest.raises(ValueError, match="load"):
+        SweepPoint("packet-encapsulation", "FB", 100, load=1.5)
+    with pytest.raises(ValueError, match="num_queues"):
+        SweepPoint("packet-encapsulation", "FB", 0)
+
+
+def test_sweep_point_closed_vs_open():
+    closed = SweepPoint("packet-encapsulation", "FB", 100)
+    opened = SweepPoint("packet-encapsulation", "FB", 100, load=0.5)
+    assert closed.closed_loop and not opened.closed_loop
+
+
+def test_compile_points_shapes():
+    points = [
+        SweepPoint("packet-encapsulation", shape, count, mechanism=mechanism)
+        for shape in ("FB", "PC")
+        for count in (1, 200)
+        for mechanism in ("spinning", "hyperplane")
+    ]
+    grid = compile_points(points)
+    assert grid.num_points == len(points)
+    assert grid.num_lanes >= grid.num_points
+    assert set(np.unique(grid.mech)) <= {MECH_SPINNING, MECH_HYPERPLANE}
+    assert np.all(grid.mean_service > 0)
+
+
+# -- batch engine ------------------------------------------------------------
+
+
+def _closed_points():
+    return [
+        SweepPoint("packet-encapsulation", shape, count, mechanism=mechanism)
+        for shape in ("FB", "SQ")
+        for count in (1, 400)
+        for mechanism in ("spinning", "hyperplane")
+    ]
+
+
+def test_peak_grid_is_deterministic_and_positive():
+    points = _closed_points()
+    a = peak_grid(points, seed=7)
+    b = peak_grid(points, seed=7)
+    c = peak_grid(points, seed=8)
+    assert np.array_equal(a, b)
+    assert not np.array_equal(a, c)
+    assert np.all(a > 0)
+
+
+def test_peak_grid_shows_the_fig8_scan_penalty():
+    """Spinning throughput must fall with queue count; HyperPlane holds."""
+    points = [
+        SweepPoint("packet-encapsulation", "SQ", count, mechanism=mechanism)
+        for count in (1, 1000)
+        for mechanism in ("spinning", "hyperplane")
+    ]
+    spin_1, hp_1, spin_1000, hp_1000 = peak_grid(points, seed=0)
+    assert spin_1000 < 0.5 * spin_1
+    assert hp_1000 > 0.5 * hp_1
+    assert hp_1000 > 2.0 * spin_1000
+
+
+def test_latency_grid_orders_load_levels():
+    points = [
+        SweepPoint(
+            "packet-encapsulation", "FB", 400, mechanism="hyperplane", load=load
+        )
+        for load in (0.2, 0.8)
+    ]
+    res = latency_grid(points, seed=0)
+    assert res.p99_us[1] > res.p99_us[0]
+    assert np.all(res.mean_us <= res.p99_us)
+    assert np.all(res.p50_us <= res.p99_us)
+
+
+def test_backend_entry_points_reject_mixed_grids():
+    closed = SweepPoint("packet-encapsulation", "FB", 100)
+    opened = SweepPoint("packet-encapsulation", "FB", 100, load=0.5)
+    with pytest.raises(ValueError, match="closed"):
+        peak_grid([opened])
+    with pytest.raises(ValueError, match="load"):
+        latency_grid([closed])
+
+
+def test_vec_runs_feed_ambient_metrics_registry():
+    from repro.obs import MetricsRegistry
+    from repro.obs.runtime import active_registry
+
+    registry = MetricsRegistry(enabled=True)
+    with active_registry(registry):
+        peak_grid(_closed_points(), seed=0)
+    assert registry.counter("vec.points_total").value >= len(_closed_points())
+    assert registry.counter("vec.tasks_total").value > 0
+
+
+# -- numpy gate --------------------------------------------------------------
+
+
+def test_numpy_reported_available_here():
+    assert numpy_available()
+    assert numpy_version() != "absent"
+
+
+def test_missing_numpy_paths(monkeypatch):
+    import repro.vec as vec
+
+    monkeypatch.setattr(vec, "_np", None)
+    assert not vec.numpy_available()
+    assert vec.numpy_version() == "absent"
+    with pytest.raises(MissingNumpyError, match="pip install"):
+        vec.require_numpy()
+
+
+def test_vec_provenance_records_numpy_version():
+    info = vec_provenance(backend="vec")
+    assert info["backend"] == "vec"
+    assert info["numpy"] == np.__version__
+    assert "oracle" not in info or info["oracle"] is None

@@ -1,0 +1,136 @@
+"""Vec-vs-event agreement on the documented tolerance contract.
+
+These tests CI-enforce the statistical-twin contract in
+:mod:`repro.vec.oracle`: on a seeded grid covering all four traffic
+shapes, the vec backend's throughput and latency must track the exact
+event simulator within the documented relative tolerances. They are the
+reason the tolerances can be trusted enough to publish surrogate-backed
+numbers.
+"""
+
+import pytest
+
+from repro.vec import numpy_available
+
+np = pytest.importorskip("numpy")
+
+from repro.vec.arrays import SweepPoint  # noqa: E402
+from repro.vec.backend import latency_grid, peak_grid  # noqa: E402
+from repro.vec.oracle import (  # noqa: E402
+    MEAN_LATENCY_RTOL,
+    P99_RTOL,
+    THROUGHPUT_RTOL,
+    TOLERANCES,
+    oracle_sample_indices,
+    simulate_point_exact,
+)
+
+SEED = 0
+SHAPES = ("FB", "PC", "NC", "SQ")
+
+
+def _rel(a: float, b: float) -> float:
+    return abs(a - b) / max(abs(b), 1e-12)
+
+
+def test_tolerance_table_is_the_documented_contract():
+    assert TOLERANCES == {
+        "throughput_mtps": THROUGHPUT_RTOL,
+        "p99_us": P99_RTOL,
+        "mean_us": MEAN_LATENCY_RTOL,
+    }
+    # Loosening these is an API-contract change; docs/vectorized.md and
+    # the module docstring must move with them.
+    assert THROUGHPUT_RTOL == 0.12
+    assert P99_RTOL == 0.50
+    assert MEAN_LATENCY_RTOL == 0.35
+
+
+def test_closed_loop_throughput_matches_event_on_all_shapes():
+    points = [
+        SweepPoint("packet-encapsulation", shape, 200, mechanism=mechanism)
+        for shape in SHAPES
+        for mechanism in ("spinning", "hyperplane")
+    ]
+    vec = peak_grid(points, seed=SEED)
+    for point, predicted in zip(points, vec):
+        exact = simulate_point_exact(point, seed=SEED)["throughput_mtps"]
+        assert _rel(float(predicted), exact) <= THROUGHPUT_RTOL, (
+            f"{point.shape}/{point.mechanism}: vec {predicted:.4f} vs "
+            f"event {exact:.4f} Mtps"
+        )
+
+
+def test_open_loop_latency_matches_event_on_all_shapes():
+    """Seeded open-loop agreement grid, all four shapes, both mechanisms.
+
+    FB/PC/NC run the calibrated Fig. 10 organisation (4 cores, 400
+    queues). SQ concentrates all traffic on one queue, and a spinning
+    core is a 1-limited polling server — its ring-walk time caps the hot
+    queue's service rate, so SQ+spinning saturates at any Fig. 10-sized
+    load and both backends would only measure run-length-dependent
+    transients. Those lanes instead run small stable points (few queues,
+    light load), where the polling model is in steady state; SQ coverage
+    at scale stays with HyperPlane (stable) and the closed-loop
+    throughput grid above.
+    """
+    points = [
+        SweepPoint(
+            "packet-encapsulation", shape, 400,
+            mechanism=mechanism, num_cores=4, load=load,
+        )
+        for shape in ("FB", "PC", "NC")
+        for mechanism in ("spinning", "hyperplane")
+        for load in (0.3, 0.5)
+    ]
+    points += [
+        SweepPoint(
+            "packet-encapsulation", "SQ", 400,
+            mechanism="hyperplane", num_cores=4, load=load,
+        )
+        for load in (0.3, 0.5)
+    ]
+    points += [
+        SweepPoint("packet-encapsulation", "SQ", 64, mechanism="spinning", load=0.08),
+        SweepPoint("packet-encapsulation", "SQ", 32, mechanism="spinning", load=0.10),
+    ]
+    assert {(p.shape, p.mechanism) for p in points} == {
+        (shape, mechanism)
+        for shape in SHAPES
+        for mechanism in ("spinning", "hyperplane")
+    }
+    res = latency_grid(points, seed=SEED)
+    for i, point in enumerate(points):
+        exact = simulate_point_exact(point, seed=SEED, target_completions=3000)
+        assert _rel(float(res.p99_us[i]), exact["p99_us"]) <= P99_RTOL, (
+            f"{point.shape}/{point.mechanism} p99: vec {res.p99_us[i]:.1f} "
+            f"vs event {exact['p99_us']:.1f} us"
+        )
+        assert _rel(float(res.mean_us[i]), exact["mean_us"]) <= MEAN_LATENCY_RTOL, (
+            f"{point.shape}/{point.mechanism} mean: vec {res.mean_us[i]:.1f} "
+            f"vs event {exact['mean_us']:.1f} us"
+        )
+
+
+def test_simulate_point_exact_reports_all_contract_metrics():
+    point = SweepPoint("packet-encapsulation", "FB", 50, load=0.4)
+    exact = simulate_point_exact(point, seed=SEED, target_completions=500)
+    assert set(exact) == set(TOLERANCES)
+    assert all(value > 0 for value in exact.values())
+
+
+def test_oracle_sample_indices_deterministic_and_seed_sensitive():
+    a = oracle_sample_indices(100, samples=5, seed=1)
+    b = oracle_sample_indices(100, samples=5, seed=1)
+    c = oracle_sample_indices(100, samples=5, seed=2)
+    assert a == b and a != c
+    assert a == sorted(a) and len(set(a)) == 5
+    assert all(0 <= i < 100 for i in a)
+    # More samples than points clamps, never repeats.
+    assert sorted(oracle_sample_indices(3, samples=10)) == [0, 1, 2]
+    with pytest.raises(ValueError):
+        oracle_sample_indices(0)
+
+
+def test_numpy_gate_is_why_these_tests_can_skip():
+    assert numpy_available()

@@ -1,0 +1,178 @@
+"""Surrogate fit/predict quality and the fail-loud oracle validation."""
+
+import time
+
+import pytest
+
+np = pytest.importorskip("numpy")
+
+from repro.vec.arrays import SweepPoint, compile_points  # noqa: E402
+from repro.vec.backend import latency_grid, peak_grid  # noqa: E402
+from repro.vec.oracle import P99_RTOL, THROUGHPUT_RTOL  # noqa: E402
+from repro.vec.surrogate import (  # noqa: E402
+    LatencySurrogate,
+    OracleReport,
+    SurrogateValidationError,
+    ThroughputSurrogate,
+    validate_against_oracle,
+)
+
+SEED = 0
+
+
+def _closed_grid():
+    points = [
+        SweepPoint(workload, shape, count, mechanism=mechanism)
+        for workload in ("packet-encapsulation", "crypto-forwarding")
+        for shape in ("FB", "PC", "NC", "SQ")
+        for count in (1, 200, 1000)
+        for mechanism in ("spinning", "hyperplane")
+    ]
+    return compile_points(points)
+
+
+def _open_grid():
+    points = [
+        SweepPoint(
+            "packet-encapsulation", shape, 400,
+            mechanism=mechanism, num_cores=4, cluster_cores=cluster, load=load,
+        )
+        for shape in ("FB", "PC")
+        for mechanism in ("spinning", "hyperplane")
+        for cluster in (1, 2)
+        for load in (0.2, 0.5, 0.8)
+    ]
+    return compile_points(points)
+
+
+# -- fitting -----------------------------------------------------------------
+
+
+def test_throughput_surrogate_fits_vec_output_tightly():
+    grid = _closed_grid()
+    observed = peak_grid(grid, seed=SEED)
+    surrogate = ThroughputSurrogate()
+    assert not surrogate.fitted
+    fit = surrogate.fit(grid, observed)
+    assert surrogate.fitted
+    assert fit.metric == "throughput_mtps"
+    assert fit.num_points == grid.num_points
+    # The analytic seed already captures the scan-cost mechanism; the
+    # fitted correction must land well inside the oracle tolerance on
+    # its own training grid or it could never validate.
+    assert fit.max_rel_error < THROUGHPUT_RTOL
+    predicted = surrogate.predict(grid)
+    assert predicted.shape == (grid.num_points,)
+    assert np.all(predicted > 0)
+
+
+def test_latency_surrogate_fits_vec_output():
+    grid = _open_grid()
+    observed = latency_grid(grid, seed=SEED)
+    surrogate = LatencySurrogate()
+    fit = surrogate.fit(grid, observed.p99_us)
+    assert fit.metric == "p99_us"
+    # Tail surrogates are rougher than throughput ones: the linear
+    # correction tracks the bulk of the grid (mean residual well inside
+    # the contract) but individual shared-cluster spinning points can
+    # stray further — which is exactly why publishing surrogate numbers
+    # requires the validate_against_oracle() gate, not the training fit.
+    assert fit.mean_rel_error < P99_RTOL
+    assert fit.max_rel_error < 2 * P99_RTOL
+    predicted = surrogate.predict(grid)
+    # Predictions never fall under the physical floor (service time).
+    assert np.all(predicted >= grid.mean_service * 1e6 - 1e-9)
+
+
+def test_surrogate_guards():
+    grid = _closed_grid()
+    surrogate = ThroughputSurrogate()
+    with pytest.raises(RuntimeError, match="fit"):
+        surrogate.predict(grid)
+    with pytest.raises(ValueError, match="one entry per grid point"):
+        surrogate.fit(grid, [1.0])
+    with pytest.raises(ValueError, match="positive"):
+        surrogate.fit(grid, [0.0] * grid.num_points)
+    with pytest.raises(ValueError, match="open-loop"):
+        LatencySurrogate().fit(grid, [1.0] * grid.num_points)
+
+
+# -- oracle validation -------------------------------------------------------
+
+
+def test_validate_against_oracle_passes_a_good_fit():
+    grid = _closed_grid()
+    surrogate = ThroughputSurrogate()
+    surrogate.fit(grid, peak_grid(grid, seed=SEED))
+    report = validate_against_oracle(
+        surrogate, grid, samples=2, seed=SEED,
+        target_completions=600, max_seconds=2.0,
+    )
+    assert isinstance(report, OracleReport)
+    assert report.passed
+    assert report.metric == "throughput_mtps"
+    assert len(report.sample_indices) == 2
+    payload = report.to_dict()
+    assert payload["passed"] is True
+    assert payload["tolerance"] == THROUGHPUT_RTOL
+
+
+def test_validate_against_oracle_fails_a_misfit_surrogate_loudly():
+    """A deliberately mis-fit surrogate must raise, not quietly pass."""
+    grid = _closed_grid()
+    surrogate = ThroughputSurrogate()
+    surrogate.fit(grid, peak_grid(grid, seed=SEED))
+    # Corrupt the fitted coefficients: 5x the seconds-per-task slope.
+    surrogate._theta = surrogate._theta * 5.0
+    with pytest.raises(SurrogateValidationError) as excinfo:
+        validate_against_oracle(
+            surrogate, grid, samples=2, seed=SEED,
+            target_completions=600, max_seconds=2.0,
+        )
+    report = excinfo.value.report
+    assert not report.passed
+    assert report.max_rel_error > THROUGHPUT_RTOL
+    assert "tolerance" in str(excinfo.value)
+
+
+def test_validate_raw_predictions_without_a_surrogate():
+    grid = _closed_grid()
+    observed = peak_grid(grid, seed=SEED)
+    report = validate_against_oracle(
+        None, grid, predictions=observed, metric="throughput_mtps",
+        samples=2, seed=SEED, target_completions=600, max_seconds=2.0,
+    )
+    assert report.passed
+    with pytest.raises(ValueError, match="metric"):
+        validate_against_oracle(None, grid, predictions=observed)
+    with pytest.raises(ValueError, match="unknown metric"):
+        validate_against_oracle(
+            None, grid, predictions=observed, metric="jitter_us"
+        )
+
+
+# -- the point of surrogates: dense grids for free ---------------------------
+
+
+def test_fitted_surrogate_regenerates_1000_point_grid_fast():
+    """Fit once, then sweep a 1296-point design space in seconds."""
+    small = _closed_grid()
+    surrogate = ThroughputSurrogate()
+    surrogate.fit(small, peak_grid(small, seed=SEED))
+
+    counts = [1 + 16 * i for i in range(63)]  # 1..993, 63 values
+    dense_points = [
+        SweepPoint(workload, shape, count, mechanism=mechanism)
+        for workload in ("packet-encapsulation", "crypto-forwarding")
+        for shape in ("FB", "PC", "NC", "SQ")
+        for count in counts
+        for mechanism in ("spinning", "hyperplane")
+    ]
+    assert len(dense_points) >= 1000
+    t0 = time.perf_counter()
+    dense = compile_points(dense_points)
+    predicted = surrogate.predict(dense)
+    elapsed = time.perf_counter() - t0
+    assert elapsed < 10.0, f"dense sweep took {elapsed:.1f}s (budget 10s)"
+    assert predicted.shape == (len(dense_points),)
+    assert np.all(predicted > 0)

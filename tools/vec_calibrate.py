@@ -1,0 +1,104 @@
+"""Calibration sweep: vec engine vs the exact event backend.
+
+Run with PYTHONPATH=src. Prints relative errors per point so the
+documented tolerances in repro.vec.oracle can be set with margin.
+"""
+
+import time
+
+from repro.core.runner import run_hyperplane
+from repro.sdp.config import SDPConfig
+from repro.sdp.runner import run_interrupts, run_spinning
+from repro.vec.arrays import SweepPoint, compile_points
+from repro.vec.engine import open_loop_latency, peak_throughput
+
+RUNNERS = {
+    "spinning": run_spinning,
+    "hyperplane": run_hyperplane,
+    "interrupts": run_interrupts,
+}
+
+
+def closed_grid():
+    points = []
+    for workload in ("packet-encapsulation", "crypto-forwarding"):
+        for shape in ("FB", "PC", "NC", "SQ"):
+            for count in (1, 200, 1000):
+                for mech in ("spinning", "hyperplane"):
+                    points.append(
+                        SweepPoint(workload, shape, count, mechanism=mech)
+                    )
+    return points
+
+
+def open_grid():
+    points = []
+    for mech in ("spinning", "hyperplane"):
+        for cluster_cores in (1, 2, 4):
+            for load in (0.2, 0.5, 0.8):
+                points.append(
+                    SweepPoint(
+                        "packet-encapsulation",
+                        "FB",
+                        400,
+                        mechanism=mech,
+                        num_cores=4,
+                        cluster_cores=cluster_cores,
+                        load=load,
+                    )
+                )
+    return points
+
+
+def main():
+    points = closed_grid()
+    grid = compile_points(points)
+    t0 = time.perf_counter()
+    vec_mtps = peak_throughput(grid, completions=4096, seed=1)
+    vec_dt = time.perf_counter() - t0
+    print(f"closed loop: {len(points)} points in {vec_dt:.3f}s vec")
+    worst = 0.0
+    for i, p in enumerate(points):
+        runner = RUNNERS[p.mechanism]
+        cfg = SDPConfig(num_queues=p.num_queues, workload=p.workload,
+                        shape=p.shape, seed=7)
+        m = runner(cfg, closed_loop=True, target_completions=1500,
+                   max_seconds=3.0)
+        event = m.throughput_mtps
+        rel = abs(vec_mtps[i] - event) / event
+        worst = max(worst, rel)
+        flag = " <-- " if rel > 0.10 else ""
+        print(f"  {p.workload[:8]:8s} {p.shape} n={p.num_queues:4d} "
+              f"{p.mechanism[:4]} vec={vec_mtps[i]:.4f} ev={event:.4f} "
+              f"rel={rel:.3f}{flag}")
+    print(f"closed-loop worst rel error: {worst:.3f}")
+
+    points = open_grid()
+    grid = compile_points(points)
+    t0 = time.perf_counter()
+    res = open_loop_latency(grid, tasks=6000, seed=1)
+    vec_dt = time.perf_counter() - t0
+    print(f"open loop: {len(points)} points in {vec_dt:.3f}s vec")
+    worst_p99 = worst_mean = 0.0
+    for i, p in enumerate(points):
+        runner = RUNNERS[p.mechanism]
+        cfg = SDPConfig(num_queues=p.num_queues, workload=p.workload,
+                        shape=p.shape, num_cores=p.num_cores,
+                        cluster_cores=p.cluster_cores, seed=7)
+        m = runner(cfg, load=p.load, target_completions=3000, max_seconds=3.0)
+        ep99 = m.latency.p99_us
+        emean = m.latency.mean_us
+        r99 = abs(res.p99_us[i] - ep99) / ep99
+        rmean = abs(res.mean_us[i] - emean) / emean
+        worst_p99 = max(worst_p99, r99)
+        worst_mean = max(worst_mean, rmean)
+        flag = " <-- " if r99 > 0.30 else ""
+        print(f"  cc={p.cluster_cores} load={p.load} {p.mechanism[:4]} "
+              f"p99 vec={res.p99_us[i]:8.2f} ev={ep99:8.2f} rel={r99:.3f} "
+              f"mean vec={res.mean_us[i]:7.2f} ev={emean:7.2f} "
+              f"rel={rmean:.3f}{flag}")
+    print(f"open-loop worst rel: p99={worst_p99:.3f} mean={worst_mean:.3f}")
+
+
+if __name__ == "__main__":
+    main()
