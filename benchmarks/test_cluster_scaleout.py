@@ -8,7 +8,7 @@ spinning gap, and a rack run is a pure function of its root seed.
 """
 
 from repro.cluster import ClusterConfig, run_cluster
-from repro.experiments.cluster_scaleout import run_cluster_scaleout
+from repro.experiments.cluster_scaleout import ClusterScaleoutConfig, run
 
 
 def _rows(result, **match):
@@ -26,7 +26,7 @@ def _row(result, **match):
 
 
 def test_cluster_scaleout_shapes(run_once):
-    result = run_once(lambda: run_cluster_scaleout(fast=True))
+    result = run_once(lambda: run(ClusterScaleoutConfig(fast=True)))
     print("\n" + result.format_table())
 
     scale = sorted(

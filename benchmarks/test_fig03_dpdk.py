@@ -1,10 +1,10 @@
 """Regenerates Fig. 3: the DPDK queue-scalability case study."""
 
-from repro.experiments.fig3_dpdk import run_fig3a, run_fig3b, run_fig3c
+from repro.experiments.fig3_dpdk import Fig3Config, run
 
 
 def test_fig3a_throughput_vs_queues(run_once):
-    result = run_once(lambda: run_fig3a(fast=True))
+    result = run_once(lambda: run(Fig3Config(fast=True, panel="a")))
     print("\n" + result.format_table())
     series = result.series("queues", "SQ")
     counts = sorted(series)
@@ -15,7 +15,7 @@ def test_fig3a_throughput_vs_queues(run_once):
 
 
 def test_fig3b_latency_vs_queues(run_once):
-    result = run_once(lambda: run_fig3b(fast=True))
+    result = run_once(lambda: run(Fig3Config(fast=True, panel="b")))
     print("\n" + result.format_table())
     avg = result.series("queues", "avg_us")
     p99 = result.series("queues", "p99_us")
@@ -28,7 +28,7 @@ def test_fig3b_latency_vs_queues(run_once):
 
 
 def test_fig3c_latency_cdf(run_once):
-    result = run_once(lambda: run_fig3c(fast=True))
+    result = run_once(lambda: run(Fig3Config(fast=True, panel="c")))
     print("\n" + result.format_table())
     spreads = {row["queues"]: row["p99"] - row["p10"] for row in result.rows}
     assert spreads[512] > spreads[256] > spreads[1]

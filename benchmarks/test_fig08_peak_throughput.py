@@ -1,10 +1,10 @@
 """Regenerates Fig. 8: peak throughput, spinning vs. HyperPlane."""
 
-from repro.experiments.fig8_peak_throughput import run_fig8
+from repro.experiments.fig8_peak_throughput import Fig8Config, run
 
 
 def test_fig8_peak_throughput(run_once):
-    result = run_once(lambda: run_fig8(fast=True))
+    result = run_once(lambda: run(Fig8Config(fast=True)))
     print("\n" + result.format_table())
     rows = result.rows
 

@@ -1,10 +1,10 @@
 """Regenerates Fig. 9: zero-load latency vs. queue count."""
 
-from repro.experiments.fig9_zero_load import run_fig9a, run_fig9b
+from repro.experiments.fig9_zero_load import Fig9Config, run
 
 
 def test_fig9a_spinning_latency_grows(run_once):
-    result = run_once(lambda: run_fig9a(fast=True))
+    result = run_once(lambda: run(Fig9Config(fast=True, panel="a")))
     print("\n" + result.format_table())
     avg = result.series("queues", "avg_us")
     p99 = result.series("queues", "p99_us")
@@ -17,7 +17,7 @@ def test_fig9a_spinning_latency_grows(run_once):
 
 
 def test_fig9b_hyperplane_flat_and_power_crossover(run_once):
-    result = run_once(lambda: run_fig9b(fast=True))
+    result = run_once(lambda: run(Fig9Config(fast=True, panel="b")))
     print("\n" + result.format_table())
     regular = result.series("queues", "regular_us")
     powered = result.series("queues", "power_opt_us")

@@ -1,10 +1,10 @@
 """Regenerates Fig. 10: multicore tail latency across organisations."""
 
-from repro.experiments.fig10_multicore import run_fig10a, run_fig10b
+from repro.experiments.fig10_multicore import Fig10Config, run
 
 
 def test_fig10a_fully_balanced(run_once):
-    result = run_once(lambda: run_fig10a(fast=True))
+    result = run_once(lambda: run(Fig10Config(fast=True, panel="a")))
     print("\n" + result.format_table())
     mid = min(result.rows, key=lambda r: abs(r["load"] - 0.5))
     # Scale-up helps HyperPlane monotonically...
@@ -18,7 +18,7 @@ def test_fig10a_fully_balanced(run_once):
 
 
 def test_fig10b_proportionally_concentrated_with_imbalance(run_once):
-    result = run_once(lambda: run_fig10b(fast=True))
+    result = run_once(lambda: run(Fig10Config(fast=True, panel="b")))
     print("\n" + result.format_table())
     high = max(result.rows, key=lambda r: r["load"])
     # Static imbalance inflates scale-out latency (mean is the robust

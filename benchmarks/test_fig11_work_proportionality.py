@@ -1,10 +1,10 @@
 """Regenerates Fig. 11: IPC breakdown and SMT co-runner interference."""
 
-from repro.experiments.fig11_work_proportionality import run_fig11a, run_fig11b
+from repro.experiments.fig11_work_proportionality import Fig11Config, run
 
 
 def test_fig11a_ipc_breakdown(run_once):
-    result = run_once(lambda: run_fig11a(fast=True))
+    result = run_once(lambda: run(Fig11Config(fast=True, panel="a")))
     print("\n" + result.format_table())
     rows = sorted(result.rows, key=lambda r: r["load"])
     zero, top = rows[0], rows[-1]
@@ -21,7 +21,7 @@ def test_fig11a_ipc_breakdown(run_once):
 
 
 def test_fig11b_corunner_ipc(run_once):
-    result = run_once(lambda: run_fig11b(fast=True))
+    result = run_once(lambda: run(Fig11Config(fast=True, panel="b")))
     print("\n" + result.format_table())
     rows = sorted(result.rows, key=lambda r: r["load"])
     spin = [row["corunner_vs_spinning"] for row in rows]

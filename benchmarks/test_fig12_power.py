@@ -1,10 +1,10 @@
 """Regenerates Fig. 12: energy proportionality and the C1 mode."""
 
-from repro.experiments.fig12_power import run_fig12a, run_fig12b
+from repro.experiments.fig12_power import Fig12Config, run
 
 
 def test_fig12a_normalized_power(run_once):
-    result = run_once(lambda: run_fig12a(fast=True))
+    result = run_once(lambda: run(Fig12Config(fast=True, panel="a")))
     print("\n" + result.format_table())
     rows = {row["system"]: row for row in result.rows}
     # Spinning is energy-disproportional: zero load burns >= saturation.
@@ -20,7 +20,7 @@ def test_fig12a_normalized_power(run_once):
 
 
 def test_fig12b_power_optimised_tail_gap(run_once):
-    result = run_once(lambda: run_fig12b(fast=True))
+    result = run_once(lambda: run(Fig12Config(fast=True, panel="b")))
     print("\n" + result.format_table())
     rows = sorted(result.rows, key=lambda r: r["load"])
     low = rows[0]

@@ -1,10 +1,10 @@
 """Regenerates Fig. 13: software vs. hardware ready set."""
 
-from repro.experiments.fig13_ready_set import run_fig13
+from repro.experiments.fig13_ready_set import Fig13Config, run
 
 
 def test_fig13_software_ready_set(run_once):
-    result = run_once(lambda: run_fig13(fast=True))
+    result = run_once(lambda: run(Fig13Config(fast=True)))
     print("\n" + result.format_table())
     for row in result.rows:
         # The software iterator always loses throughput...

@@ -1,10 +1,10 @@
 """Regenerates the headline numbers: 4.1x throughput, 16.4x tail latency."""
 
-from repro.experiments.headline import run_headline
+from repro.experiments.headline import HeadlineConfig, run
 
 
 def test_headline_gains(run_once):
-    result = run_once(lambda: run_headline(fast=True))
+    result = run_once(lambda: run(HeadlineConfig(fast=True)))
     print("\n" + result.format_table())
     rows = {row["metric"]: row for row in result.rows}
     throughput = rows["peak throughput gain"]

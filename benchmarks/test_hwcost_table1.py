@@ -2,12 +2,12 @@
 
 import pytest
 
-from repro.experiments.hwcost import costs_for, run_hwcost
+from repro.experiments.hwcost import HwCostConfig, costs_for, run
 from repro.sdp.config import CHIP_CORES, MONITORING_SET_ENTRIES, READY_SET_ENTRIES, TABLE1
 
 
 def test_hwcost_table(run_once):
-    result = run_once(lambda: run_hwcost(fast=True))
+    result = run_once(lambda: run(HwCostConfig(fast=True)))
     print("\n" + result.format_table())
     anchor = costs_for(1024)
     assert anchor.ready_set_area == pytest.approx(0.13)

@@ -3,20 +3,21 @@
 
 Builds a HyperPlane data plane with the tenant side attached (device
 queues -> SDP transport processing -> tenant queues -> tenant cores) and
-an event tracer, runs open-loop traffic, and prints:
+a causal span tracer (repro.obs.trace), runs open-loop traffic, and
+prints:
 
 - the device-to-dataplane vs. device-to-tenant latency split;
 - the in-place vs. copying transport comparison (step 2c);
-- a sample per-item timeline from the trace.
+- a sample per-item span timeline from the trace.
 
 Run:  python examples/end_to_end_receive_path.py
 """
 
-from repro.core.dataplane import build_hyperplane
 from repro import SDPConfig
-from repro.sdp import attach_tenant_side, attach_tracer
+from repro.core.dataplane import build_hyperplane
+from repro.obs.trace import Tracer, active_tracer
+from repro.sdp import attach_tenant_side
 from repro.sdp.system import DataPlaneSystem
-from repro.sdp.tracing import EVENT_COMPLETE
 
 
 def run_path(in_place: bool):
@@ -24,12 +25,14 @@ def run_path(in_place: bool):
         num_queues=64, workload="packet-encapsulation", shape="PC",
         service_scv=0.0, seed=7,
     )
-    system = DataPlaneSystem(config)
-    tracer = attach_tracer(system, capacity=50_000)
-    tenant_side = attach_tenant_side(system, num_tenants=4, in_place=in_place)
-    build_hyperplane(system)
-    system.attach_open_loop(load=0.3)
-    system.run(duration=0.01, warmup=0.001)
+    tracer = Tracer(seed=7, sample_rate=1.0)
+    with active_tracer(tracer):
+        system = DataPlaneSystem(config)
+        tenant_side = attach_tenant_side(system, num_tenants=4, in_place=in_place)
+        build_hyperplane(system)
+        system.attach_open_loop(load=0.3)
+        system.run(duration=0.01, warmup=0.001)
+    tracer.finalize()
     return system, tenant_side, tracer
 
 
@@ -46,14 +49,14 @@ def main():
         print(f"  items delivered: {tenant_side.delivered}")
     print()
 
-    # A per-item timeline from the last (copying) run.
-    completed = tracer.events_of_kind(EVENT_COMPLETE)
-    sample = completed[len(completed) // 2]
-    breakdown = tracer.breakdown(sample.item_id)
-    print(f"sample item {sample.item_id} (queue {sample.qid}):")
-    print(f"  queueing wait      : {breakdown['wait'] * 1e6:.2f} us")
-    print(f"  service + overhead : {breakdown['service_and_overhead'] * 1e6:.2f} us")
-    print(f"mean wait share across traced items: {tracer.mean_wait_fraction():.0%}")
+    # A per-item span tree from the last (copying) run.
+    roots = tracer.roots()
+    sample = roots[len(roots) // 2]
+    children = tracer.children(sample)
+    print(f"sample trace {sample.trace_id} ({sample.name}, "
+          f"{sample.duration * 1e6:.2f} us):")
+    for child in children:
+        print(f"  {child.name:20s}: {child.duration * 1e6:.2f} us")
 
 
 if __name__ == "__main__":

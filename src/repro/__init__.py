@@ -32,7 +32,11 @@ Package map (see DESIGN.md for the full inventory):
 
 # Version first: repro.obs.manifest reads it back lazily when stamping
 # run manifests, so it must exist before the imports below execute.
-__version__ = "1.1.0"
+# 2.0.0: the v1 run_figX()/run_hwcost()/... deprecation shims and the
+# repro.sdp.tracing compatibility tracer are gone (docs/api.md has the
+# migration table); backends live in a registry (repro.experiments.base)
+# and the dist backend runs racks across worker processes (repro.dist).
+__version__ = "2.0.0"
 
 from repro.cluster.config import ClusterConfig
 from repro.cluster.metrics import ClusterMetrics

@@ -1,0 +1,237 @@
+"""The dist wire protocol: length-prefixed frames over a stream socket.
+
+Every message between the coordinator and a worker is one *frame*: a
+4-byte big-endian unsigned length followed by that many bytes of UTF-8
+JSON. JSON keeps the protocol stdlib-only and debuggable (``repro.obs``
+metric snapshots and config dicts pass through unchanged); floats
+round-trip exactly through ``repr``, so simulated times and latencies
+survive the wire bit-for-bit.
+
+Message shapes (the ``type`` field selects the handler):
+
+==============  =============================================================
+``hello``       worker -> coordinator on connect: worker id, auth token, pid.
+``configure``   coordinator -> worker: one episode's cluster config, the
+                server indices this worker owns, measurement window, and
+                (for tests) an optional crash-injection point.
+``ready``       worker -> coordinator: episode built, servers listed.
+``step``        coordinator -> worker: one lockstep window — dispatch
+                records, fault directives, and the sim-time bound to
+                advance to.
+``step_ok``     worker -> coordinator: the window's completions, losses,
+                re-dispatch requests, and rejections.
+``heartbeat``   worker -> coordinator, interleaved while a long ``step``
+                is still running: liveness only, carries the worker's
+                current simulated time. Never a reply; receivers skip it.
+``collect``     coordinator -> worker: episode over — return the metrics
+                snapshot, per-node manifest block, and invariant status.
+``collected``   worker -> coordinator: the requested payload.
+``shutdown``    coordinator -> worker: exit cleanly.
+``bye``         worker -> coordinator: acknowledgement, then the process
+                exits.
+``error``       worker -> coordinator: the handler raised; carries the
+                traceback text. The coordinator surfaces it.
+==============  =============================================================
+
+RPC semantics are at-most-once: every coordinator request carries a
+monotonically increasing ``seq``, the worker remembers the last ``seq``
+it executed together with the reply it sent, and a re-delivered request
+(a retry after a timeout) returns the cached reply instead of executing
+twice. Dispatch/completion application therefore stays idempotent even
+when the coordinator retries with backoff (see
+:meth:`Channel.rpc`).
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import struct
+import time
+from typing import Any, Dict, Optional
+
+# Frame header: one network-order u32 length.
+_HEADER = struct.Struct("!I")
+
+# A frame larger than this is a protocol error, not a big message: the
+# largest legitimate payloads (metric snapshots, full-window dispatch
+# batches) are a few hundred KiB.
+MAX_FRAME_BYTES = 64 * 1024 * 1024
+
+# Defaults for the retry policy; DistOptions overrides per run.
+DEFAULT_TIMEOUT_S = 30.0
+DEFAULT_RETRIES = 3
+DEFAULT_BACKOFF_S = 0.05
+
+
+class WireError(RuntimeError):
+    """Base class for wire-protocol failures."""
+
+
+class ChannelClosed(WireError):
+    """The peer closed the connection (EOF or reset) — for a worker
+    channel this is how a process crash announces itself."""
+
+
+class ChannelTimeout(WireError):
+    """No frame arrived within the deadline (liveness failure: even an
+    idle worker heartbeats while executing a step)."""
+
+
+class ProtocolError(WireError):
+    """A frame arrived but was not a valid message."""
+
+
+class RemoteError(WireError):
+    """The worker's handler raised; carries the remote traceback."""
+
+
+def encode_frame(message: Dict[str, Any]) -> bytes:
+    """Serialise one message to its on-wire form (header + JSON body)."""
+    body = json.dumps(message, separators=(",", ":")).encode("utf-8")
+    if len(body) > MAX_FRAME_BYTES:
+        raise ProtocolError(f"frame of {len(body)} bytes exceeds {MAX_FRAME_BYTES}")
+    return _HEADER.pack(len(body)) + body
+
+
+def decode_body(body: bytes) -> Dict[str, Any]:
+    """Parse a frame body back into a message dict."""
+    try:
+        message = json.loads(body.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ProtocolError(f"undecodable frame: {exc}") from exc
+    if not isinstance(message, dict) or "type" not in message:
+        raise ProtocolError(f"frame is not a typed message: {message!r}")
+    return message
+
+
+class Channel:
+    """One framed, timeout-aware connection to a peer.
+
+    Wraps a connected stream socket (TCP loopback or ``AF_UNIX``) with
+    frame send/receive and the coordinator-side RPC helper. All receive
+    paths honour a deadline; send failures and EOF raise
+    :class:`ChannelClosed` so callers can treat a dead peer uniformly.
+    """
+
+    def __init__(self, sock: socket.socket, name: str = "peer"):
+        self.sock = sock
+        self.name = name
+        self._recv_buffer = b""
+        self._seq = 0
+        # Keep frames flowing promptly on TCP: windows are small and
+        # latency-sensitive, so disable Nagle where the option exists.
+        try:
+            sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        except OSError:
+            pass  # AF_UNIX has no TCP options
+
+    # -- framing -------------------------------------------------------------
+
+    def send(self, message: Dict[str, Any]) -> None:
+        """Send one frame; a broken pipe surfaces as :class:`ChannelClosed`."""
+        try:
+            self.sock.sendall(encode_frame(message))
+        except (BrokenPipeError, ConnectionError, OSError) as exc:
+            raise ChannelClosed(f"{self.name}: send failed: {exc}") from exc
+
+    def _recv_exact(self, nbytes: int, deadline: Optional[float]) -> bytes:
+        while len(self._recv_buffer) < nbytes:
+            if deadline is not None:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    raise ChannelTimeout(f"{self.name}: receive timed out")
+                self.sock.settimeout(remaining)
+            else:
+                self.sock.settimeout(None)
+            try:
+                chunk = self.sock.recv(65536)
+            except socket.timeout as exc:
+                raise ChannelTimeout(f"{self.name}: receive timed out") from exc
+            except (ConnectionError, OSError) as exc:
+                raise ChannelClosed(f"{self.name}: connection lost: {exc}") from exc
+            if not chunk:
+                raise ChannelClosed(f"{self.name}: peer closed the connection")
+            self._recv_buffer += chunk
+        data, self._recv_buffer = (
+            self._recv_buffer[:nbytes],
+            self._recv_buffer[nbytes:],
+        )
+        return data
+
+    def recv(self, timeout: Optional[float] = None) -> Dict[str, Any]:
+        """Receive one frame within ``timeout`` seconds (None = block)."""
+        deadline = None if timeout is None else time.monotonic() + timeout
+        (length,) = _HEADER.unpack(self._recv_exact(_HEADER.size, deadline))
+        if length > MAX_FRAME_BYTES:
+            raise ProtocolError(f"{self.name}: oversized frame ({length} bytes)")
+        return decode_body(self._recv_exact(length, deadline))
+
+    # -- coordinator-side RPC ------------------------------------------------
+
+    def next_seq(self) -> int:
+        self._seq += 1
+        return self._seq
+
+    def rpc(
+        self,
+        message: Dict[str, Any],
+        expect: str,
+        timeout: float = DEFAULT_TIMEOUT_S,
+        retries: int = DEFAULT_RETRIES,
+        backoff_s: float = DEFAULT_BACKOFF_S,
+        on_heartbeat=None,
+    ) -> Dict[str, Any]:
+        """Send a request and await its typed reply, with retry/backoff.
+
+        The request is stamped with a fresh ``seq``; on a timeout the
+        same frame (same ``seq``) is re-sent after an exponentially
+        growing backoff, and the worker's at-most-once cache guarantees
+        re-delivery cannot re-execute the step. Heartbeat frames reset
+        the liveness deadline (and are reported to ``on_heartbeat``)
+        without counting as replies. ``ChannelClosed`` is never retried
+        — a vanished peer is a crash fault for the caller's failover
+        logic, not a transient.
+        """
+        message = dict(message)
+        message.setdefault("seq", self.next_seq())
+        delay = backoff_s
+        last_timeout: Optional[ChannelTimeout] = None
+        for attempt in range(retries + 1):
+            if attempt:
+                time.sleep(delay)
+                delay *= 2
+            self.send(message)
+            while True:
+                try:
+                    reply = self.recv(timeout=timeout)
+                except ChannelTimeout as exc:
+                    last_timeout = exc
+                    break  # resend the same seq
+                if reply.get("type") == "heartbeat":
+                    if on_heartbeat is not None:
+                        on_heartbeat(reply)
+                    continue
+                if reply.get("type") == "error":
+                    raise RemoteError(
+                        f"{self.name}: remote handler failed:\n"
+                        f"{reply.get('traceback', reply)}"
+                    )
+                if reply.get("seq") not in (None, message["seq"]):
+                    # A stale reply from a retried earlier request:
+                    # drop it and keep waiting for ours.
+                    continue
+                if reply.get("type") != expect:
+                    raise ProtocolError(
+                        f"{self.name}: expected {expect!r}, got {reply.get('type')!r}"
+                    )
+                return reply
+        raise last_timeout if last_timeout is not None else ChannelTimeout(
+            f"{self.name}: rpc gave up after {retries + 1} attempts"
+        )
+
+    def close(self) -> None:
+        try:
+            self.sock.close()
+        except OSError:
+            pass

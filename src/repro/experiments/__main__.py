@@ -16,7 +16,8 @@ import os
 import sys
 import time
 
-from repro.experiments.base import BACKENDS
+from repro.dist import DistError, WireError
+from repro.experiments.base import UsageError, backend_names
 from repro.experiments.registry import REGISTRY, run_experiment
 
 
@@ -45,8 +46,23 @@ def main(argv=None) -> int:
     parser.add_argument(
         "--backend",
         default="event",
-        help=f"execution backend, one of {list(BACKENDS)} (default "
-        "'event'; vec/surrogate need numpy — see docs/vectorized.md)",
+        help=f"execution backend, one of {list(backend_names())} (default "
+        "'event'; vec/surrogate need numpy — see docs/vectorized.md; "
+        "dist spawns a multi-process fleet — see docs/distributed.md)",
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="dist backend: worker processes per fleet (default: the "
+        "experiment's own; capped at the server count)",
+    )
+    parser.add_argument(
+        "--speed-factor",
+        type=float,
+        default=None,
+        help="dist backend: replay pacing vs wall clock (1 = real time; "
+        "default 0 = max speed)",
     )
     parser.add_argument(
         "--json",
@@ -88,12 +104,27 @@ def main(argv=None) -> int:
                 seed=args.seed,
                 metrics=metrics,
                 backend=args.backend,
+                workers=args.workers,
+                speed_factor=args.speed_factor,
             )
-        except ValueError as exc:
-            # Unknown experiment / backend / unsupported combination:
-            # the message already lists the valid choices.
+        except UsageError as exc:
+            # Unknown experiment / backend / unsupported combination /
+            # bad dist flag: the message lists the valid choices.
             print(f"error: {exc}", file=sys.stderr)
             return 2
+        except ValueError as exc:
+            # A config rejected a value (same class of mistake).
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        except WireError as exc:
+            # The fleet ran but a worker failed past the failover
+            # budget: a runtime fault, not a usage mistake.
+            print(f"error: {exc}", file=sys.stderr)
+            return 1
+        except DistError as exc:
+            # Worker spawn / fleet runtime failure: exit 1, not 2.
+            print(f"error: {exc}", file=sys.stderr)
+            return 1
         elapsed = time.time() - started
         print(result.format_table())
         print(f"({experiment_id} finished in {elapsed:.1f} s)")

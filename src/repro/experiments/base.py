@@ -1,4 +1,4 @@
-"""Shared experiment types: configs, results, manifests, JSON schema.
+"""Shared experiment types: configs, backends, results, JSON schema.
 
 Every experiment module exposes the same surface::
 
@@ -6,8 +6,12 @@ Every experiment module exposes the same surface::
 
 where the config is a frozen dataclass derived from
 :class:`ExperimentConfig` whose defaults reproduce the paper's
-settings. The legacy ``run_figX(fast=..., seed=...)`` entry points
-remain as thin deprecation shims built with :func:`deprecated_runner`.
+settings. Experiments that can execute on more than one engine derive
+from :class:`BackendConfig` instead, which adds the ``backend`` field
+and validates it against the :data:`BACKEND_REGISTRY` — the single
+place a backend's name, availability gate, and one-line summary live.
+(The v1 ``run_figX(fast=..., seed=...)`` deprecation shims were removed
+in v2.0.0; see docs/api.md for the migration table.)
 
 ``ExperimentResult`` serialisation is versioned: schema 2 adds the
 ``manifest`` provenance block (:class:`~repro.obs.manifest.RunManifest`)
@@ -18,9 +22,8 @@ schema-1 archives keep loading.
 from __future__ import annotations
 
 import json
-import warnings
 from dataclasses import asdict, dataclass, field
-from typing import Any, Dict, List, Optional
+from typing import Any, Callable, ClassVar, Dict, List, Optional, Sequence, Tuple
 
 from repro.obs.manifest import RunManifest
 
@@ -28,33 +31,110 @@ from repro.obs.manifest import RunManifest
 # (pre-observability archives); 2 = adds "schema" and "manifest".
 RESULT_SCHEMA_VERSION = 2
 
-# Execution backends for the sweep-style experiments:
-#   event     - the exact discrete-event simulators (the ground truth);
-#   vec       - the numpy batch engine (statistically faithful within
-#               the tolerances documented in repro.vec.oracle);
-#   surrogate - analytic predictors fitted on vec output, spot-checked
-#               against the exact simulator.
-BACKENDS = ("event", "vec", "surrogate")
+
+class UsageError(ValueError):
+    """A bad user-facing choice (unknown experiment, backend, flag value).
+
+    The CLI maps this — and only this — to exit code 2; runtime
+    failures (worker spawn, remote handler errors) exit 1. Raisers must
+    list the accepted choices in the message.
+    """
 
 
-def validate_backend(backend: str) -> str:
+@dataclass(frozen=True)
+class BackendSpec:
+    """One registered execution backend.
+
+    ``requires`` is an optional availability probe: it returns ``None``
+    when the backend can run in this environment, or a human-readable
+    hint (e.g. the numpy install instruction) when it cannot. The probe
+    runs at validation time so a missing optional dependency surfaces
+    as a :class:`UsageError` up front instead of an ImportError deep in
+    the engine.
+    """
+
+    name: str
+    summary: str
+    requires: Optional[Callable[[], Optional[str]]] = None
+
+
+def _numpy_requirement() -> Optional[str]:
+    from repro.vec import NUMPY_INSTALL_HINT, numpy_available
+
+    return None if numpy_available() else NUMPY_INSTALL_HINT
+
+
+# The global backend registry. Order is presentation order in help
+# text and error messages; insertion happens at import time via
+# register_backend, so downstream packages (repro.dist) can add their
+# backend without this module knowing about them. The four built-ins
+# are registered here because repro.experiments is their natural home.
+BACKEND_REGISTRY: Dict[str, BackendSpec] = {}
+
+
+def register_backend(spec: BackendSpec) -> BackendSpec:
+    """Add (or replace) a backend in the global registry."""
+    BACKEND_REGISTRY[spec.name] = spec
+    return spec
+
+
+register_backend(
+    BackendSpec(
+        name="event",
+        summary="exact discrete-event simulators (the ground truth)",
+    )
+)
+register_backend(
+    BackendSpec(
+        name="vec",
+        summary="numpy batch engine (statistically faithful, see repro.vec.oracle)",
+        requires=_numpy_requirement,
+    )
+)
+register_backend(
+    BackendSpec(
+        name="surrogate",
+        summary="analytic predictors fitted on vec output",
+        requires=_numpy_requirement,
+    )
+)
+register_backend(
+    BackendSpec(
+        name="dist",
+        summary="multi-process rack runtime over loopback sockets (repro.dist)",
+    )
+)
+
+
+def backend_names() -> Tuple[str, ...]:
+    """All registered backend names, in registration order."""
+    return tuple(BACKEND_REGISTRY)
+
+
+def validate_backend(
+    backend: str, supported: Optional[Sequence[str]] = None
+) -> str:
     """Validate a config/CLI backend choice with actionable errors.
 
-    Unknown names list the accepted choices; ``vec``/``surrogate``
-    without numpy installed explain the optional dependency instead of
-    failing later with a bare ImportError deep in the engine.
+    Raises :class:`UsageError` listing the accepted choices when the
+    name is unknown (or outside ``supported``, the per-experiment
+    subset), and when the backend's availability probe reports a
+    missing optional dependency.
     """
-    if backend not in BACKENDS:
-        raise ValueError(
-            f"unknown backend {backend!r}; expected one of {list(BACKENDS)}"
+    if backend not in BACKEND_REGISTRY:
+        raise UsageError(
+            f"unknown backend {backend!r}; expected one of {list(backend_names())}"
         )
-    if backend != "event":
-        from repro.vec import NUMPY_INSTALL_HINT, numpy_available
-
-        if not numpy_available():
-            raise ValueError(
-                f"backend={backend!r} is unavailable: {NUMPY_INSTALL_HINT}"
-            )
+    if supported is not None and backend not in supported:
+        raise UsageError(
+            f"backend {backend!r} is not supported here; "
+            f"expected one of {list(supported)}"
+        )
+    spec = BACKEND_REGISTRY[backend]
+    if spec.requires is not None:
+        hint = spec.requires()
+        if hint is not None:
+            raise UsageError(f"backend={backend!r} is unavailable: {hint}")
     return backend
 
 
@@ -79,6 +159,26 @@ class ExperimentConfig:
     def asdict(self) -> Dict[str, Any]:
         """A JSON-ready flat dict (manifest / provenance form)."""
         return asdict(self)
+
+
+@dataclass(frozen=True)
+class BackendConfig(ExperimentConfig):
+    """Config base for experiments that can run on multiple backends.
+
+    Subclasses narrow the choices by overriding the
+    ``supported_backends`` class attribute (a ClassVar, so it never
+    appears in ``asdict()`` / manifests); validation happens once here
+    instead of being re-implemented per experiment. Subclasses that
+    define their own ``__post_init__`` must chain to
+    ``super().__post_init__()``.
+    """
+
+    backend: str = "event"
+
+    supported_backends: ClassVar[Tuple[str, ...]] = ("event", "vec", "surrogate")
+
+    def __post_init__(self):
+        validate_backend(self.backend, supported=self.supported_backends)
 
 
 def run_with_tracing(config, body) -> "ExperimentResult":
@@ -109,17 +209,6 @@ def run_with_tracing(config, body) -> "ExperimentResult":
     return result
 
 
-def deprecated_runner(old_name: str, run, config) -> Any:
-    """Run ``run(config)`` while warning that ``old_name`` is a shim."""
-    warnings.warn(
-        f"{old_name}() is deprecated; use run({type(config).__name__}(...)) "
-        f"from the same module, or repro.experiments.run_experiment()",
-        DeprecationWarning,
-        stacklevel=3,
-    )
-    return run(config)
-
-
 @dataclass
 class ExperimentResult:
     """The output of one table/figure reproduction.
@@ -128,9 +217,11 @@ class ExperimentResult:
     row); ``notes`` carries the headline comparisons asserted against
     the paper; ``manifest`` (when run through the registry) records the
     provenance — config hash, seed, version, wall time, event count.
-    ``vec_info`` is set by experiments that ran on a non-event backend
-    (see :func:`repro.vec.backend.vec_provenance`); the registry folds
-    it into the manifest, so it is not serialised separately.
+    ``vec_info`` is set by experiments that ran on the vec/surrogate
+    backends (see :func:`repro.vec.backend.vec_provenance`) and
+    ``dist_info`` by experiments that ran on the dist backend (fleet
+    shape, transport, worker faults); the registry folds both into the
+    manifest, so they are not serialised separately.
     """
 
     experiment_id: str
@@ -139,6 +230,7 @@ class ExperimentResult:
     notes: List[str] = field(default_factory=list)
     manifest: Optional[RunManifest] = None
     vec_info: Optional[Dict[str, Any]] = None
+    dist_info: Optional[Dict[str, Any]] = None
 
     @property
     def columns(self) -> List[str]:

@@ -26,12 +26,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.cluster import ClusterConfig, run_cluster
-from repro.experiments.base import (
-    ExperimentConfig,
-    ExperimentResult,
-    deprecated_runner,
-    validate_backend,
-)
+from repro.experiments.base import BackendConfig, ExperimentResult
 from repro.experiments.parallel import parallel_map
 
 # Operating point (calibrated): wide per-server queue arrays make the
@@ -91,6 +86,66 @@ def scaleout_point(point: Point) -> Dict[str, object]:
     }
 
 
+def dist_scaleout_point(
+    point: Point, workers: int, speed_factor: float
+) -> Tuple[Dict[str, object], Dict[str, object]]:
+    """One grid point on the multi-process fleet -> (row, fleet record).
+
+    Each point spawns its own worker fleet (``min(workers, servers)``
+    processes over the default transport), replays the rack-equivalent
+    Poisson client population, and merges per-node metrics back through
+    the obs snapshot machinery — so the row has exactly the same shape
+    as :func:`scaleout_point`'s.
+    """
+    from repro.dist import DistOptions, run_cluster_dist
+
+    servers, balancer, system, profile, seed, completions = point
+    config = ClusterConfig(
+        num_servers=servers,
+        notification=system,
+        balancer=balancer,
+        fault_profile=profile,
+        queues_per_server=QUEUES_PER_SERVER,
+        num_flows=FLOWS_PER_SERVER * servers,
+        flow_skew=FLOW_SKEW,
+        seed=seed,
+    )
+    run = run_cluster_dist(
+        config,
+        load=LOAD,
+        duration=DURATION,
+        warmup=WARMUP,
+        target_completions=completions,
+        options=DistOptions(workers=workers, speed_factor=speed_factor),
+    )
+    summary = run.metrics.summary()
+    row = {
+        "servers": servers,
+        "system": system,
+        "balancer": balancer,
+        "fault": profile,
+        "p50_us": summary["p50_latency_us"],
+        "p99_us": summary["p99_latency_us"],
+        "p999_us": summary["p999_latency_us"],
+        "avg_us": summary["avg_latency_us"],
+        "hottest_share": summary["hottest_share"],
+        "lost": int(summary["lost"]),
+        "redispatched": int(summary["redispatched"]),
+    }
+    record = {
+        "servers": servers,
+        "system": system,
+        "balancer": balancer,
+        "fault": profile,
+        "workers": run.info["workers"],
+        "transport": run.info["transport"],
+        "partial": run.partial,
+        "worker_faults": run.worker_faults,
+        "nodes": run.nodes,
+    }
+    return row, record
+
+
 def _completions(servers: int, fast: bool) -> int:
     base = 3000 if fast else 6000
     return base * min(servers, 4)
@@ -125,7 +180,7 @@ def _pick(rows, **match) -> Dict[str, object]:
 
 
 @dataclass(frozen=True)
-class ClusterScaleoutConfig(ExperimentConfig):
+class ClusterScaleoutConfig(BackendConfig):
     """Rack-scale sweep settings (defaults = calibrated operating point).
 
     ``trace`` runs the sweep under a causal tracer and appends the
@@ -137,14 +192,27 @@ class ClusterScaleoutConfig(ExperimentConfig):
     its balancer-derived load share and pooling the fleet tail
     analytically, while the fault rows (crash / straggler /
     link-degrade semantics only the rack models) always run the exact
-    event path. See docs/vectorized.md.
+    event path (see docs/vectorized.md); ``dist`` runs every grid point
+    across a fleet of worker processes over loopback sockets
+    (``workers`` per point, capped at the point's server count) via
+    :func:`repro.dist.run_cluster_dist` — bit-exact with the event rack
+    for rss placement, statistically equivalent otherwise (see
+    docs/distributed.md). ``speed_factor`` paces the dist replay
+    against the wall clock (0 = max speed, what CI uses).
     """
 
     trace: bool = False
-    backend: str = "event"
+    workers: int = 4
+    speed_factor: float = 0.0
+
+    supported_backends = ("event", "vec", "surrogate", "dist")
 
     def __post_init__(self):
-        validate_backend(self.backend)
+        super().__post_init__()
+        if self.workers < 1:
+            raise ValueError("workers must be >= 1")
+        if self.speed_factor < 0:
+            raise ValueError("speed_factor must be >= 0 (0 = max speed)")
 
 
 def run(config: Optional[ClusterScaleoutConfig] = None) -> ExperimentResult:
@@ -376,7 +444,18 @@ def _run_grid(config: ClusterScaleoutConfig) -> ExperimentResult:
     # runs its (results-identical) serial in-process path; racks built
     # here then self-trace into the ambient tracer.
     processes = 1 if get_active_tracer() is not None else None
-    if config.backend != "event":
+    dist_records: List[Dict[str, object]] = []
+    if config.backend == "dist":
+        # Each point owns a worker fleet; run them serially so fleets
+        # never compete for cores (the parallelism is the fleet).
+        rows = []
+        for point in points:
+            row, record = dist_scaleout_point(
+                point, config.workers, config.speed_factor
+            )
+            rows.append(row)
+            dist_records.append(record)
+    elif config.backend != "event":
         scale_points = [p for p in points if p[3] == "none"]
         fault_points = [p for p in points if p[3] != "none"]
         rows = _vec_scale_rows(config, scale_points)
@@ -390,7 +469,29 @@ def _run_grid(config: ClusterScaleoutConfig) -> ExperimentResult:
         f"load {LOAD:.0%}",
     )
     result.rows = rows
-    if config.backend != "event":
+    if config.backend == "dist":
+        worker_faults = [
+            dict(fault, point=i)
+            for i, record in enumerate(dist_records)
+            for fault in record["worker_faults"]
+        ]
+        result.dist_info = {
+            "workers": config.workers,
+            "speed_factor": config.speed_factor,
+            "transport": dist_records[0]["transport"] if dist_records else None,
+            "points": len(dist_records),
+            "partial": any(record["partial"] for record in dist_records),
+            "worker_faults": worker_faults,
+            "records": dist_records,
+        }
+        result.notes.append(
+            f"backend=dist: every point ran on a multi-process fleet "
+            f"({config.workers} workers max, "
+            f"{result.dist_info['transport']} transport); rss rows are "
+            "bit-exact with the event rack, per-request policies are "
+            "statistically equivalent; see docs/distributed.md"
+        )
+    elif config.backend != "event":
         from repro.vec.backend import vec_provenance
 
         result.vec_info = vec_provenance(backend=config.backend)
@@ -430,10 +531,3 @@ def _run_grid(config: ClusterScaleoutConfig) -> ExperimentResult:
         f"with {crash['redispatched']} re-dispatched requests"
     )
     return result
-
-
-def run_cluster_scaleout(fast: bool = True, seed: int = 0) -> ExperimentResult:
-    """Deprecated: use ``run(ClusterScaleoutConfig(...))``."""
-    return deprecated_runner(
-        "run_cluster_scaleout", run, ClusterScaleoutConfig(fast=fast, seed=seed)
-    )

@@ -16,11 +16,9 @@ from typing import Optional, Sequence
 
 from repro.core.runner import run_hyperplane
 from repro.experiments.base import (
-    ExperimentConfig,
+    BackendConfig,
     ExperimentResult,
-    deprecated_runner,
     run_with_tracing,
-    validate_backend,
 )
 from repro.sdp.config import SDPConfig
 from repro.sdp.runner import run_spinning
@@ -60,7 +58,7 @@ def _tail(*args, **kwargs) -> float:
 
 
 @dataclass(frozen=True)
-class Fig10Config(ExperimentConfig):
+class Fig10Config(BackendConfig):
     """Fig. 10 settings; ``panel`` = "a" (FB) or "b" (PC + imbalance).
 
     ``trace`` runs the panel under a causal tracer (repro.obs.trace)
@@ -71,12 +69,11 @@ class Fig10Config(ExperimentConfig):
 
     panel: str = "a"
     trace: bool = False
-    backend: str = "event"
 
     def __post_init__(self):
+        super().__post_init__()
         if self.panel not in ("a", "b"):
             raise ValueError(f"unknown Fig. 10 panel {self.panel!r}; use a/b")
-        validate_backend(self.backend)
 
 
 def run(config: Optional[Fig10Config] = None) -> ExperimentResult:
@@ -237,17 +234,3 @@ def _fig10b(config: Fig10Config) -> ExperimentResult:
         f"p99 stays at {high['hp_up2']:.0f} us"
     )
     return result
-
-
-def run_fig10a(fast: bool = True, seed: int = 0) -> ExperimentResult:
-    """Deprecated: use ``run(Fig10Config(panel="a"))``."""
-    return deprecated_runner(
-        "run_fig10a", run, Fig10Config(fast=fast, seed=seed, panel="a")
-    )
-
-
-def run_fig10b(fast: bool = True, seed: int = 0) -> ExperimentResult:
-    """Deprecated: use ``run(Fig10Config(panel="b"))``."""
-    return deprecated_runner(
-        "run_fig10b", run, Fig10Config(fast=fast, seed=seed, panel="b")
-    )

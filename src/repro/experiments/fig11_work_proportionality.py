@@ -14,7 +14,7 @@ from dataclasses import dataclass
 from typing import Optional, Sequence
 
 from repro.core.runner import run_hyperplane
-from repro.experiments.base import ExperimentConfig, ExperimentResult, deprecated_runner
+from repro.experiments.base import ExperimentConfig, ExperimentResult
 from repro.sdp.config import SDPConfig
 from repro.sdp.runner import run_spinning
 from repro.smt.corunner import CoRunnerModel
@@ -108,17 +108,3 @@ def _fig11b(fast: bool, seed: int) -> ExperimentResult:
         f"({first['corunner_vs_hyperplane']:.2f} -> {last['corunner_vs_hyperplane']:.2f})"
     )
     return result
-
-
-def run_fig11a(fast: bool = True, seed: int = 0) -> ExperimentResult:
-    """Deprecated: use ``run(Fig11Config(panel="a"))``."""
-    return deprecated_runner(
-        "run_fig11a", run, Fig11Config(fast=fast, seed=seed, panel="a")
-    )
-
-
-def run_fig11b(fast: bool = True, seed: int = 0) -> ExperimentResult:
-    """Deprecated: use ``run(Fig11Config(panel="b"))``."""
-    return deprecated_runner(
-        "run_fig11b", run, Fig11Config(fast=fast, seed=seed, panel="b")
-    )

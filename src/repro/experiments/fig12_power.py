@@ -12,7 +12,7 @@ from dataclasses import dataclass
 from typing import Optional, Sequence
 
 from repro.core.runner import run_hyperplane
-from repro.experiments.base import ExperimentConfig, ExperimentResult, deprecated_runner
+from repro.experiments.base import ExperimentConfig, ExperimentResult
 from repro.power import PowerModel
 from repro.sdp.config import SDPConfig
 from repro.sdp.runner import run_spinning
@@ -150,17 +150,3 @@ def _fig12b(fast: bool, seed: int) -> ExperimentResult:
         f"{low['spinning_p99'] / low['hp_power_opt_p99']:.1f}x (paper: 8.9x)"
     )
     return result
-
-
-def run_fig12a(fast: bool = True, seed: int = 0) -> ExperimentResult:
-    """Deprecated: use ``run(Fig12Config(panel="a"))``."""
-    return deprecated_runner(
-        "run_fig12a", run, Fig12Config(fast=fast, seed=seed, panel="a")
-    )
-
-
-def run_fig12b(fast: bool = True, seed: int = 0) -> ExperimentResult:
-    """Deprecated: use ``run(Fig12Config(panel="b"))``."""
-    return deprecated_runner(
-        "run_fig12b", run, Fig12Config(fast=fast, seed=seed, panel="b")
-    )

@@ -12,7 +12,7 @@ from dataclasses import dataclass
 from typing import Optional
 
 from repro.core.runner import run_hyperplane
-from repro.experiments.base import ExperimentConfig, ExperimentResult, deprecated_runner
+from repro.experiments.base import ExperimentConfig, ExperimentResult
 from repro.sdp.config import SDPConfig
 from repro.workloads.service import WORKLOADS
 
@@ -62,8 +62,3 @@ def run(config: Optional[Fig13Config] = None) -> ExperimentResult:
         f"(min {min(pc_ratios):.0f}%)"
     )
     return result
-
-
-def run_fig13(fast: bool = True, seed: int = 0) -> ExperimentResult:
-    """Deprecated: use ``run(Fig13Config(...))``."""
-    return deprecated_runner("run_fig13", run, Fig13Config(fast=fast, seed=seed))

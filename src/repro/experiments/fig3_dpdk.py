@@ -9,7 +9,7 @@ from repro.dpdk.casestudy import (
     dpdk_roundtrip_latency,
     dpdk_throughput_sweep,
 )
-from repro.experiments.base import ExperimentConfig, ExperimentResult, deprecated_runner
+from repro.experiments.base import ExperimentConfig, ExperimentResult
 
 
 @dataclass(frozen=True)
@@ -91,21 +91,3 @@ def _fig3c(fast: bool) -> ExperimentResult:
         + ", ".join(f"{c}q={s:.1f}us" for c, s in spreads.items())
     )
     return result
-
-
-# -- deprecated entry points --------------------------------------------------
-
-
-def run_fig3a(fast: bool = True) -> ExperimentResult:
-    """Deprecated: use ``run(Fig3Config(panel="a"))``."""
-    return deprecated_runner("run_fig3a", run, Fig3Config(fast=fast, panel="a"))
-
-
-def run_fig3b(fast: bool = True) -> ExperimentResult:
-    """Deprecated: use ``run(Fig3Config(panel="b"))``."""
-    return deprecated_runner("run_fig3b", run, Fig3Config(fast=fast, panel="b"))
-
-
-def run_fig3c(fast: bool = True) -> ExperimentResult:
-    """Deprecated: use ``run(Fig3Config(panel="c"))``."""
-    return deprecated_runner("run_fig3c", run, Fig3Config(fast=fast, panel="c"))

@@ -10,12 +10,7 @@ from dataclasses import dataclass
 from typing import Optional, Sequence, Tuple
 
 from repro.core.runner import run_hyperplane
-from repro.experiments.base import (
-    ExperimentConfig,
-    ExperimentResult,
-    deprecated_runner,
-    validate_backend,
-)
+from repro.experiments.base import BackendConfig, ExperimentResult
 from repro.sdp.config import SDPConfig
 from repro.sdp.runner import run_spinning
 from repro.workloads.service import WORKLOADS
@@ -28,18 +23,13 @@ FULL_COUNTS = (1, 100, 200, 400, 600, 800, 1000)
 
 
 @dataclass(frozen=True)
-class Fig8Config(ExperimentConfig):
+class Fig8Config(BackendConfig):
     """Fig. 8 settings (defaults = paper grid trimmed by ``fast``).
 
     ``backend`` selects the execution engine: ``event`` (exact),
     ``vec`` (numpy batch engine), or ``surrogate`` (fitted predictor,
     spot-checked against the exact simulator). See docs/vectorized.md.
     """
-
-    backend: str = "event"
-
-    def __post_init__(self):
-        validate_backend(self.backend)
 
 
 def peak_point(
@@ -166,8 +156,3 @@ def _vec_measurements(config: Fig8Config, grid, result: ExperimentResult):
         "(tolerance contract: repro.vec.oracle; see docs/vectorized.md)"
     )
     return [(float(mtps[2 * i]), float(mtps[2 * i + 1])) for i in range(len(grid))]
-
-
-def run_fig8(fast: bool = True, seed: int = 0) -> ExperimentResult:
-    """Deprecated: use ``run(Fig8Config(...))``."""
-    return deprecated_runner("run_fig8", run, Fig8Config(fast=fast, seed=seed))

@@ -19,7 +19,6 @@ from repro.core.runner import run_hyperplane
 from repro.experiments.base import (
     ExperimentConfig,
     ExperimentResult,
-    deprecated_runner,
     run_with_tracing,
 )
 from repro.sdp.config import SDPConfig
@@ -165,17 +164,3 @@ def _fig9b(fast: bool, seed: int) -> ExperimentResult:
     else:
         result.notes.append("power-optimised HyperPlane never lost to spinning on this grid")
     return result
-
-
-def run_fig9a(fast: bool = True, seed: int = 0) -> ExperimentResult:
-    """Deprecated: use ``run(Fig9Config(panel="a"))``."""
-    return deprecated_runner(
-        "run_fig9a", run, Fig9Config(fast=fast, seed=seed, panel="a")
-    )
-
-
-def run_fig9b(fast: bool = True, seed: int = 0) -> ExperimentResult:
-    """Deprecated: use ``run(Fig9Config(panel="b"))``."""
-    return deprecated_runner(
-        "run_fig9b", run, Fig9Config(fast=fast, seed=seed, panel="b")
-    )

@@ -16,7 +16,7 @@ from dataclasses import dataclass
 from typing import Iterable, List, Optional
 
 from repro.core.runner import run_hyperplane
-from repro.experiments.base import ExperimentConfig, ExperimentResult, deprecated_runner
+from repro.experiments.base import ExperimentConfig, ExperimentResult
 from repro.sdp.config import SDPConfig
 from repro.sdp.runner import run_spinning
 from repro.workloads.service import WORKLOADS
@@ -121,8 +121,3 @@ def run(config: Optional[HeadlineConfig] = None) -> ExperimentResult:
         "as in the paper's 'on average across queue counts'"
     )
     return result
-
-
-def run_headline(fast: bool = True, seed: int = 0) -> ExperimentResult:
-    """Deprecated: use ``run(HeadlineConfig(...))``."""
-    return deprecated_runner("run_headline", run, HeadlineConfig(fast=fast, seed=seed))

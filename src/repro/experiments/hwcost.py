@@ -21,7 +21,7 @@ from dataclasses import dataclass
 from typing import Optional
 
 from repro.core.ppa import brent_kung_ppa
-from repro.experiments.base import ExperimentConfig, ExperimentResult, deprecated_runner
+from repro.experiments.base import ExperimentConfig, ExperimentResult
 
 # Paper-reported anchors (32 nm, 1024 entries).
 ANCHOR_ENTRIES = 1024
@@ -153,8 +153,3 @@ def run(config: Optional[HwCostConfig] = None) -> ExperimentResult:
         f"{MONITORING_LOOKUP_CYCLES} cycles (paper's conservative figures)"
     )
     return result
-
-
-def run_hwcost(fast: bool = True) -> ExperimentResult:
-    """Deprecated: use ``run(HwCostConfig(...))``."""
-    return deprecated_runner("run_hwcost", run, HwCostConfig(fast=fast))

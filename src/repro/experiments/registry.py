@@ -16,6 +16,7 @@ from typing import Any, Callable, Dict, Optional
 
 from repro.experiments import (
     cluster_scaleout,
+    dist_replay,
     fig3_dpdk,
     fig8_peak_throughput,
     fig9_zero_load,
@@ -27,8 +28,10 @@ from repro.experiments import (
     hwcost,
 )
 from repro.experiments.base import (
+    BackendConfig,
     ExperimentConfig,
     ExperimentResult,
+    UsageError,
     validate_backend,
 )
 from repro.obs.manifest import RunManifest
@@ -139,16 +142,20 @@ REGISTRY: Dict[str, ExperimentSpec] = {
                 fast=fast, seed=seed
             ),
         ),
+        _spec(
+            "dist_replay", dist_replay,
+            lambda fast, seed: dist_replay.DistReplayConfig(fast=fast, seed=seed),
+        ),
     )
 }
 
 
 def backend_capable_experiments() -> list:
-    """Experiment ids whose configs accept a ``backend`` field."""
+    """Experiment ids whose configs derive from :class:`BackendConfig`."""
     return sorted(
         experiment_id
         for experiment_id, spec in REGISTRY.items()
-        if hasattr(spec.config(), "backend")
+        if isinstance(spec.config(), BackendConfig)
     )
 
 
@@ -158,13 +165,18 @@ def run_experiment(
     seed: int = 0,
     metrics: Optional[MetricsRegistry] = None,
     backend: str = "event",
+    workers: Optional[int] = None,
+    speed_factor: Optional[float] = None,
 ) -> ExperimentResult:
     """Run one experiment by id, stamping the result with its manifest.
 
-    ``backend`` selects event / vec / surrogate execution for the
-    experiments that support it (:func:`backend_capable_experiments`);
-    unknown backends and unsupported experiments raise ``ValueError``
-    with the valid choices listed.
+    ``backend`` selects the execution engine for the experiments that
+    support one (:func:`backend_capable_experiments`); unknown backends
+    and unsupported experiments raise
+    :class:`~repro.experiments.base.UsageError` with the valid choices
+    listed. ``workers`` / ``speed_factor`` tune the dist backend's
+    fleet shape and replay pacing on the experiments whose configs
+    carry those fields.
 
     When ``metrics`` is an enabled :class:`MetricsRegistry`, it is
     installed as the ambient registry for the duration of the run so
@@ -178,19 +190,28 @@ def run_experiment(
     try:
         spec = REGISTRY[experiment_id]
     except KeyError:
-        raise ValueError(
+        raise UsageError(
             f"unknown experiment {experiment_id!r}; known: {sorted(REGISTRY)}"
         )
     config = spec.config(fast=fast, seed=seed)
     if backend != "event":
         validate_backend(backend)
-        if not hasattr(config, "backend"):
-            raise ValueError(
+        if not isinstance(config, BackendConfig):
+            raise UsageError(
                 f"experiment {experiment_id!r} does not support "
                 f"backend={backend!r}; backend-capable experiments: "
                 f"{backend_capable_experiments()}"
             )
         config = replace(config, backend=backend)
+    for name, value in (("workers", workers), ("speed_factor", speed_factor)):
+        if value is None:
+            continue
+        if not hasattr(config, name):
+            raise UsageError(
+                f"experiment {experiment_id!r} does not accept {name!r} "
+                f"(only dist-capable experiments do)"
+            )
+        config = replace(config, **{name: value})
     metrics_enabled = metrics is not None and metrics.enabled
 
     started_at = time.time()
@@ -211,5 +232,6 @@ def run_experiment(
         metrics_enabled=metrics_enabled,
         backend=getattr(config, "backend", None),
         vec=result.vec_info,
+        dist=result.dist_info,
     )
     return result

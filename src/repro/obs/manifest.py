@@ -36,13 +36,16 @@ _REQUIRED_FIELDS: Dict[str, tuple] = {
 
 # Optional fields: absent in manifests written by older builds.
 # ``backend`` names the execution backend ("event" / "vec" /
-# "surrogate"); ``vec`` is the vec-backend provenance record (numpy
-# version, oracle spot-check summary) from
-# :func:`repro.vec.backend.vec_provenance`.
+# "surrogate" / "dist"); ``vec`` is the vec-backend provenance record
+# (numpy version, oracle spot-check summary) from
+# :func:`repro.vec.backend.vec_provenance`; ``dist`` is the dist-backend
+# fleet record (worker count, transport, per-node manifests, worker
+# faults) merged by :func:`repro.dist.run_cluster_dist` callers.
 _OPTIONAL_FIELDS: Dict[str, tuple] = {
     "env_overrides": (dict,),
     "backend": (str,),
     "vec": (dict,),
+    "dist": (dict,),
 }
 
 ENV_OVERRIDE_PREFIX = "REPRO_"
@@ -100,6 +103,7 @@ class RunManifest:
     env_overrides: Dict[str, str] = field(default_factory=dict)
     backend: Optional[str] = None
     vec: Optional[Dict[str, Any]] = None
+    dist: Optional[Dict[str, Any]] = None
     schema: int = MANIFEST_SCHEMA_VERSION
 
     @classmethod
@@ -115,6 +119,7 @@ class RunManifest:
         environ: Optional[Dict[str, str]] = None,
         backend: Optional[str] = None,
         vec: Optional[Dict[str, Any]] = None,
+        dist: Optional[Dict[str, Any]] = None,
     ) -> "RunManifest":
         """Build a manifest, deriving hash, version, timestamp, and the
         ``REPRO_*`` environment overrides in effect."""
@@ -133,13 +138,14 @@ class RunManifest:
             env_overrides=env_overrides(environ),
             backend=backend,
             vec=vec,
+            dist=dist,
         )
 
     def to_dict(self) -> Dict[str, Any]:
         # Optional provenance that was not recorded is omitted rather
         # than serialised as null, so older readers see the old shape.
         data = asdict(self)
-        for key in ("backend", "vec"):
+        for key in ("backend", "vec", "dist"):
             if data.get(key) is None:
                 del data[key]
         return data

@@ -26,7 +26,6 @@ from repro.sdp.system import Cluster, DataPlaneSystem
 from repro.sdp.functional import FunctionalAdapter, attach_functional_payloads
 from repro.sdp.quantiles import P2Quantile, StreamingLatencySummary
 from repro.sdp.tenant import Tenant, TenantSide, attach_tenant_side
-from repro.sdp.tracing import TraceEvent, Tracer, attach_tracer
 from repro.sdp.transmit import TxDevice, TxSide, attach_tx_side
 
 __all__ = [
@@ -48,12 +47,9 @@ __all__ = [
     "attach_functional_payloads",
     "Tenant",
     "TenantSide",
-    "TraceEvent",
-    "Tracer",
     "TxDevice",
     "TxSide",
     "attach_tenant_side",
-    "attach_tracer",
     "attach_tx_side",
     "plan_clusters",
     "run_interrupts",

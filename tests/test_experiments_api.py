@@ -42,29 +42,23 @@ def test_panel_configs_validate():
         Fig9Config(panel="z")
 
 
-def test_deprecated_shims_warn_and_match():
-    from repro.experiments.hwcost import HwCostConfig, run, run_hwcost
+def test_v1_shims_removed_in_v2():
+    # v2.0.0 removed the run_figX()/run_hwcost()/... deprecation shims
+    # and the repro.sdp.tracing compatibility tracer; docs/api.md has
+    # the migration table.
+    import repro
+    import repro.experiments.hwcost as hwcost_mod
+    from repro.experiments import cluster_scaleout, fig3_dpdk
 
-    with pytest.warns(DeprecationWarning):
-        shimmed = run_hwcost(fast=True)
-    assert shimmed.rows == run(HwCostConfig(fast=True)).rows
+    assert repro.__version__.split(".")[0] == "2"
+    assert not hasattr(hwcost_mod, "run_hwcost")
+    assert not hasattr(fig3_dpdk, "run_fig3a")
+    assert not hasattr(cluster_scaleout, "run_cluster_scaleout")
+    with pytest.raises(ImportError):
+        import repro.sdp.tracing  # noqa: F401
+    from repro.experiments import base
 
-
-def test_all_deprecated_names_still_importable():
-    # Benchmarks and downstream scripts keep working through the shims.
-    from repro.experiments.cluster_scaleout import run_cluster_scaleout  # noqa: F401
-    from repro.experiments.fig3_dpdk import run_fig3a, run_fig3b, run_fig3c  # noqa: F401
-    from repro.experiments.fig8_peak_throughput import run_fig8  # noqa: F401
-    from repro.experiments.fig9_zero_load import run_fig9a, run_fig9b  # noqa: F401
-    from repro.experiments.fig10_multicore import run_fig10a, run_fig10b  # noqa: F401
-    from repro.experiments.fig11_work_proportionality import (  # noqa: F401
-        run_fig11a,
-        run_fig11b,
-    )
-    from repro.experiments.fig12_power import run_fig12a, run_fig12b  # noqa: F401
-    from repro.experiments.fig13_ready_set import run_fig13  # noqa: F401
-    from repro.experiments.headline import run_headline  # noqa: F401
-    from repro.experiments.hwcost import run_hwcost  # noqa: F401
+    assert not hasattr(base, "deprecated_runner")
 
 
 def test_run_experiment_attaches_valid_manifest():
@@ -129,14 +123,39 @@ def test_cli_seed_threads_into_manifest(tmp_path):
 
 
 def test_unknown_backend_rejected_with_choices_listed():
-    from repro.experiments.base import BACKENDS, validate_backend
+    from repro.experiments.base import UsageError, backend_names, validate_backend
 
-    with pytest.raises(ValueError) as excinfo:
+    with pytest.raises(UsageError) as excinfo:
         validate_backend("quantum")
-    for choice in BACKENDS:
+    for choice in backend_names():
         assert choice in str(excinfo.value)
-    with pytest.raises(ValueError, match="event"):
+    with pytest.raises(UsageError, match="event"):
         run_experiment("fig8", backend="quantum")
+
+
+def test_backend_registry_is_extensible():
+    from repro.experiments.base import (
+        BACKEND_REGISTRY,
+        BackendSpec,
+        UsageError,
+        backend_names,
+        register_backend,
+        validate_backend,
+    )
+
+    assert {"event", "vec", "surrogate", "dist"} <= set(backend_names())
+    # A backend whose availability probe fails surfaces the hint.
+    register_backend(
+        BackendSpec("fpga", "test-only", requires=lambda: "no bitstream")
+    )
+    try:
+        with pytest.raises(UsageError, match="no bitstream"):
+            validate_backend("fpga")
+        # The per-experiment supported subset is enforced too.
+        with pytest.raises(UsageError, match="not supported here"):
+            validate_backend("dist", supported=("event", "vec"))
+    finally:
+        del BACKEND_REGISTRY["fpga"]
 
 
 def test_backend_config_field_validates_at_construction():

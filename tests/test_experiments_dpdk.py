@@ -5,10 +5,11 @@ import pytest
 from repro.dpdk.casestudy import BASE_RTT_US, DPDK_TASK, DpdkCaseStudy
 from repro.experiments.base import ExperimentResult
 from repro.experiments.hwcost import (
+    HwCostConfig,
     costs_for,
     ready_set_depth,
     ready_set_gate_count,
-    run_hwcost,
+    run,
 )
 from repro.experiments.registry import REGISTRY, run_experiment
 
@@ -21,7 +22,7 @@ PAPER_EXPERIMENT_IDS = {
 def test_registry_covers_every_paper_artifact():
     assert PAPER_EXPERIMENT_IDS <= set(REGISTRY)
     # Beyond-paper experiments ride alongside, never displace, them.
-    assert set(REGISTRY) - PAPER_EXPERIMENT_IDS == {"cluster_scaleout"}
+    assert set(REGISTRY) - PAPER_EXPERIMENT_IDS == {"cluster_scaleout", "dist_replay"}
 
 
 def test_unknown_experiment_rejected():
@@ -71,7 +72,7 @@ def test_hwcost_scales_sublinearly_in_latency():
 
 
 def test_hwcost_experiment_runs():
-    result = run_hwcost(fast=True)
+    result = run(HwCostConfig(fast=True))
     assert len(result.rows) == 3
     assert any("0.26" in note or "0.25" in note for note in result.notes)
 

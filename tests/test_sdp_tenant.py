@@ -1,0 +1,86 @@
+"""Tests for the tenant-side delivery path."""
+
+import pytest
+
+from repro.core.dataplane import build_hyperplane
+from repro.sdp.config import SDPConfig
+from repro.sdp.spinning import build_spinning_cores
+from repro.sdp.system import DataPlaneSystem
+from repro.sdp.tenant import COPY_CYCLES, attach_tenant_side
+
+
+def build_system(**overrides):
+    defaults = dict(num_queues=8, workload="packet-encapsulation", shape="FB", seed=0)
+    defaults.update(overrides)
+    return DataPlaneSystem(SDPConfig(**defaults))
+
+
+def run_hp_with(system, load=0.4, duration=0.01):
+    build_hyperplane(system)
+    system.attach_open_loop(load=load)
+    system.run(duration=duration, warmup=0.0005)
+    return system
+
+
+# -- tenant side -----------------------------------------------------------------
+
+
+def test_tenant_receives_every_completed_item():
+    system = build_system()
+    tenant_side = attach_tenant_side(system, num_tenants=4)
+    run_hp_with(system)
+    assert system.metrics.completed > 100
+    # Deliveries may trail by in-flight items at cutoff, but not by much.
+    assert tenant_side.delivered >= system.metrics.completed - 8
+
+
+def test_tenant_latency_exceeds_dataplane_latency():
+    system = build_system(service_scv=0.0)
+    tenant_side = attach_tenant_side(system, num_tenants=2)
+    run_hp_with(system, load=0.1)
+    dataplane = system.metrics.latency.mean
+    tenant = tenant_side.tenant_latency.mean
+    assert tenant > dataplane  # wake-up + hand-off on top
+    assert tenant - dataplane < 1e-6  # but well under a microsecond
+
+
+def test_copy_mode_adds_copy_latency():
+    def tenant_mean(in_place):
+        system = build_system(service_scv=0.0, seed=3)
+        tenant_side = attach_tenant_side(system, num_tenants=2, in_place=in_place)
+        run_hp_with(system, load=0.1)
+        return tenant_side.tenant_latency.mean
+
+    gap = tenant_mean(False) - tenant_mean(True)
+    copy_seconds = COPY_CYCLES / 3.0e9
+    assert gap == pytest.approx(copy_seconds, rel=0.3)
+
+
+def test_queues_spread_round_robin_over_tenants():
+    system = build_system(num_queues=8)
+    tenant_side = attach_tenant_side(system, num_tenants=4)
+    run_hp_with(system)
+    per_tenant = [t.delivered for t in tenant_side.tenants]
+    assert all(count > 0 for count in per_tenant)
+
+
+def test_tenant_core_halts_between_deliveries():
+    system = build_system()
+    tenant_side = attach_tenant_side(system, num_tenants=1)
+    run_hp_with(system, load=0.05)
+    assert tenant_side.tenants[0].wakeups > 10
+
+
+def test_tenant_validation():
+    system = build_system()
+    with pytest.raises(ValueError):
+        attach_tenant_side(system, num_tenants=0)
+
+
+def test_tenant_works_with_spinning_plane_too():
+    system = build_system()
+    tenant_side = attach_tenant_side(system, num_tenants=2)
+    build_spinning_cores(system)
+    system.attach_open_loop(load=0.4)
+    system.run(duration=0.01, warmup=0.0005)
+    assert tenant_side.delivered > 100
