@@ -37,11 +37,16 @@ class Scenario:
     The callable receives ``quick`` and must return a dict with at least
     ``wall_seconds``, ``events`` and ``events_per_sec`` (plus any
     scenario-specific sanity fields, e.g. completions or throughput).
+    ``default=False`` scenarios only run when named via ``--scenario``
+    — the multi-process dist scenarios spawn worker fleets and take
+    tens of seconds even in quick mode, so a bare ``repro-bench`` stays
+    interactive without them.
     """
 
     scenario_id: str
     description: str
     fn: Callable[[bool], Dict[str, float]]
+    default: bool = True
 
 
 def _measure_sim(sim, run: Callable[[], None]) -> Dict[str, float]:
@@ -437,6 +442,152 @@ def vec_fig8_grid(quick: bool) -> Dict[str, float]:
     }
 
 
+def _dist_leg(config, path, duration, warmup, workers, **options):
+    """One timed ``run_cluster_dist`` episode replaying a trace file."""
+    from repro.dist.coordinator import DistOptions, run_cluster_dist
+    from repro.dist.replay import TraceFileSource
+
+    t0 = time.perf_counter()
+    result = run_cluster_dist(
+        config,
+        source=TraceFileSource(path),
+        duration=duration,
+        warmup=0.01,
+        options=DistOptions(workers=workers, **options),
+    )
+    return time.perf_counter() - t0, result
+
+
+def dist_replay_8w(quick: bool) -> Dict[str, float]:
+    """Trace replay across an 8-worker fleet: lookahead overlap + wire
+    v2 vs. the PR 7 lockstep runtime (`wire="v1", lookahead=1`).
+
+    The workload is a sparse long-horizon datacenter-style trace — many
+    sub-millisecond windows, light per-window work — which is exactly
+    where lockstep pays one RPC round-trip per worker per 50 µs window
+    and the overlap runtime pays one per ~40-window batch. Rates are
+    windows/sec through the fast runtime; ``speedup_vs_lockstep`` is
+    the committed headline (the CI dist gate pins it at >= 3x), the
+    ``*_2w`` fields show the 2 -> 8 worker trend, and ``bit_exact``
+    asserts all four legs produced identical rss fingerprints.
+    """
+    import itertools
+    import os
+    import tempfile
+
+    from repro.cluster.config import ClusterConfig
+    from repro.dist.replay import PoissonSource, write_trace
+
+    duration = 1.2 if quick else 2.4
+    config = ClusterConfig(
+        num_servers=8,
+        notification="hyperplane",
+        balancer="rss",
+        queues_per_server=16,
+        num_flows=32,
+        flow_skew=0.3,
+        seed=21,
+    )
+    source = PoissonSource(
+        rate=5000.0,
+        num_flows=config.num_flows,
+        flow_skew=config.flow_skew,
+        seed=33,
+    )
+    fd, path = tempfile.mkstemp(suffix=".trace", prefix="repro-bench-dist-")
+    os.close(fd)
+    try:
+        n_records = write_trace(
+            path, itertools.takewhile(lambda r: r.time < duration, iter(source))
+        )
+        fast_wall, fast = _dist_leg(config, path, duration, 0.01, 8)
+        lock_wall, lock = _dist_leg(
+            config, path, duration, 0.01, 8, wire="v1", lookahead=1
+        )
+        fast2_wall, fast2 = _dist_leg(config, path, duration, 0.01, 2)
+        lock2_wall, lock2 = _dist_leg(
+            config, path, duration, 0.01, 2, wire="v1", lookahead=1
+        )
+    finally:
+        os.unlink(path)
+    windows = fast.info["windows"]
+    fingerprints = {
+        leg.metrics.fingerprint() for leg in (fast, lock, fast2, lock2)
+    }
+    return {
+        "wall_seconds": fast_wall,
+        "events": windows,
+        "events_per_sec": windows / fast_wall if fast_wall > 0 else 0.0,
+        "trace_records": n_records,
+        "completions": fast.metrics.latency.count,
+        "exchanges": fast.info["exchanges"],
+        "lockstep_exchanges": lock.info["exchanges"],
+        "lockstep_wall_seconds": lock_wall,
+        "speedup_vs_lockstep": lock_wall / fast_wall if fast_wall > 0 else 0.0,
+        "wall_seconds_2w": fast2_wall,
+        "lockstep_wall_seconds_2w": lock2_wall,
+        "speedup_vs_lockstep_2w": (
+            lock2_wall / fast2_wall if fast2_wall > 0 else 0.0
+        ),
+        "bit_exact": len(fingerprints) == 1,
+    }
+
+
+def dist_grid_row(quick: bool) -> Dict[str, float]:
+    """One load-aware scale-out grid point (p2c) through the dist
+    runtime: bounded lookahead (`LOAD_AWARE_LOOKAHEAD` windows) vs. the
+    lockstep baseline.
+
+    p2c steers off live queue depths, so pre-steering a batch trades a
+    little feedback freshness for round-trips; this scenario tracks both
+    sides of that trade — ``speedup_vs_lockstep`` for the wall-clock
+    win and ``p99_rel_diff_vs_lockstep`` for the statistical drift
+    (docs/distributed.md documents the tolerance envelope).
+    """
+    from repro.cluster.config import ClusterConfig
+    from repro.dist.coordinator import DistOptions, run_cluster_dist
+
+    duration = 0.08 if quick else 0.16
+    config = ClusterConfig(
+        num_servers=4,
+        notification="hyperplane",
+        balancer="p2c",
+        queues_per_server=32,
+        num_flows=64,
+        flow_skew=0.3,
+        seed=7,
+    )
+
+    def leg(**options):
+        t0 = time.perf_counter()
+        result = run_cluster_dist(
+            config,
+            load=0.15,
+            duration=duration,
+            warmup=0.01,
+            options=DistOptions(workers=4, **options),
+        )
+        return time.perf_counter() - t0, result
+
+    fast_wall, fast = leg()
+    lock_wall, lock = leg(wire="v1", lookahead=1)
+    windows = fast.info["windows"]
+    fast_p99 = fast.metrics.p99_us
+    lock_p99 = lock.metrics.p99_us
+    return {
+        "wall_seconds": fast_wall,
+        "events": windows,
+        "events_per_sec": windows / fast_wall if fast_wall > 0 else 0.0,
+        "lookahead": fast.info["lookahead"],
+        "completions": fast.metrics.latency.count,
+        "lockstep_wall_seconds": lock_wall,
+        "speedup_vs_lockstep": lock_wall / fast_wall if fast_wall > 0 else 0.0,
+        "p99_rel_diff_vs_lockstep": (
+            abs(fast_p99 - lock_p99) / lock_p99 if lock_p99 > 0 else 0.0
+        ),
+    }
+
+
 def costmodel_derive(quick: bool) -> Dict[str, float]:
     """Empty-poll cost-curve derivation: hundreds of thousands of
     structural accesses per curve, the price of building a data-plane
@@ -508,6 +659,18 @@ SCENARIOS: Dict[str, Scenario] = {
             vec_fig8_grid,
         ),
         Scenario(
+            "dist_replay_8w",
+            "8-worker trace replay: lookahead+wire-v2 vs PR 7 lockstep",
+            dist_replay_8w,
+            default=False,
+        ),
+        Scenario(
+            "dist_grid_row",
+            "load-aware (p2c) dist grid point: bounded lookahead vs lockstep",
+            dist_grid_row,
+            default=False,
+        ),
+        Scenario(
             "costmodel_derive",
             "empty-poll cost-curve derivation, cold memo",
             costmodel_derive,
@@ -532,7 +695,9 @@ def run_bench(
     """
     if repeat < 1:
         raise ValueError("repeat must be >= 1")
-    targets = scenario_ids or list(SCENARIOS)
+    targets = scenario_ids or [
+        sid for sid, scenario in SCENARIOS.items() if scenario.default
+    ]
     unknown = [sid for sid in targets if sid not in SCENARIOS]
     if unknown:
         raise ValueError(f"unknown scenarios {unknown}; known: {sorted(SCENARIOS)}")

@@ -109,7 +109,8 @@ def main(argv=None) -> int:
 
     if args.list:
         for sid, scenario in SCENARIOS.items():
-            print(f"{sid:24s} {scenario.description}")
+            suffix = "" if scenario.default else "  [named-only]"
+            print(f"{sid:24s} {scenario.description}{suffix}")
         return 0
 
     if args.profile:

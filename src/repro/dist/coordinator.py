@@ -47,13 +47,16 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Tuple
 
 from repro.dist.wire import (
+    DEFAULT_BACKOFF_CAP_S,
     DEFAULT_BACKOFF_S,
     DEFAULT_RETRIES,
+    WIRE_VERSIONS,
     Channel,
     ChannelClosed,
     ChannelTimeout,
     ProtocolError,
     RemoteError,
+    backoff_delay,
 )
 
 TRANSPORTS = ("unix", "tcp")
@@ -61,6 +64,21 @@ TRANSPORTS = ("unix", "tcp")
 # The rack's target-completion check interval; windows subdivide it so
 # both runtimes stop measuring at the same simulated instants.
 CHECK_CHUNK_S = 2e-3
+
+# Balancer policies whose steering decisions cannot depend on completion
+# feedback: placement is a pure function of the flow key (rss) or of the
+# dispatch order (round-robin). For these, any lookahead depth is exact,
+# so batches run to the chunk boundary. The load-aware policies
+# (least-loaded, p2c) see completions one exchange late, so their
+# lookahead is capped to keep the documented statistical tolerance.
+LOAD_OBLIVIOUS_POLICIES = ("rss", "round-robin")
+
+# Measured on the cluster_scaleout fast grid (docs/distributed.md):
+# at 4 windows of lookahead the load-aware p99 stays inside the same
+# <=0.12 envelope the one-window lockstep protocol had (worst row
+# 0.105); at 8 windows the stale-feedback drift breaches the CI gate
+# (worst row 0.34), so 4 is the default ceiling.
+LOAD_AWARE_LOOKAHEAD = 4
 
 
 class DistError(RuntimeError):
@@ -78,6 +96,11 @@ class DistOptions:
     ``workers`` processes split the rack's servers round-robin; a fleet
     never spawns more workers than servers. ``speed_factor`` paces the
     replay against the wall clock (0 = max speed, the CI default).
+    ``wire`` picks the hot-path frame encoding (``"v2"`` binary by
+    default, ``"v1"`` forces JSON — the PR 7 behaviour). ``lookahead``
+    caps how many pre-steered windows ship per RPC exchange (``None`` =
+    derive a safe depth from the balancer policy and the fault
+    schedule; ``1`` restores strict lockstep).
     ``crash_worker``/``crash_worker_at`` inject an abrupt worker death
     (``os._exit`` mid-step) for failover testing.
     """
@@ -85,9 +108,12 @@ class DistOptions:
     workers: int = 2
     transport: str = "unix"
     speed_factor: float = 0.0
+    wire: str = "v2"
+    lookahead: Optional[int] = None
     timeout_s: float = 30.0
     retries: int = DEFAULT_RETRIES
     backoff_s: float = DEFAULT_BACKOFF_S
+    backoff_cap_s: float = DEFAULT_BACKOFF_CAP_S
     heartbeat_events: int = 250_000
     spawn_timeout_s: float = 30.0
     crash_worker: Optional[int] = None
@@ -102,8 +128,16 @@ class DistOptions:
             )
         if self.speed_factor < 0:
             raise ValueError("speed_factor must be >= 0 (0 = max speed)")
+        if self.wire not in WIRE_VERSIONS:
+            raise ValueError(
+                f"unknown wire version {self.wire!r}; known: {WIRE_VERSIONS}"
+            )
+        if self.lookahead is not None and self.lookahead < 1:
+            raise ValueError("lookahead must be >= 1 (or None for auto)")
         if self.timeout_s <= 0 or self.spawn_timeout_s <= 0:
             raise ValueError("timeouts must be positive")
+        if self.backoff_s < 0 or self.backoff_cap_s <= 0:
+            raise ValueError("backoff must be non-negative, its cap positive")
         if (self.crash_worker is None) != (self.crash_worker_at is None):
             raise ValueError("crash_worker and crash_worker_at go together")
 
@@ -116,6 +150,9 @@ class WorkerHandle:
     channel: Optional[Channel] = None
     alive: bool = True
     last_heartbeat_t: float = 0.0
+    # Wire versions the worker's hello advertised (old workers predate
+    # the field and only speak JSON).
+    wire_versions: Tuple[str, ...] = ("v1",)
 
 
 @dataclass
@@ -235,6 +272,7 @@ class WorkerPool:
                     )
                 channel.name = f"worker{worker_id}"
                 handle.channel = channel
+                handle.wire_versions = tuple(hello.get("wire", ("v1",)))
         except Exception:
             self.close()
             raise
@@ -259,6 +297,7 @@ class WorkerPool:
         timeout_s: float,
         retries: int,
         backoff_s: float,
+        backoff_cap_s: float = DEFAULT_BACKOFF_CAP_S,
     ) -> Tuple[Dict[int, Dict[str, Any]], List[WorkerHandle]]:
         """Send one request per alive worker, then await all replies.
 
@@ -285,7 +324,6 @@ class WorkerPool:
         replies: Dict[int, Dict[str, Any]] = {}
         for handle, message in in_flight:
             attempt = 0
-            delay = backoff_s
             while True:
                 try:
                     reply = handle.channel.recv(timeout=timeout_s)
@@ -295,8 +333,9 @@ class WorkerPool:
                         self.mark_dead(handle)
                         died.append(handle)
                         break
-                    time.sleep(delay)
-                    delay *= 2
+                    time.sleep(
+                        backoff_delay(attempt - 1, backoff_s, backoff_cap_s)
+                    )
                     try:
                         handle.channel.send(message)
                     except ChannelClosed:
@@ -490,6 +529,14 @@ def run_cluster_dist(
     try:
         import dataclasses
 
+        # Hot-path encoding: v2 only when every worker advertised it (a
+        # mixed fleet would still decode — frames are self-describing —
+        # but a uniform pick keeps the provenance block honest).
+        wire = options.wire
+        if any("v2" not in h.wire_versions for h in pool.handles):
+            wire = "v1"
+        info["wire"] = wire
+
         config_dict = dataclasses.asdict(config)
         configure = {}
         for handle in pool.handles:
@@ -500,19 +547,23 @@ def run_cluster_dist(
                 "warmup": warmup,
                 "metrics": collect_metrics,
                 "heartbeat_events": options.heartbeat_events,
+                "wire": wire,
             }
             if options.crash_worker == handle.worker_id:
                 message["crash_at"] = options.crash_worker_at
             configure[handle.worker_id] = message
         replies, died = pool.broadcast(
             configure, "ready", options.timeout_s, options.retries,
-            options.backoff_s,
+            options.backoff_s, options.backoff_cap_s,
         )
         if died or len(replies) != len(pool.handles):
             raise WorkerSpawnError(
                 f"workers failed during configure: "
                 f"{sorted(h.worker_id for h in died)}"
             )
+        if wire == "v2":
+            for handle in pool.handles:
+                handle.channel.wire_version = 2
 
         def fail_worker(handle: WorkerHandle, at: float, redisp_heap, seq) -> None:
             """Crash-fault handling for a vanished worker process."""
@@ -541,7 +592,18 @@ def run_cluster_dist(
                     (at + config.failover_delay_s, next(seq), flow, arrival, None),
                 )
 
-        # -- the lockstep window loop ------------------------------------
+        # -- the batched lookahead window loop ----------------------------
+        #
+        # Same per-window steering and fold as the PR 7 lockstep
+        # protocol, but K windows travel per RPC exchange. K is safe
+        # because every cross-window dependency is bounded:
+        #   * load-oblivious placement (rss, round-robin) never reads
+        #     completion feedback, so steering ahead is exact;
+        #   * unknown re-dispatches can only originate inside a modelled
+        #     crash interval, and come due a full failover delay later —
+        #     the batch stops strictly before the earliest such due time;
+        #   * target-completion checks happen at 2 ms chunk boundaries,
+        #     so batches never cross one.
         import itertools
 
         source_iter = iter(source)
@@ -554,133 +616,228 @@ def run_cluster_dist(
         directive_index = 0
         window_index = 0
         window_start = 0.0
+        exchanges = 0
+        collected_replies: Dict[int, Dict[str, Any]] = {}
+        failover = config.failover_delay_s
+
+        if options.lookahead is not None:
+            max_ahead = options.lookahead
+        elif options.speed_factor > 0:
+            max_ahead = 1  # pacing wants per-window wall-clock granularity
+        elif config.balancer in LOAD_OBLIVIOUS_POLICIES:
+            max_ahead = windows_per_chunk
+        else:
+            max_ahead = min(LOAD_AWARE_LOOKAHEAD, windows_per_chunk)
+        max_ahead = max(1, max_ahead)
+        info["lookahead"] = max_ahead
+
+        # Simulated spans inside which an *unknown* re-dispatch can
+        # originate: modelled server crashes surrender their backlog at
+        # the crash instant and bounce wire-deliveries while down.
+        crash_intervals = sorted(
+            (event.time, event.end_time)
+            for event in faults
+            if event.kind == "crash"
+        )
+
+        def batch_horizon(batch_start: float) -> float:
+            """Exclusive bound on a batch starting at ``batch_start``:
+            the earliest instant an in-batch re-dispatch could come due.
+            Re-dispatches known *before* the batch sit in the heap and
+            are steered normally; only crash-born ones are unknowable."""
+            for start, end in crash_intervals:
+                if end > batch_start:
+                    return max(start, batch_start) + failover
+            return math.inf
+
+        def dispatch_one(batches, flow, t, arrival, svc) -> None:
+            server = balancer.dispatch(flow)
+            rid = next(ids)
+            record = {"id": rid, "t": t, "flow": flow, "server": server}
+            if arrival != t:
+                record["arr"] = arrival
+            if svc is not None:
+                record["svc"] = svc
+            batches[owner[server]].append(record)
+            in_flight[rid] = (flow, arrival, owner[server])
+
         pacer.start(0.0)
 
         while window_start < total:
-            window_end = min(window_start + window, total)
-            arrivals = take_window(lookahead, source_iter, window_end)
-
-            # Interleave membership changes, due re-dispatches, and
-            # fresh arrivals in simulated-time order, exactly the order
-            # the rack's shared event heap would fire them in.
-            events: List[Tuple[float, int, str, Any]] = []
-            while (
-                balancer_index < len(balancer_timeline)
-                and balancer_timeline[balancer_index][0] <= window_end
-            ):
-                t, action, server = balancer_timeline[balancer_index]
-                events.append((t, 0, action, server))
-                balancer_index += 1
-            while redispatch_heap and redispatch_heap[0][0] <= window_end:
-                due, order, flow, arrival, svc = heapq.heappop(redispatch_heap)
-                events.append((due, 1, "redispatch", (flow, arrival, svc)))
-            for record in arrivals:
-                events.append((record.time, 2, "arrive", record))
-            events.sort(key=lambda e: (e[0], e[1]))
-
-            batches: Dict[int, List[Dict[str, Any]]] = {
+            # -- plan and steer one batch of pre-steered windows ----------
+            horizon = batch_horizon(window_start)
+            step_windows: Dict[int, List[Dict[str, Any]]] = {
                 h.worker_id: [] for h in pool.alive()
             }
+            batch_bounds: List[float] = []
+            while len(batch_bounds) < max_ahead and window_start < total:
+                window_end = min(window_start + window, total)
+                if batch_bounds and window_end >= horizon:
+                    # A crash-born re-dispatch could come due inside this
+                    # window; stop the batch so it is steered with full
+                    # knowledge next exchange. (The first window is always
+                    # safe: that IS the lockstep granularity.)
+                    break
+                arrivals = take_window(lookahead, source_iter, window_end)
 
-            def dispatch_one(flow, t, arrival, svc) -> None:
-                server = balancer.dispatch(flow)
-                rid = next(ids)
-                record = {"id": rid, "t": t, "flow": flow, "server": server}
-                if arrival != t:
-                    record["arr"] = arrival
-                if svc is not None:
-                    record["svc"] = svc
-                batches[owner[server]].append(record)
-                in_flight[rid] = (flow, arrival, owner[server])
-
-            for t, _prio, action, payload in events:
-                if action == "down":
-                    if balancer.live[payload]:
-                        balancer.mark_down(payload)
-                elif action == "up":
-                    if payload not in permanently_down:
-                        balancer.mark_up(payload)
-                elif action == "redispatch":
-                    flow, arrival, svc = payload
-                    try:
-                        dispatch_one(flow, t, arrival, svc)
-                    except AllServersDownError:
-                        metrics.lost += 1
-                else:  # arrive
-                    metrics.dispatched += 1
-                    record = payload
-                    dispatch_one(
-                        record.flow, record.time, record.time, record.service_s
+                if (
+                    not arrivals
+                    and not (
+                        balancer_index < len(balancer_timeline)
+                        and balancer_timeline[balancer_index][0] <= window_end
                     )
+                    and not (
+                        redispatch_heap
+                        and redispatch_heap[0][0] <= window_end
+                    )
+                    and not (
+                        directive_index < len(directives)
+                        and directives[directive_index][0] <= window_end
+                    )
+                ):
+                    # Nothing happens fleet-side this window: ship a bare
+                    # clock advance. One shared dict serves every worker
+                    # (encode-only, never mutated).
+                    empty = {"until": window_end, "dispatches": (),
+                             "faults": ()}
+                    for window_list in step_windows.values():
+                        window_list.append(empty)
+                    batch_bounds.append(window_end)
+                    window_start = window_end
+                    window_index += 1
+                    if window_index % windows_per_chunk == 0:
+                        break
+                    continue
 
-            window_faults: Dict[int, List[Dict[str, Any]]] = {}
-            while (
-                directive_index < len(directives)
-                and directives[directive_index][0] <= window_end
-            ):
-                _t, worker_id, directive = directives[directive_index]
-                window_faults.setdefault(worker_id, []).append(directive)
-                directive_index += 1
+                # Interleave membership changes, due re-dispatches, and
+                # fresh arrivals in simulated-time order, exactly the
+                # order the rack's shared event heap would fire them in.
+                events: List[Tuple[float, int, str, Any]] = []
+                while (
+                    balancer_index < len(balancer_timeline)
+                    and balancer_timeline[balancer_index][0] <= window_end
+                ):
+                    t, action, server = balancer_timeline[balancer_index]
+                    events.append((t, 0, action, server))
+                    balancer_index += 1
+                while redispatch_heap and redispatch_heap[0][0] <= window_end:
+                    due, order, flow, arrival, svc = heapq.heappop(
+                        redispatch_heap
+                    )
+                    events.append((due, 1, "redispatch", (flow, arrival, svc)))
+                for record in arrivals:
+                    events.append((record.time, 2, "arrive", record))
+                events.sort(key=lambda e: (e[0], e[1]))
 
-            steps = {
-                h.worker_id: {
-                    "type": "step",
-                    "until": window_end,
-                    "dispatches": batches.get(h.worker_id, []),
-                    "faults": window_faults.get(h.worker_id, []),
+                batches: Dict[int, List[Dict[str, Any]]] = {
+                    worker_id: [] for worker_id in step_windows
                 }
-                for h in pool.alive()
+                for t, _prio, action, payload in events:
+                    if action == "down":
+                        if balancer.live[payload]:
+                            balancer.mark_down(payload)
+                    elif action == "up":
+                        if payload not in permanently_down:
+                            balancer.mark_up(payload)
+                    elif action == "redispatch":
+                        flow, arrival, svc = payload
+                        try:
+                            dispatch_one(batches, flow, t, arrival, svc)
+                        except AllServersDownError:
+                            metrics.lost += 1
+                    else:  # arrive
+                        metrics.dispatched += 1
+                        record = payload
+                        dispatch_one(
+                            batches, record.flow, record.time, record.time,
+                            record.service_s,
+                        )
+
+                window_faults: Dict[int, List[Dict[str, Any]]] = {}
+                while (
+                    directive_index < len(directives)
+                    and directives[directive_index][0] <= window_end
+                ):
+                    _t, worker_id, directive = directives[directive_index]
+                    window_faults.setdefault(worker_id, []).append(directive)
+                    directive_index += 1
+
+                for worker_id, window_list in step_windows.items():
+                    window_list.append({
+                        "until": window_end,
+                        "dispatches": batches[worker_id],
+                        "faults": window_faults.get(worker_id, []),
+                    })
+                batch_bounds.append(window_end)
+                window_start = window_end
+                window_index += 1
+                if window_index % windows_per_chunk == 0:
+                    break  # chunk boundary: where target checks happen
+
+            batch_end = batch_bounds[-1]
+            final_batch = target_completions is None and window_start >= total
+            steps = {
+                worker_id: {"type": "step", "windows": window_list}
+                for worker_id, window_list in step_windows.items()
             }
+            if final_batch:
+                # The run provably ends with this batch: piggyback the
+                # collect round-trip on the same exchange.
+                for message in steps.values():
+                    message["collect"] = {"measure_end": batch_end}
+
             replies, died = pool.broadcast(
                 steps, "step_ok", options.timeout_s, options.retries,
-                options.backoff_s,
+                options.backoff_s, options.backoff_cap_s,
             )
+            exchanges += 1
             for handle in died:
-                fail_worker(handle, window_end, redispatch_heap, tiebreak)
+                fail_worker(handle, batch_end, redispatch_heap, tiebreak)
             if not pool.alive():
                 raise DistError(
                     "every worker died; the fleet cannot make progress"
                 )
 
-            # Fold the window's outcomes into the fleet state. The global
-            # (time, server, id) sort reproduces one deterministic
-            # completion order regardless of how servers are spread
-            # across workers.
-            completions: List[Tuple[float, int, int, float]] = []
-            for worker_id in sorted(replies):
-                reply = replies[worker_id]
-                for rid, t, latency, server in reply.get("completions", []):
-                    completions.append((t, int(server), int(rid), latency))
-                for rid, t, server in reply.get("losses", []):
-                    balancer.complete(int(server))
-                    metrics.lost += 1
-                    in_flight.pop(int(rid), None)
-                for rid, t, server in reply.get("rejects", []):
-                    balancer.complete(int(server))
-                    metrics.rejected += 1
-                    in_flight.pop(int(rid), None)
-                for rid, t, flow, arrival, svc in reply.get("redispatches", []):
-                    metrics.redispatched += 1
-                    in_flight.pop(int(rid), None)
-                    heapq.heappush(
-                        redispatch_heap,
-                        (
-                            t + config.failover_delay_s,
-                            next(tiebreak),
-                            int(flow),
-                            arrival,
-                            svc,
-                        ),
-                    )
-            completions.sort()
-            for t, server, rid, latency in completions:
-                balancer.complete(server)
-                metrics.record(t, latency, server)
-                in_flight.pop(rid, None)
+            # Fold the batch window by window, workers in id order, then
+            # completions in global (time, server, id) order — the exact
+            # fold sequence of the one-window lockstep protocol, so the
+            # fleet state evolves identically.
+            sorted_ids = sorted(replies)
+            for w_index in range(len(batch_bounds)):
+                completions: List[Tuple[float, int, int, float]] = []
+                for worker_id in sorted_ids:
+                    blocks = replies[worker_id].get("windows") or []
+                    if w_index >= len(blocks):
+                        continue
+                    block = blocks[w_index]
+                    for rid, t, latency, server in block["completions"]:
+                        completions.append((t, server, rid, latency))
+                    for rid, t, server in block["losses"]:
+                        balancer.complete(server)
+                        metrics.lost += 1
+                        in_flight.pop(rid, None)
+                    for rid, t, server in block["rejects"]:
+                        balancer.complete(server)
+                        metrics.rejected += 1
+                        in_flight.pop(rid, None)
+                    for rid, t, flow, arrival, svc in block["redispatches"]:
+                        metrics.redispatched += 1
+                        in_flight.pop(rid, None)
+                        heapq.heappush(
+                            redispatch_heap,
+                            (t + failover, next(tiebreak), flow, arrival, svc),
+                        )
+                completions.sort()
+                for t, server, rid, latency in completions:
+                    balancer.complete(server)
+                    metrics.record(t, latency, server)
+                    in_flight.pop(rid, None)
+            for worker_id in sorted_ids:
+                collected = replies[worker_id].get("collected")
+                if collected is not None:
+                    collected_replies[worker_id] = collected
 
-            pacer.pace(window_end)
-            window_start = window_end
-            window_index += 1
+            pacer.pace(batch_end)
             at_chunk_boundary = (
                 window_index % windows_per_chunk == 0 or window_start >= total
             )
@@ -694,24 +851,32 @@ def run_cluster_dist(
         metrics.measure_end = window_start
 
         # -- collect: per-node manifests and metric snapshots -------------
-        collect = {
-            h.worker_id: {"type": "collect", "measure_end": window_start}
-            for h in pool.alive()
-        }
-        replies, died = pool.broadcast(
-            collect, "collected", options.timeout_s, options.retries,
-            options.backoff_s,
-        )
-        for handle in died:
-            fail_worker(handle, window_start, redispatch_heap, tiebreak)
+        # (already in hand for workers that answered a piggybacked
+        # collect on the final batch)
+        need = [
+            h for h in pool.alive() if h.worker_id not in collected_replies
+        ]
+        if need:
+            collect = {
+                h.worker_id: {"type": "collect", "measure_end": window_start}
+                for h in need
+            }
+            replies, died = pool.broadcast(
+                collect, "collected", options.timeout_s, options.retries,
+                options.backoff_s, options.backoff_cap_s,
+            )
+            for handle in died:
+                fail_worker(handle, window_start, redispatch_heap, tiebreak)
+            collected_replies.update(replies)
         nodes: List[Dict[str, Any]] = []
-        for worker_id in sorted(replies):
-            reply = replies[worker_id]
+        for worker_id in sorted(collected_replies):
+            reply = collected_replies[worker_id]
             nodes.append(reply["node"])
             snapshot = reply.get("metrics")
             if snapshot and collect_metrics:
                 registry.merge_snapshot(snapshot)
         info["windows"] = window_index
+        info["exchanges"] = exchanges
         info["nodes"] = nodes
         if pacer.slept_s:
             info["paced_sleep_s"] = pacer.slept_s

@@ -1,11 +1,26 @@
 """The dist wire protocol: length-prefixed frames over a stream socket.
 
 Every message between the coordinator and a worker is one *frame*: a
-4-byte big-endian unsigned length followed by that many bytes of UTF-8
-JSON. JSON keeps the protocol stdlib-only and debuggable (``repro.obs``
-metric snapshots and config dicts pass through unchanged); floats
-round-trip exactly through ``repr``, so simulated times and latencies
-survive the wire bit-for-bit.
+4-byte big-endian unsigned length followed by that many bytes of body.
+Two body encodings coexist on the same connection:
+
+- **v1 (JSON)** — UTF-8 JSON, the only encoding for handshake,
+  configure/ready, collect/collected, shutdown, heartbeats, and
+  errors. JSON keeps those paths stdlib-only and debuggable
+  (``repro.obs`` metric snapshots and config dicts pass through
+  unchanged); floats round-trip exactly through ``repr``.
+- **v2 (binary)** — ``struct``-packed frames for the two *hot*
+  messages, ``step`` and ``step_ok``, which carry thousands of
+  dispatch/completion records per exchange. The body starts with a
+  NUL magic byte (never a valid JSON start), so the decoder is
+  self-describing and both encodings interleave freely on one socket.
+  Floats travel as IEEE-754 doubles — bit-exact both ways, the same
+  guarantee the JSON ``repr`` round-trip gives.
+
+The encoding is negotiated at handshake: the worker's ``hello``
+advertises ``wire: ["v1", "v2"]`` and the coordinator's ``configure``
+selects one; either side falling back to v1 is always legal because
+decode dispatches on the magic byte, not on negotiated state.
 
 Message shapes (the ``type`` field selects the handler):
 
@@ -15,11 +30,14 @@ Message shapes (the ``type`` field selects the handler):
                 server indices this worker owns, measurement window, and
                 (for tests) an optional crash-injection point.
 ``ready``       worker -> coordinator: episode built, servers listed.
-``step``        coordinator -> worker: one lockstep window — dispatch
-                records, fault directives, and the sim-time bound to
-                advance to.
-``step_ok``     worker -> coordinator: the window's completions, losses,
-                re-dispatch requests, and rejections.
+``step``        coordinator -> worker: one *batch* of pre-steered
+                windows — per window the dispatch records, fault
+                directives, and the sim-time bound to advance to;
+                optionally a piggybacked ``collect`` request when the
+                batch is known to be the run's last.
+``step_ok``     worker -> coordinator: per window, the completions,
+                losses, re-dispatch requests, and rejections (plus the
+                ``collected`` payload when collect was piggybacked).
 ``heartbeat``   worker -> coordinator, interleaved while a long ``step``
                 is still running: liveness only, carries the worker's
                 current simulated time. Never a reply; receivers skip it.
@@ -45,10 +63,11 @@ when the coordinator retries with backoff (see
 from __future__ import annotations
 
 import json
+import random
 import socket
 import struct
 import time
-from typing import Any, Dict, Optional
+from typing import Any, Dict, List, Optional
 
 # Frame header: one network-order u32 length.
 _HEADER = struct.Struct("!I")
@@ -62,6 +81,56 @@ MAX_FRAME_BYTES = 64 * 1024 * 1024
 DEFAULT_TIMEOUT_S = 30.0
 DEFAULT_RETRIES = 3
 DEFAULT_BACKOFF_S = 0.05
+DEFAULT_BACKOFF_CAP_S = 2.0
+
+# Wire versions this build speaks. v1 = JSON everything; v2 = binary
+# step/step_ok, JSON everything else.
+WIRE_VERSIONS = ("v1", "v2")
+
+# v2 binary layout. Body = NUL magic, kind byte, then the packed
+# message. JSON bodies can never start with NUL, so decode is
+# self-describing.
+_BINARY_MAGIC = 0
+_KIND_STEP = 1
+_KIND_STEP_OK = 2
+
+_STEP_HEAD = struct.Struct("!BBQBI")  # magic, kind, seq, flags, n_windows
+_STEP_WINDOW = struct.Struct("!dII")  # until, n_dispatches, fault_blob_len
+_DISPATCH = struct.Struct("!QdIIB")  # id, t, flow, server, opt flags
+_F64 = struct.Struct("!d")
+_U32 = struct.Struct("!I")
+_OK_HEAD = struct.Struct("!BBQdBI")  # magic, kind, seq, t, flags, n_windows
+_OK_WINDOW = struct.Struct("!IIII")  # completions, losses, rejects, redisp
+_COMPLETION = struct.Struct("!QddI")  # id, t, latency, server
+_LOSS = struct.Struct("!QdI")  # id, t, server  (rejects share the layout)
+_REDISPATCH = struct.Struct("!QdIdd")  # id, t, flow, arrival, service
+
+_HAS_ARR = 1
+_HAS_SVC = 2
+_HAS_COLLECT = 1
+
+
+def backoff_delay(
+    attempt: int,
+    base_s: float = DEFAULT_BACKOFF_S,
+    cap_s: float = DEFAULT_BACKOFF_CAP_S,
+    rng: Optional[random.Random] = None,
+) -> float:
+    """Sleep before retry ``attempt`` (0-based): capped exponential
+    growth with jitter.
+
+    The raw delay doubles per attempt up to ``cap_s``; the returned
+    value is jittered uniformly over [raw/2, raw] so a fleet of
+    channels retrying a stalled peer never thunders in phase. Growth
+    still dominates the jitter (raw/2 for attempt n+1 equals raw for
+    attempt n), so successive delays are non-decreasing in expectation
+    and observable in tests.
+    """
+    if attempt < 0:
+        raise ValueError("attempt must be >= 0")
+    raw = min(cap_s, base_s * (2.0 ** attempt))
+    draw = (rng or random).random()
+    return raw * (0.5 + 0.5 * draw)
 
 
 class WireError(RuntimeError):
@@ -86,16 +155,200 @@ class RemoteError(WireError):
     """The worker's handler raised; carries the remote traceback."""
 
 
-def encode_frame(message: Dict[str, Any]) -> bytes:
-    """Serialise one message to its on-wire form (header + JSON body)."""
-    body = json.dumps(message, separators=(",", ":")).encode("utf-8")
+def _encode_step_v2(message: Dict[str, Any]) -> bytes:
+    windows = message.get("windows", [])
+    collect = message.get("collect")
+    flags = _HAS_COLLECT if collect is not None else 0
+    parts = [
+        _STEP_HEAD.pack(
+            _BINARY_MAGIC, _KIND_STEP, int(message.get("seq", 0)),
+            flags, len(windows),
+        )
+    ]
+    if collect is not None:
+        parts.append(_F64.pack(float(collect["measure_end"])))
+    for window in windows:
+        dispatches = window.get("dispatches", ())
+        faults = window.get("faults", ())
+        blob = (
+            json.dumps(list(faults), separators=(",", ":")).encode("utf-8")
+            if faults else b""
+        )
+        parts.append(
+            _STEP_WINDOW.pack(float(window["until"]), len(dispatches), len(blob))
+        )
+        for record in dispatches:
+            arr = record.get("arr")
+            svc = record.get("svc")
+            opt = (_HAS_ARR if arr is not None else 0) | (
+                _HAS_SVC if svc is not None else 0
+            )
+            parts.append(
+                _DISPATCH.pack(
+                    record["id"], record["t"], record["flow"],
+                    record["server"], opt,
+                )
+            )
+            if arr is not None:
+                parts.append(_F64.pack(arr))
+            if svc is not None:
+                parts.append(_F64.pack(svc))
+        parts.append(blob)
+    return b"".join(parts)
+
+
+def _encode_step_ok_v2(message: Dict[str, Any]) -> bytes:
+    windows = message.get("windows", [])
+    collected = message.get("collected")
+    flags = _HAS_COLLECT if collected is not None else 0
+    parts = [
+        _OK_HEAD.pack(
+            _BINARY_MAGIC, _KIND_STEP_OK, int(message.get("seq", 0)),
+            float(message.get("t", 0.0)), flags, len(windows),
+        ),
+        _U32.pack(int(message.get("worker_id", 0))),
+    ]
+    for window in windows:
+        completions = window.get("completions", ())
+        losses = window.get("losses", ())
+        rejects = window.get("rejects", ())
+        redispatches = window.get("redispatches", ())
+        parts.append(
+            _OK_WINDOW.pack(
+                len(completions), len(losses), len(rejects), len(redispatches)
+            )
+        )
+        for rid, t, latency, server in completions:
+            parts.append(_COMPLETION.pack(rid, t, latency, server))
+        for rid, t, server in losses:
+            parts.append(_LOSS.pack(rid, t, server))
+        for rid, t, server in rejects:
+            parts.append(_LOSS.pack(rid, t, server))
+        for rid, t, flow, arrival, svc in redispatches:
+            parts.append(_REDISPATCH.pack(rid, t, flow, arrival, svc))
+    if collected is not None:
+        blob = json.dumps(collected, separators=(",", ":")).encode("utf-8")
+        parts.append(_U32.pack(len(blob)))
+        parts.append(blob)
+    return b"".join(parts)
+
+
+def _decode_binary(body: bytes) -> Dict[str, Any]:
+    try:
+        kind = body[1]
+        if kind == _KIND_STEP:
+            return _decode_step_v2(body)
+        if kind == _KIND_STEP_OK:
+            return _decode_step_ok_v2(body)
+        raise ProtocolError(f"unknown binary message kind {kind}")
+    except (struct.error, IndexError, json.JSONDecodeError) as exc:
+        raise ProtocolError(f"undecodable binary frame: {exc}") from exc
+
+
+def _decode_step_v2(body: bytes) -> Dict[str, Any]:
+    _magic, _kind, seq, flags, n_windows = _STEP_HEAD.unpack_from(body, 0)
+    offset = _STEP_HEAD.size
+    message: Dict[str, Any] = {"type": "step", "seq": seq}
+    if flags & _HAS_COLLECT:
+        (measure_end,) = _F64.unpack_from(body, offset)
+        offset += _F64.size
+        message["collect"] = {"measure_end": measure_end}
+    windows = []
+    for _ in range(n_windows):
+        until, n_dispatches, blob_len = _STEP_WINDOW.unpack_from(body, offset)
+        offset += _STEP_WINDOW.size
+        dispatches = []
+        for _ in range(n_dispatches):
+            rid, t, flow, server, opt = _DISPATCH.unpack_from(body, offset)
+            offset += _DISPATCH.size
+            record = {"id": rid, "t": t, "flow": flow, "server": server}
+            if opt & _HAS_ARR:
+                (record["arr"],) = _F64.unpack_from(body, offset)
+                offset += _F64.size
+            if opt & _HAS_SVC:
+                (record["svc"],) = _F64.unpack_from(body, offset)
+                offset += _F64.size
+            dispatches.append(record)
+        faults = (
+            json.loads(body[offset:offset + blob_len].decode("utf-8"))
+            if blob_len else []
+        )
+        offset += blob_len
+        windows.append({"until": until, "dispatches": dispatches,
+                        "faults": faults})
+    message["windows"] = windows
+    return message
+
+
+def _decode_step_ok_v2(body: bytes) -> Dict[str, Any]:
+    _magic, _kind, seq, t, flags, n_windows = _OK_HEAD.unpack_from(body, 0)
+    offset = _OK_HEAD.size
+    (worker_id,) = _U32.unpack_from(body, offset)
+    offset += _U32.size
+    windows: List[Dict[str, Any]] = []
+    for _ in range(n_windows):
+        n_comp, n_loss, n_rej, n_red = _OK_WINDOW.unpack_from(body, offset)
+        offset += _OK_WINDOW.size
+        completions = []
+        for _ in range(n_comp):
+            completions.append(list(_COMPLETION.unpack_from(body, offset)))
+            offset += _COMPLETION.size
+        losses = []
+        for _ in range(n_loss):
+            losses.append(list(_LOSS.unpack_from(body, offset)))
+            offset += _LOSS.size
+        rejects = []
+        for _ in range(n_rej):
+            rejects.append(list(_LOSS.unpack_from(body, offset)))
+            offset += _LOSS.size
+        redispatches = []
+        for _ in range(n_red):
+            redispatches.append(list(_REDISPATCH.unpack_from(body, offset)))
+            offset += _REDISPATCH.size
+        windows.append({
+            "completions": completions, "losses": losses,
+            "rejects": rejects, "redispatches": redispatches,
+        })
+    message = {
+        "type": "step_ok", "seq": seq, "worker_id": worker_id, "t": t,
+        "windows": windows,
+    }
+    if flags & _HAS_COLLECT:
+        (blob_len,) = _U32.unpack_from(body, offset)
+        offset += _U32.size
+        message["collected"] = json.loads(
+            body[offset:offset + blob_len].decode("utf-8")
+        )
+    return message
+
+
+# Hot message types that take the binary path once v2 is negotiated.
+_BINARY_ENCODERS = {"step": _encode_step_v2, "step_ok": _encode_step_ok_v2}
+
+
+def encode_frame(message: Dict[str, Any], wire_version: int = 1) -> bytes:
+    """Serialise one message to its on-wire form (header + body).
+
+    At ``wire_version`` 1 the body is always JSON; at 2, ``step`` and
+    ``step_ok`` take the packed binary path and everything else stays
+    JSON.
+    """
+    encoder = (
+        _BINARY_ENCODERS.get(message.get("type")) if wire_version >= 2 else None
+    )
+    if encoder is not None:
+        body = encoder(message)
+    else:
+        body = json.dumps(message, separators=(",", ":")).encode("utf-8")
     if len(body) > MAX_FRAME_BYTES:
         raise ProtocolError(f"frame of {len(body)} bytes exceeds {MAX_FRAME_BYTES}")
     return _HEADER.pack(len(body)) + body
 
 
 def decode_body(body: bytes) -> Dict[str, Any]:
-    """Parse a frame body back into a message dict."""
+    """Parse a frame body back into a message dict (either encoding)."""
+    if body[:1] == b"\x00":
+        return _decode_binary(body)
     try:
         message = json.loads(body.decode("utf-8"))
     except (UnicodeDecodeError, json.JSONDecodeError) as exc:
@@ -119,6 +372,10 @@ class Channel:
         self.name = name
         self._recv_buffer = b""
         self._seq = 0
+        # Negotiated at handshake; 1 until the configure exchange
+        # upgrades it. Only affects how *this side encodes* step and
+        # step_ok — decode always dispatches on the magic byte.
+        self.wire_version = 1
         # Keep frames flowing promptly on TCP: windows are small and
         # latency-sensitive, so disable Nagle where the option exists.
         try:
@@ -131,7 +388,7 @@ class Channel:
     def send(self, message: Dict[str, Any]) -> None:
         """Send one frame; a broken pipe surfaces as :class:`ChannelClosed`."""
         try:
-            self.sock.sendall(encode_frame(message))
+            self.sock.sendall(encode_frame(message, self.wire_version))
         except (BrokenPipeError, ConnectionError, OSError) as exc:
             raise ChannelClosed(f"{self.name}: send failed: {exc}") from exc
 
@@ -180,27 +437,26 @@ class Channel:
         timeout: float = DEFAULT_TIMEOUT_S,
         retries: int = DEFAULT_RETRIES,
         backoff_s: float = DEFAULT_BACKOFF_S,
+        backoff_cap_s: float = DEFAULT_BACKOFF_CAP_S,
         on_heartbeat=None,
     ) -> Dict[str, Any]:
         """Send a request and await its typed reply, with retry/backoff.
 
         The request is stamped with a fresh ``seq``; on a timeout the
-        same frame (same ``seq``) is re-sent after an exponentially
-        growing backoff, and the worker's at-most-once cache guarantees
-        re-delivery cannot re-execute the step. Heartbeat frames reset
-        the liveness deadline (and are reported to ``on_heartbeat``)
-        without counting as replies. ``ChannelClosed`` is never retried
-        — a vanished peer is a crash fault for the caller's failover
-        logic, not a transient.
+        same frame (same ``seq``) is re-sent after a capped, jittered
+        exponential backoff (:func:`backoff_delay`), and the worker's
+        at-most-once cache guarantees re-delivery cannot re-execute the
+        step. Heartbeat frames reset the liveness deadline (and are
+        reported to ``on_heartbeat``) without counting as replies.
+        ``ChannelClosed`` is never retried — a vanished peer is a crash
+        fault for the caller's failover logic, not a transient.
         """
         message = dict(message)
         message.setdefault("seq", self.next_seq())
-        delay = backoff_s
         last_timeout: Optional[ChannelTimeout] = None
         for attempt in range(retries + 1):
             if attempt:
-                time.sleep(delay)
-                delay *= 2
+                time.sleep(backoff_delay(attempt - 1, backoff_s, backoff_cap_s))
             self.send(message)
             while True:
                 try:

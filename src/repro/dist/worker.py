@@ -11,14 +11,22 @@ then serves the wire protocol (:mod:`repro.dist.wire`) until
 per-server random streams, queue stickiness, and service draws are
 identical to :class:`repro.cluster.rack.ClusterServer`'s.
 
-Each ``step`` applies the coordinator's dispatch records (drawing the
-service demand from the target server's own stream, in dispatch-time
-order, exactly as ``Rack.dispatch`` does) and fault directives, then
-advances the local clock to the window bound in ``max_events`` slices,
-emitting ``heartbeat`` frames between slices so the coordinator can tell
-a slow window from a dead process. Requests delivered to a down server,
-stale-epoch completions, and full-queue rejections are reported back in
-``step_ok`` for the coordinator's balancer and failover accounting.
+Each ``step`` carries a *batch* of lookahead windows. The worker
+executes them strictly in sequence — per window it applies the fault
+directives and dispatch records (drawing the service demand from the
+target server's own stream, in dispatch-time order, exactly as
+``Rack.dispatch`` does), advances the local clock to that window's
+bound in ``max_events`` slices (emitting ``heartbeat`` frames between
+slices so the coordinator can tell a slow batch from a dead process),
+and snapshots the window's outcomes into its own reply block. Scheduling
+window N+1's arrivals only after window N has fully run keeps the event
+heap's same-timestamp insertion order identical to the one-RPC-per-
+window lockstep protocol, which is what preserves bit-exactness under
+lookahead. Requests delivered to a down server, stale-epoch
+completions, and full-queue rejections are reported back per window in
+``step_ok`` for the coordinator's balancer and failover accounting; a
+piggybacked ``collect`` request (the run's final batch) returns the
+``collected`` payload inside the same reply.
 
 Replies are cached per ``seq`` (at-most-once): a retried request returns
 the cached reply instead of re-executing the step.
@@ -35,12 +43,21 @@ from bisect import bisect_right
 from itertools import accumulate
 from typing import Any, Dict, List, Optional
 
-from repro.dist.wire import Channel, ChannelClosed
+from repro.dist.wire import WIRE_VERSIONS, Channel, ChannelClosed
 
 # How many events a worker retires between heartbeats while executing a
 # step. Small enough for sub-second liveness at any realistic rate,
 # large enough that the check never shows up in a profile.
 DEFAULT_HEARTBEAT_EVENTS = 250_000
+
+# Outcome block for a window with nothing to report (sparse replays are
+# mostly these). Tuples keep it safely immutable for reuse.
+_EMPTY_BLOCK = {
+    "completions": (),
+    "losses": (),
+    "rejects": (),
+    "redispatches": (),
+}
 
 
 class WorkerServer:
@@ -216,6 +233,12 @@ class WorkerHost:
             self._registry_cm.__exit__(None, None, None)
             self._registry_cm = None
         self.cluster_config = ClusterConfig(**msg["config"])
+        if msg.get("wire") == "v2":
+            # Negotiated upgrade: step_ok replies go out binary from the
+            # next frame on (this 'ready' reply itself stays JSON).
+            self.channel.wire_version = 2
+        else:
+            self.channel.wire_version = 1
         self.registry = MetricsRegistry(enabled=bool(msg.get("metrics", False)))
         self._registry_cm = active_registry(self.registry)
         self._registry_cm.__enter__()
@@ -261,47 +284,59 @@ class WorkerHost:
         else:
             raise ValueError(f"unknown fault directive kind {kind!r}")
 
-    def _handle_step(self, msg: Dict[str, Any]) -> Dict[str, Any]:
-        until = float(msg["until"])
-        for directive in msg.get("faults", []):
-            self.sim.schedule_at(
-                float(directive["time"]), self._apply_fault, directive
-            )
-        # Dispatch-time order per server == the rack's per-server order,
-        # so service-stream draws and link FIFO state match exactly.
-        records = sorted(
-            msg.get("dispatches", []), key=lambda r: (r["t"], r["id"])
-        )
-        request_bytes = self.cluster_config.request_bytes
-        for record in records:
-            server = self.servers[int(record["server"])]
-            base_service = record.get("svc")
-            if base_service is None:
-                base_service = server.system.service_model()
-            t = float(record["t"])
-            delay = server.link.transfer_delay(t, request_bytes)
-            self.sim.schedule_at(
-                t + delay,
-                server.deliver,
-                int(record["id"]),
-                int(record["flow"]),
-                float(record.get("arr", t)),
-                base_service,
-            )
+    def _run_window(self, window: Dict[str, Any]) -> Dict[str, Any]:
+        """Apply one window's faults and dispatches, run to its bound,
+        and return the window's outcome block."""
+        sim = self.sim
+        until = float(window["until"])
+        dispatches = window.get("dispatches")
+        faults = window.get("faults")
+        if faults:
+            for directive in faults:
+                sim.schedule_at(
+                    float(directive["time"]), self._apply_fault, directive
+                )
+        if dispatches:
+            # Dispatch-time order per server == the rack's per-server
+            # order, so service-stream draws and link FIFO state match
+            # exactly.
+            records = sorted(dispatches, key=lambda r: (r["t"], r["id"]))
+            request_bytes = self.cluster_config.request_bytes
+            schedule_at = sim.schedule_at
+            servers = self.servers
+            for record in records:
+                server = servers[record["server"]]
+                base_service = record.get("svc")
+                if base_service is None:
+                    base_service = server.system.service_model()
+                t = record["t"]
+                delay = server.link.transfer_delay(t, request_bytes)
+                schedule_at(
+                    t + delay,
+                    server.deliver,
+                    record["id"],
+                    record["flow"],
+                    record.get("arr", t),
+                    base_service,
+                )
         # Advance to the bound in slices, heartbeating between them.
         while True:
-            self.sim.run(until=until, max_events=self.heartbeat_events)
-            if self.sim.now >= until and (
-                not self.sim.pending or self.sim.peek() > until
-            ):
+            sim.run(until=until, max_events=self.heartbeat_events)
+            if sim.now >= until and (not sim.pending or sim.peek() > until):
                 break
             self.channel.send(
-                {"type": "heartbeat", "worker_id": self.worker_id, "t": self.sim.now}
+                {"type": "heartbeat", "worker_id": self.worker_id, "t": sim.now}
             )
-        reply = {
-            "type": "step_ok",
-            "worker_id": self.worker_id,
-            "t": self.sim.now,
+        if not (
+            self._completions
+            or self._losses
+            or self._rejects
+            or self._redispatches
+        ):
+            # Quiet window: one shared immutable block serves every
+            # reply (encode-only, never mutated).
+            return _EMPTY_BLOCK
+        block = {
             "completions": self._completions,
             "losses": self._losses,
             "rejects": self._rejects,
@@ -309,6 +344,29 @@ class WorkerHost:
         }
         self._completions, self._losses = [], []
         self._rejects, self._redispatches = [], []
+        return block
+
+    def _handle_step(self, msg: Dict[str, Any]) -> Dict[str, Any]:
+        windows = msg.get("windows")
+        if windows is None:
+            # Legacy single-window shape (one flat step per RPC).
+            windows = [{
+                "until": msg["until"],
+                "dispatches": msg.get("dispatches", []),
+                "faults": msg.get("faults", []),
+            }]
+        blocks = [self._run_window(window) for window in windows]
+        reply = {
+            "type": "step_ok",
+            "worker_id": self.worker_id,
+            "t": self.sim.now,
+            "windows": blocks,
+        }
+        collect = msg.get("collect")
+        if collect is not None:
+            # The coordinator knew this batch ends the run: fold the
+            # collect round-trip into the same exchange.
+            reply["collected"] = self._handle_collect(collect)
         return reply
 
     def _handle_collect(self, msg: Dict[str, Any]) -> Dict[str, Any]:
@@ -427,6 +485,7 @@ def main(argv=None) -> int:
             "worker_id": args.worker_id,
             "token": args.token,
             "pid": os.getpid(),
+            "wire": list(WIRE_VERSIONS),
         }
     )
     host = WorkerHost(channel, args.worker_id)

@@ -58,6 +58,14 @@ def main(argv=None) -> int:
         "experiment's own; capped at the server count)",
     )
     parser.add_argument(
+        "--transport",
+        choices=("unix", "tcp"),
+        default=None,
+        help="dist backend: worker socket family (default: the "
+        "experiment's own, normally unix; tcp exercises the "
+        "loopback-TCP path CI matrixes over)",
+    )
+    parser.add_argument(
         "--speed-factor",
         type=float,
         default=None,
@@ -106,6 +114,7 @@ def main(argv=None) -> int:
                 backend=args.backend,
                 workers=args.workers,
                 speed_factor=args.speed_factor,
+                transport=args.transport,
             )
         except UsageError as exc:
             # Unknown experiment / backend / unsupported combination /

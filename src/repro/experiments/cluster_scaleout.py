@@ -26,7 +26,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.cluster import ClusterConfig, run_cluster
-from repro.experiments.base import BackendConfig, ExperimentResult
+from repro.experiments.base import BackendConfig, ExperimentResult, UsageError
 from repro.experiments.parallel import parallel_map
 
 # Operating point (calibrated): wide per-server queue arrays make the
@@ -209,8 +209,14 @@ class ClusterScaleoutConfig(BackendConfig):
 
     def __post_init__(self):
         super().__post_init__()
-        if self.workers < 1:
-            raise ValueError("workers must be >= 1")
+        ceiling = max(FULL_SERVERS)
+        if not 1 <= self.workers <= ceiling:
+            raise UsageError(
+                f"workers={self.workers} invalid; expected one of "
+                f"1..{ceiling} (per-point fleets cap workers at the "
+                f"point's server count; the largest grid point has "
+                f"{ceiling} servers)"
+            )
         if self.speed_factor < 0:
             raise ValueError("speed_factor must be >= 0 (0 = max speed)")
 

@@ -26,7 +26,7 @@ from itertools import islice
 from typing import Dict, List, Optional
 
 from repro.cluster import ClusterConfig
-from repro.experiments.base import BackendConfig, ExperimentResult
+from repro.experiments.base import BackendConfig, ExperimentResult, UsageError
 
 FLOWS_PER_SERVER = 16
 FLOW_SKEW = 0.3
@@ -57,12 +57,16 @@ class DistReplayConfig(BackendConfig):
 
     def __post_init__(self):
         super().__post_init__()
-        if self.workers < 1:
-            raise ValueError("workers must be >= 1")
-        if self.speed_factor < 0:
-            raise ValueError("speed_factor must be >= 0 (0 = max speed)")
         if self.servers < 1:
             raise ValueError("servers must be >= 1")
+        if not 1 <= self.workers <= self.servers:
+            raise UsageError(
+                f"workers={self.workers} invalid; expected one of "
+                f"1..{self.servers} (worker processes are capped by the "
+                f"{self.servers}-server fleet)"
+            )
+        if self.speed_factor < 0:
+            raise ValueError("speed_factor must be >= 0 (0 = max speed)")
         if self.requests is not None and self.requests < 100:
             raise ValueError("requests must be >= 100 (or None for defaults)")
 

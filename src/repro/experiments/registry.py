@@ -167,6 +167,7 @@ def run_experiment(
     backend: str = "event",
     workers: Optional[int] = None,
     speed_factor: Optional[float] = None,
+    transport: Optional[str] = None,
 ) -> ExperimentResult:
     """Run one experiment by id, stamping the result with its manifest.
 
@@ -174,9 +175,9 @@ def run_experiment(
     support one (:func:`backend_capable_experiments`); unknown backends
     and unsupported experiments raise
     :class:`~repro.experiments.base.UsageError` with the valid choices
-    listed. ``workers`` / ``speed_factor`` tune the dist backend's
-    fleet shape and replay pacing on the experiments whose configs
-    carry those fields.
+    listed. ``workers`` / ``speed_factor`` / ``transport`` tune the
+    dist backend's fleet shape, replay pacing, and socket family on the
+    experiments whose configs carry those fields.
 
     When ``metrics`` is an enabled :class:`MetricsRegistry`, it is
     installed as the ambient registry for the duration of the run so
@@ -203,7 +204,11 @@ def run_experiment(
                 f"{backend_capable_experiments()}"
             )
         config = replace(config, backend=backend)
-    for name, value in (("workers", workers), ("speed_factor", speed_factor)):
+    for name, value in (
+        ("workers", workers),
+        ("speed_factor", speed_factor),
+        ("transport", transport),
+    ):
         if value is None:
             continue
         if not hasattr(config, name):
