@@ -442,7 +442,7 @@ def vec_fig8_grid(quick: bool) -> Dict[str, float]:
     }
 
 
-def _dist_leg(config, path, duration, warmup, workers, **options):
+def _dist_leg(config, path, duration, warmup, workers, telemetry=None, **options):
     """One timed ``run_cluster_dist`` episode replaying a trace file."""
     from repro.dist.coordinator import DistOptions, run_cluster_dist
     from repro.dist.replay import TraceFileSource
@@ -454,6 +454,7 @@ def _dist_leg(config, path, duration, warmup, workers, **options):
         duration=duration,
         warmup=0.01,
         options=DistOptions(workers=workers, **options),
+        telemetry=telemetry,
     )
     return time.perf_counter() - t0, result
 
@@ -588,6 +589,98 @@ def dist_grid_row(quick: bool) -> Dict[str, float]:
     }
 
 
+def telemetry_overhead(quick: bool) -> Dict[str, float]:
+    """Live-telemetry cost on the ``dist_replay_8w`` workload: off vs.
+    disabled (null sampler attached, interval 0) vs. enabled (1 ms
+    cadence, frames piggybacking on step_ok/heartbeat replies).
+
+    Three interleaved legs per round so machine noise hits all legs
+    alike; ratios are the MAX over rounds of ``off_wall / leg_wall``
+    (the same pairing method as ``sdp_trace_overhead``), so a leg only
+    looks slow if it is slow in *every* round. The CI gate pins
+    ``disabled_ratio >= 0.98`` (the <2% observability budget on the
+    never-pay path) and ``enabled_ratio >= 0.95``; ``bit_exact``
+    asserts every leg of every round produced the same rss fingerprint
+    — telemetry must never perturb the simulation.
+    """
+    import itertools
+    import os
+    import tempfile
+
+    from repro.cluster.config import ClusterConfig
+    from repro.dist.replay import PoissonSource, write_trace
+    from repro.obs.live import TelemetryBus
+
+    duration = 0.4 if quick else 1.2
+    rounds = 4
+    config = ClusterConfig(
+        num_servers=8,
+        notification="hyperplane",
+        balancer="rss",
+        queues_per_server=16,
+        num_flows=32,
+        flow_skew=0.3,
+        seed=21,
+    )
+    source = PoissonSource(
+        rate=5000.0,
+        num_flows=config.num_flows,
+        flow_skew=config.flow_skew,
+        seed=33,
+    )
+    fd, path = tempfile.mkstemp(suffix=".trace", prefix="repro-bench-telem-")
+    os.close(fd)
+    fingerprints = set()
+    telemetry_frames = 0
+    walls = {"off": [], "disabled": [], "enabled": []}
+
+    def leg(name):
+        bus = None if name == "off" else TelemetryBus()
+        interval = 1e-3 if name == "enabled" else 0.0
+        wall, run = _dist_leg(
+            config, path, duration, 0.01, 8,
+            telemetry=bus, telemetry_interval_s=interval,
+        )
+        fingerprints.add(run.metrics.fingerprint())
+        return wall, bus
+
+    try:
+        write_trace(
+            path, itertools.takewhile(lambda r: r.time < duration, iter(source))
+        )
+        for name in walls:  # warmup pass, unpriced
+            leg(name)
+        for _ in range(rounds):
+            for name in walls:
+                wall, bus = leg(name)
+                walls[name].append(wall)
+                if name == "enabled":
+                    telemetry_frames = max(telemetry_frames, bus.frames_seen)
+    finally:
+        os.unlink(path)
+
+    def ratio(name):
+        return max(
+            off / leg_wall if leg_wall > 0 else 0.0
+            for off, leg_wall in zip(walls["off"], walls[name])
+        )
+
+    off_wall = min(walls["off"])
+    enabled_wall = min(walls["enabled"])
+    windows = int(duration / 50e-6)  # nominal; rate basis only
+    return {
+        "wall_seconds": enabled_wall,
+        "events": windows,
+        "events_per_sec": windows / enabled_wall if enabled_wall > 0 else 0.0,
+        "off_wall_seconds": off_wall,
+        "disabled_wall_seconds": min(walls["disabled"]),
+        "disabled_ratio": ratio("disabled"),
+        "enabled_ratio": ratio("enabled"),
+        "telemetry_frames": telemetry_frames,
+        "bit_exact": len(fingerprints) == 1,
+    }
+
+
 def costmodel_derive(quick: bool) -> Dict[str, float]:
     """Empty-poll cost-curve derivation: hundreds of thousands of
     structural accesses per curve, the price of building a data-plane
@@ -668,6 +761,12 @@ SCENARIOS: Dict[str, Scenario] = {
             "dist_grid_row",
             "load-aware (p2c) dist grid point: bounded lookahead vs lockstep",
             dist_grid_row,
+            default=False,
+        ),
+        Scenario(
+            "telemetry_overhead",
+            "live telemetry off vs disabled vs 1 ms cadence on the 8w replay",
+            telemetry_overhead,
             default=False,
         ),
         Scenario(

@@ -36,6 +36,8 @@ from repro.dist.replay import (
     write_trace,
 )
 from repro.dist.wire import (
+    CAPABILITIES,
+    TELEMETRY_CAPABILITY,
     Channel,
     ChannelClosed,
     ChannelTimeout,
@@ -48,6 +50,7 @@ from repro.dist.wire import (
 
 __all__ = [
     "ArrivalSource",
+    "CAPABILITIES",
     "Channel",
     "ChannelClosed",
     "ChannelTimeout",
@@ -58,6 +61,7 @@ __all__ = [
     "ProtocolError",
     "RemoteError",
     "ReplayPacer",
+    "TELEMETRY_CAPABILITY",
     "TraceFileSource",
     "TraceRecord",
     "TRANSPORTS",

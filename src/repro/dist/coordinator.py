@@ -50,6 +50,7 @@ from repro.dist.wire import (
     DEFAULT_BACKOFF_CAP_S,
     DEFAULT_BACKOFF_S,
     DEFAULT_RETRIES,
+    TELEMETRY_CAPABILITY,
     WIRE_VERSIONS,
     Channel,
     ChannelClosed,
@@ -58,6 +59,7 @@ from repro.dist.wire import (
     RemoteError,
     backoff_delay,
 )
+from repro.obs.live import DEFAULT_TELEMETRY_INTERVAL_S
 
 TRANSPORTS = ("unix", "tcp")
 
@@ -103,6 +105,14 @@ class DistOptions:
     schedule; ``1`` restores strict lockstep).
     ``crash_worker``/``crash_worker_at`` inject an abrupt worker death
     (``os._exit`` mid-step) for failover testing.
+
+    ``telemetry_interval_s`` sets the workers' live-telemetry sampling
+    cadence in simulated seconds once a bus is attached
+    (``run_cluster_dist(..., telemetry=...)``); ``0`` negotiates the
+    capability but leaves sampling off (workers build null samplers —
+    the priced "disabled" path of the ``telemetry_overhead`` bench).
+    ``flight_recorder_dir`` pins where a crash post-mortem dump is
+    written (default: the system temp dir).
     """
 
     workers: int = 2
@@ -118,6 +128,8 @@ class DistOptions:
     spawn_timeout_s: float = 30.0
     crash_worker: Optional[int] = None
     crash_worker_at: Optional[float] = None
+    telemetry_interval_s: float = DEFAULT_TELEMETRY_INTERVAL_S
+    flight_recorder_dir: Optional[str] = None
 
     def __post_init__(self):
         if self.workers <= 0:
@@ -140,6 +152,11 @@ class DistOptions:
             raise ValueError("backoff must be non-negative, its cap positive")
         if (self.crash_worker is None) != (self.crash_worker_at is None):
             raise ValueError("crash_worker and crash_worker_at go together")
+        if self.telemetry_interval_s < 0:
+            raise ValueError(
+                "telemetry_interval_s must be >= 0 (0 = capability "
+                "negotiated, sampling off)"
+            )
 
 
 @dataclass
@@ -153,6 +170,9 @@ class WorkerHandle:
     # Wire versions the worker's hello advertised (old workers predate
     # the field and only speak JSON).
     wire_versions: Tuple[str, ...] = ("v1",)
+    # Optional capabilities from hello (telemetry, ...); absent for old
+    # workers, so everything stays off against them.
+    caps: Tuple[str, ...] = ()
 
 
 @dataclass
@@ -273,6 +293,7 @@ class WorkerPool:
                 channel.name = f"worker{worker_id}"
                 handle.channel = channel
                 handle.wire_versions = tuple(hello.get("wire", ("v1",)))
+                handle.caps = tuple(hello.get("caps", ()))
         except Exception:
             self.close()
             raise
@@ -298,6 +319,7 @@ class WorkerPool:
         retries: int,
         backoff_s: float,
         backoff_cap_s: float = DEFAULT_BACKOFF_CAP_S,
+        on_heartbeat=None,
     ) -> Tuple[Dict[int, Dict[str, Any]], List[WorkerHandle]]:
         """Send one request per alive worker, then await all replies.
 
@@ -305,6 +327,11 @@ class WorkerPool:
         workers simulate their windows concurrently. Returns the replies
         by worker id and the handles that died (EOF, or liveness timeout
         after ``retries`` re-sends of the same at-most-once frame).
+
+        ``on_heartbeat(handle, reply)`` receives every heartbeat's
+        *full* payload (not just the liveness timestamp), so telemetry
+        frames and future health data riding on heartbeats reach their
+        consumers mid-step.
         """
         died: List[WorkerHandle] = []
         in_flight: List[Tuple[WorkerHandle, Dict[str, Any]]] = []
@@ -350,6 +377,8 @@ class WorkerPool:
                 kind = reply.get("type")
                 if kind == "heartbeat":
                     handle.last_heartbeat_t = float(reply.get("t", 0.0))
+                    if on_heartbeat is not None:
+                        on_heartbeat(handle, reply)
                     continue
                 if kind == "error":
                     raise RemoteError(
@@ -417,6 +446,7 @@ def run_cluster_dist(
     target_completions: Optional[int] = None,
     options: Optional[DistOptions] = None,
     source=None,
+    telemetry=None,
 ) -> DistRun:
     """Run one rack episode across a fleet of worker processes.
 
@@ -425,6 +455,15 @@ def run_cluster_dist(
     transport, pacing, fault injection) and ``source`` optionally
     replaces the rack-equivalent Poisson client population with any
     :class:`repro.dist.replay.ArrivalSource` (e.g. a recorded trace).
+
+    ``telemetry`` optionally attaches a
+    :class:`repro.obs.live.TelemetryBus`: the coordinator negotiates
+    the capability with capable workers, folds the telemetry frames
+    riding on step replies and heartbeats into the bus as they arrive,
+    and on a worker crash attaches the dead worker's flight-recorder
+    window to the fault record and dumps a post-mortem file (path in
+    ``info["flight_recorder"]``). Telemetry never perturbs the
+    simulation — runs are bit-exact with or without a bus.
     """
     from repro.cluster.balancer import AllServersDownError, LoadBalancer
     from repro.cluster.config import STREAM_BALANCER, STREAM_FAULTS
@@ -549,9 +588,25 @@ def run_cluster_dist(
                 "heartbeat_events": options.heartbeat_events,
                 "wire": wire,
             }
+            if telemetry is not None:
+                if TELEMETRY_CAPABILITY in handle.caps:
+                    message["telemetry"] = {
+                        "interval_s": options.telemetry_interval_s,
+                    }
+                else:
+                    telemetry.no_telemetry_workers.add(handle.worker_id)
             if options.crash_worker == handle.worker_id:
                 message["crash_at"] = options.crash_worker_at
             configure[handle.worker_id] = message
+
+        def fold_telemetry(frames) -> None:
+            if telemetry is not None and frames:
+                telemetry.ingest_all(frames)
+
+        def on_heartbeat(handle: WorkerHandle, reply: Dict[str, Any]) -> None:
+            fold_telemetry(reply.get("telemetry"))
+
+        heartbeat_cb = on_heartbeat if telemetry is not None else None
         replies, died = pool.broadcast(
             configure, "ready", options.timeout_s, options.retries,
             options.backoff_s, options.backoff_cap_s,
@@ -568,12 +623,36 @@ def run_cluster_dist(
         def fail_worker(handle: WorkerHandle, at: float, redisp_heap, seq) -> None:
             """Crash-fault handling for a vanished worker process."""
             info["partial"] = True
-            worker_faults.append({
+            fault = {
                 "worker_id": handle.worker_id,
                 "servers": handle.servers,
                 "time": at,
                 "kind": "worker-crash",
-            })
+            }
+            # Attach the crashed worker's last flight-recorder window —
+            # its final streamed frames survive coordinator-side even
+            # though the process died mid-step — or say explicitly that
+            # none exists, so post-mortems never guess.
+            if telemetry is not None:
+                window = telemetry.flight_window(handle.worker_id)
+                fault["telemetry"] = window if window else "no_telemetry"
+                path = info.get("flight_recorder")
+                if path is None:
+                    if options.flight_recorder_dir:
+                        os.makedirs(options.flight_recorder_dir, exist_ok=True)
+                    fd, path = tempfile.mkstemp(
+                        prefix="repro-dist-flight-",
+                        suffix=".jsonl",
+                        dir=options.flight_recorder_dir,
+                    )
+                    os.close(fd)
+                    info["flight_recorder"] = path
+                telemetry.dump_flight_recorder(
+                    path, reason=f"worker-{handle.worker_id}-crash"
+                )
+            else:
+                fault["telemetry"] = "no_telemetry"
+            worker_faults.append(fault)
             for server in handle.servers:
                 permanently_down.add(server)
                 if balancer.live[server]:
@@ -789,8 +868,16 @@ def run_cluster_dist(
             replies, died = pool.broadcast(
                 steps, "step_ok", options.timeout_s, options.retries,
                 options.backoff_s, options.backoff_cap_s,
+                on_heartbeat=heartbeat_cb,
             )
             exchanges += 1
+            if telemetry is not None:
+                # Fold in worker-id order (after the exchange, before
+                # failover accounting) so the bus sees the crashed
+                # worker's last frames before the fault record reads its
+                # flight window.
+                for worker_id in sorted(replies):
+                    fold_telemetry(replies[worker_id].get("telemetry"))
             for handle in died:
                 fail_worker(handle, batch_end, redispatch_heap, tiebreak)
             if not pool.alive():
@@ -864,6 +951,7 @@ def run_cluster_dist(
             replies, died = pool.broadcast(
                 collect, "collected", options.timeout_s, options.retries,
                 options.backoff_s, options.backoff_cap_s,
+                on_heartbeat=heartbeat_cb,
             )
             for handle in died:
                 fail_worker(handle, window_start, redispatch_heap, tiebreak)
@@ -871,6 +959,7 @@ def run_cluster_dist(
         nodes: List[Dict[str, Any]] = []
         for worker_id in sorted(collected_replies):
             reply = collected_replies[worker_id]
+            fold_telemetry(reply.get("telemetry"))
             nodes.append(reply["node"])
             snapshot = reply.get("metrics")
             if snapshot and collect_metrics:
@@ -878,6 +967,17 @@ def run_cluster_dist(
         info["windows"] = window_index
         info["exchanges"] = exchanges
         info["nodes"] = nodes
+        if telemetry is not None:
+            telemetry_block = {
+                "interval_s": options.telemetry_interval_s,
+                "frames": telemetry.frames_seen,
+                "workers": telemetry.worker_ids(),
+            }
+            if telemetry.no_telemetry_workers:
+                telemetry_block["no_telemetry_workers"] = sorted(
+                    telemetry.no_telemetry_workers
+                )
+            info["telemetry"] = telemetry_block
         if pacer.slept_s:
             info["paced_sleep_s"] = pacer.slept_s
         return DistRun(metrics=metrics, nodes=nodes, info=info)

@@ -37,10 +37,14 @@ Message shapes (the ``type`` field selects the handler):
                 batch is known to be the run's last.
 ``step_ok``     worker -> coordinator: per window, the completions,
                 losses, re-dispatch requests, and rejections (plus the
-                ``collected`` payload when collect was piggybacked).
+                ``collected`` payload when collect was piggybacked, and
+                any pending telemetry frames when the ``telemetry``
+                capability was negotiated).
 ``heartbeat``   worker -> coordinator, interleaved while a long ``step``
-                is still running: liveness only, carries the worker's
-                current simulated time. Never a reply; receivers skip it.
+                is still running: liveness, the worker's current
+                simulated time, and (when negotiated) pending telemetry
+                frames. Never a reply; receivers skip it after
+                surfacing the payload to their heartbeat callback.
 ``collect``     coordinator -> worker: episode over — return the metrics
                 snapshot, per-node manifest block, and invariant status.
 ``collected``   worker -> coordinator: the requested payload.
@@ -108,6 +112,14 @@ _REDISPATCH = struct.Struct("!QdIdd")  # id, t, flow, arrival, service
 _HAS_ARR = 1
 _HAS_SVC = 2
 _HAS_COLLECT = 1
+_HAS_TELEMETRY = 2
+
+# Optional worker capabilities advertised in ``hello`` (alongside the
+# wire versions) and switched on by the coordinator's ``configure``.
+# Capabilities are always off unless negotiated, so old workers and old
+# coordinators interoperate unchanged.
+TELEMETRY_CAPABILITY = "telemetry"
+CAPABILITIES = (TELEMETRY_CAPABILITY,)
 
 
 def backoff_delay(
@@ -200,7 +212,10 @@ def _encode_step_v2(message: Dict[str, Any]) -> bytes:
 def _encode_step_ok_v2(message: Dict[str, Any]) -> bytes:
     windows = message.get("windows", [])
     collected = message.get("collected")
+    telemetry = message.get("telemetry")
     flags = _HAS_COLLECT if collected is not None else 0
+    if telemetry:
+        flags |= _HAS_TELEMETRY
     parts = [
         _OK_HEAD.pack(
             _BINARY_MAGIC, _KIND_STEP_OK, int(message.get("seq", 0)),
@@ -228,6 +243,13 @@ def _encode_step_ok_v2(message: Dict[str, Any]) -> bytes:
             parts.append(_REDISPATCH.pack(rid, t, flow, arrival, svc))
     if collected is not None:
         blob = json.dumps(collected, separators=(",", ":")).encode("utf-8")
+        parts.append(_U32.pack(len(blob)))
+        parts.append(blob)
+    if telemetry:
+        # Telemetry frames are small, structurally rich deltas: an
+        # embedded JSON blob (like faults/collected) keeps the packed
+        # layout stable as the frame schema evolves.
+        blob = json.dumps(list(telemetry), separators=(",", ":")).encode("utf-8")
         parts.append(_U32.pack(len(blob)))
         parts.append(blob)
     return b"".join(parts)
@@ -319,6 +341,14 @@ def _decode_step_ok_v2(body: bytes) -> Dict[str, Any]:
         message["collected"] = json.loads(
             body[offset:offset + blob_len].decode("utf-8")
         )
+        offset += blob_len
+    if flags & _HAS_TELEMETRY:
+        (blob_len,) = _U32.unpack_from(body, offset)
+        offset += _U32.size
+        message["telemetry"] = json.loads(
+            body[offset:offset + blob_len].decode("utf-8")
+        )
+        offset += blob_len
     return message
 
 

@@ -43,7 +43,7 @@ from bisect import bisect_right
 from itertools import accumulate
 from typing import Any, Dict, List, Optional
 
-from repro.dist.wire import WIRE_VERSIONS, Channel, ChannelClosed
+from repro.dist.wire import CAPABILITIES, WIRE_VERSIONS, Channel, ChannelClosed
 
 # How many events a worker retires between heartbeats while executing a
 # step. Small enough for sub-second liveness at any realistic rate,
@@ -128,6 +128,8 @@ class WorkerServer:
             self.host.report_redispatch(req_id, flow, arrival_time, base_service)
             return
         self.dispatched += 1
+        if self.host.telemetry is not None:
+            self.host.telemetry.dispatches.inc()
         item = WorkItem(
             item_id=req_id,
             qid=self.queue_for_flow(flow),
@@ -186,6 +188,7 @@ class WorkerHost:
         self.servers: Dict[int, WorkerServer] = {}
         self.registry = None
         self._registry_cm = None
+        self.telemetry = None
         self.heartbeat_events = DEFAULT_HEARTBEAT_EVENTS
         self._warmup = 0.0
         self._crash_at: Optional[float] = None
@@ -203,12 +206,20 @@ class WorkerHost:
         self, req_id: int, t: float, latency: float, server: int
     ) -> None:
         self._completions.append([req_id, t, latency, server])
+        telemetry = self.telemetry
+        if telemetry is not None:
+            telemetry.completions.inc()
+            telemetry.latency.observe(latency)
 
     def report_loss(self, req_id: int, server: int) -> None:
         self._losses.append([req_id, self.sim.now, server])
+        if self.telemetry is not None:
+            self.telemetry.losses.inc()
 
     def report_reject(self, req_id: int, server: int) -> None:
         self._rejects.append([req_id, self.sim.now, server])
+        if self.telemetry is not None:
+            self.telemetry.rejects.inc()
 
     def report_redispatch(
         self,
@@ -220,6 +231,8 @@ class WorkerHost:
     ) -> None:
         when = self.sim.now if at is None else at
         self._redispatches.append([req_id, when, flow, arrival_time, base_service])
+        if self.telemetry is not None:
+            self.telemetry.redispatches.inc()
 
     # -- handlers ------------------------------------------------------------
 
@@ -254,6 +267,28 @@ class WorkerHost:
         for server in self.servers.values():
             server.system.metrics.latency.warmup_time = self._warmup
             server.system.metrics.measure_start = self._warmup
+        telemetry_config = msg.get("telemetry")
+        if telemetry_config:
+            from repro.obs.live import (
+                DEFAULT_TELEMETRY_INTERVAL_S,
+                TelemetrySampler,
+            )
+
+            # interval_s == 0 builds the null sampler: the capability is
+            # negotiated but every hook hits shared no-op instruments —
+            # the 'disabled' leg of the telemetry_overhead bench.
+            self.telemetry = TelemetrySampler(
+                self.worker_id,
+                interval_s=float(
+                    telemetry_config.get(
+                        "interval_s", DEFAULT_TELEMETRY_INTERVAL_S
+                    )
+                ),
+                queue_depth_fn=self._queue_depth,
+                sim_events_fn=lambda: float(self.sim.events_dispatched),
+            )
+        else:
+            self.telemetry = None
         self._crash_at = msg.get("crash_at")
         if self._crash_at is not None:
             # Fault-injection hook for tests: die mid-step, abruptly,
@@ -270,6 +305,16 @@ class WorkerHost:
     def _die(self) -> None:
         os._exit(17)
 
+    def _queue_depth(self) -> float:
+        """Tasks queued across this worker's servers (pull-gauge source)."""
+        return float(
+            sum(
+                len(queue)
+                for server in self.servers.values()
+                for queue in server.system.queues
+            )
+        )
+
     def _apply_fault(self, directive: Dict[str, Any]) -> None:
         kind = directive["kind"]
         server = self.servers[int(directive["server"])]
@@ -283,6 +328,11 @@ class WorkerHost:
             server.link.degrade = float(directive["magnitude"])
         else:
             raise ValueError(f"unknown fault directive kind {kind!r}")
+        if self.telemetry is not None:
+            fields = {"server": int(directive["server"]), "t": self.sim.now}
+            if "magnitude" in directive:
+                fields["magnitude"] = directive["magnitude"]
+            self.telemetry.record_event(f"fault:{kind}", **fields)
 
     def _run_window(self, window: Dict[str, Any]) -> Dict[str, Any]:
         """Apply one window's faults and dispatches, run to its bound,
@@ -320,13 +370,24 @@ class WorkerHost:
                     base_service,
                 )
         # Advance to the bound in slices, heartbeating between them.
+        telemetry = self.telemetry
         while True:
             sim.run(until=until, max_events=self.heartbeat_events)
             if sim.now >= until and (not sim.pending or sim.peek() > until):
                 break
-            self.channel.send(
-                {"type": "heartbeat", "worker_id": self.worker_id, "t": sim.now}
-            )
+            heartbeat = {
+                "type": "heartbeat", "worker_id": self.worker_id, "t": sim.now,
+            }
+            if telemetry is not None:
+                # Long windows stream through heartbeats so the
+                # coordinator's view stays fresh mid-step.
+                telemetry.maybe_sample(sim.now)
+                frames = telemetry.drain()
+                if frames:
+                    heartbeat["telemetry"] = frames
+            self.channel.send(heartbeat)
+        if telemetry is not None:
+            telemetry.maybe_sample(sim.now)
         if not (
             self._completions
             or self._losses
@@ -367,6 +428,12 @@ class WorkerHost:
             # The coordinator knew this batch ends the run: fold the
             # collect round-trip into the same exchange.
             reply["collected"] = self._handle_collect(collect)
+        if self.telemetry is not None:
+            # _handle_collect flushes into its own payload, so this
+            # drain carries only frames sampled during the windows.
+            frames = self.telemetry.drain()
+            if frames:
+                reply["telemetry"] = frames
         return reply
 
     def _handle_collect(self, msg: Dict[str, Any]) -> Dict[str, Any]:
@@ -403,7 +470,7 @@ class WorkerHost:
                 "sim.events_total", help="events retired across all runs"
             ).inc(self.sim.events_dispatched)
             snapshot = self.registry.snapshot()
-        return {
+        reply = {
             "type": "collected",
             "worker_id": self.worker_id,
             "node": {
@@ -417,6 +484,13 @@ class WorkerHost:
             },
             "metrics": snapshot,
         }
+        if self.telemetry is not None:
+            # End of episode: force one final frame so the coordinator's
+            # live view converges on the collected totals.
+            frames = self.telemetry.flush(self.sim.now)
+            if frames:
+                reply["telemetry"] = frames
+        return reply
 
     def handle(self, msg: Dict[str, Any]) -> Dict[str, Any]:
         kind = msg.get("type")
@@ -486,6 +560,7 @@ def main(argv=None) -> int:
             "token": args.token,
             "pid": os.getpid(),
             "wire": list(WIRE_VERSIONS),
+            "caps": list(CAPABILITIES),
         }
     )
     host = WorkerHost(channel, args.worker_id)

@@ -19,6 +19,7 @@ import time
 from repro.dist import DistError, WireError
 from repro.experiments.base import UsageError, backend_names
 from repro.experiments.registry import REGISTRY, run_experiment
+from repro.obs.dash import DashboardQuit
 
 
 def main(argv=None) -> int:
@@ -73,6 +74,29 @@ def main(argv=None) -> int:
         "default 0 = max speed)",
     )
     parser.add_argument(
+        "--telemetry",
+        action="store_true",
+        default=None,
+        help="dist backend: stream live telemetry frames from the "
+        "workers into a fleet bus (bit-exact with telemetry off; see "
+        "docs/live-telemetry.md)",
+    )
+    parser.add_argument(
+        "--telemetry-out",
+        metavar="PATH",
+        default=None,
+        help="dist backend: write every live telemetry frame to PATH "
+        "as JSONL (implies --telemetry)",
+    )
+    parser.add_argument(
+        "--dash",
+        action="store_true",
+        default=None,
+        help="dist backend: paint the live terminal dashboard while "
+        "the fleet runs (pairs well with --speed-factor; implies "
+        "--telemetry; see also the repro-dash console script)",
+    )
+    parser.add_argument(
         "--json",
         metavar="DIR",
         help="also write <DIR>/<experiment>.json for each result",
@@ -115,7 +139,15 @@ def main(argv=None) -> int:
                 workers=args.workers,
                 speed_factor=args.speed_factor,
                 transport=args.transport,
+                telemetry=args.telemetry,
+                telemetry_out=args.telemetry_out,
+                dash=args.dash,
             )
+        except DashboardQuit:
+            # The user pressed q in the live dashboard: a clean exit,
+            # not a failure (partial results are discarded).
+            print("dashboard: quit")
+            return 0
         except UsageError as exc:
             # Unknown experiment / backend / unsupported combination /
             # bad dist flag: the message lists the valid choices.

@@ -87,7 +87,7 @@ def scaleout_point(point: Point) -> Dict[str, object]:
 
 
 def dist_scaleout_point(
-    point: Point, workers: int, speed_factor: float
+    point: Point, workers: int, speed_factor: float, telemetry=None
 ) -> Tuple[Dict[str, object], Dict[str, object]]:
     """One grid point on the multi-process fleet -> (row, fleet record).
 
@@ -95,7 +95,8 @@ def dist_scaleout_point(
     processes over the default transport), replays the rack-equivalent
     Poisson client population, and merges per-node metrics back through
     the obs snapshot machinery — so the row has exactly the same shape
-    as :func:`scaleout_point`'s.
+    as :func:`scaleout_point`'s. ``telemetry`` optionally attaches a
+    :class:`repro.obs.live.TelemetryBus` shared across grid points.
     """
     from repro.dist import DistOptions, run_cluster_dist
 
@@ -117,6 +118,7 @@ def dist_scaleout_point(
         warmup=WARMUP,
         target_completions=completions,
         options=DistOptions(workers=workers, speed_factor=speed_factor),
+        telemetry=telemetry,
     )
     summary = run.metrics.summary()
     row = {
@@ -143,6 +145,8 @@ def dist_scaleout_point(
         "worker_faults": run.worker_faults,
         "nodes": run.nodes,
     }
+    if telemetry is not None:
+        record["telemetry"] = run.info.get("telemetry", {})
     return row, record
 
 
@@ -199,11 +203,18 @@ class ClusterScaleoutConfig(BackendConfig):
     for rss placement, statistically equivalent otherwise (see
     docs/distributed.md). ``speed_factor`` paces the dist replay
     against the wall clock (0 = max speed, what CI uses).
+
+    ``telemetry`` / ``telemetry_out`` attach one shared live-telemetry
+    bus across all grid-point fleets (dist backend only — see
+    docs/live-telemetry.md); frames stream to ``telemetry_out`` as
+    JSONL when set.
     """
 
     trace: bool = False
     workers: int = 4
     speed_factor: float = 0.0
+    telemetry: bool = False
+    telemetry_out: Optional[str] = None
 
     supported_backends = ("event", "vec", "surrogate", "dist")
 
@@ -219,6 +230,12 @@ class ClusterScaleoutConfig(BackendConfig):
             )
         if self.speed_factor < 0:
             raise ValueError("speed_factor must be >= 0 (0 = max speed)")
+        if (self.telemetry or self.telemetry_out) and self.backend != "dist":
+            raise UsageError(
+                "telemetry requires backend='dist' (live frames stream "
+                "from worker processes; the in-process backends have "
+                "none)"
+            )
 
 
 def run(config: Optional[ClusterScaleoutConfig] = None) -> ExperimentResult:
@@ -454,13 +471,25 @@ def _run_grid(config: ClusterScaleoutConfig) -> ExperimentResult:
     if config.backend == "dist":
         # Each point owns a worker fleet; run them serially so fleets
         # never compete for cores (the parallelism is the fleet).
+        bus = sink = None
+        if config.telemetry or config.telemetry_out:
+            from repro.obs.live import JsonlTelemetrySink, TelemetryBus
+
+            bus = TelemetryBus()
+            if config.telemetry_out:
+                sink = JsonlTelemetrySink(config.telemetry_out)
+                bus.subscribe(sink)
         rows = []
-        for point in points:
-            row, record = dist_scaleout_point(
-                point, config.workers, config.speed_factor
-            )
-            rows.append(row)
-            dist_records.append(record)
+        try:
+            for point in points:
+                row, record = dist_scaleout_point(
+                    point, config.workers, config.speed_factor, telemetry=bus
+                )
+                rows.append(row)
+                dist_records.append(record)
+        finally:
+            if sink is not None:
+                sink.close()
     elif config.backend != "event":
         scale_points = [p for p in points if p[3] == "none"]
         fault_points = [p for p in points if p[3] != "none"]
@@ -490,6 +519,17 @@ def _run_grid(config: ClusterScaleoutConfig) -> ExperimentResult:
             "worker_faults": worker_faults,
             "records": dist_records,
         }
+        if bus is not None:
+            result.dist_info["telemetry_frames"] = bus.frames_seen
+            result.notes.append(
+                f"telemetry: {bus.frames_seen} live frames folded across "
+                f"{len(dist_records)} point fleets"
+                + (
+                    f", streamed to {config.telemetry_out}"
+                    if config.telemetry_out
+                    else ""
+                )
+            )
         result.notes.append(
             f"backend=dist: every point ran on a multi-process fleet "
             f"({config.workers} workers max, "

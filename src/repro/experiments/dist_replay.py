@@ -43,6 +43,14 @@ class DistReplayConfig(BackendConfig):
     a temporary file, and streamed back — so the file round-trip is
     always exercised. ``requests`` bounds the synthesised trace length
     (``None`` = derived from ``fast``).
+
+    Live telemetry (docs/live-telemetry.md): ``telemetry`` attaches a
+    :class:`repro.obs.live.TelemetryBus`; ``telemetry_out`` streams the
+    frames to a JSONL file; ``telemetry_prom_out`` writes a Prometheus
+    textfile of the final fleet view; ``dash`` paints the terminal
+    dashboard while the run is in flight (pairs with ``speed_factor``).
+    Any of the output/dash options implies ``telemetry``. Telemetry
+    never perturbs the simulation — results are bit-exact either way.
     """
 
     backend: str = "dist"
@@ -52,6 +60,11 @@ class DistReplayConfig(BackendConfig):
     servers: int = 4
     requests: Optional[int] = None
     trace_path: Optional[str] = None
+    telemetry: bool = False
+    dash: bool = False
+    telemetry_out: Optional[str] = None
+    telemetry_prom_out: Optional[str] = None
+    telemetry_interval_s: float = 1e-3
 
     supported_backends = ("dist",)
 
@@ -69,6 +82,17 @@ class DistReplayConfig(BackendConfig):
             raise ValueError("speed_factor must be >= 0 (0 = max speed)")
         if self.requests is not None and self.requests < 100:
             raise ValueError("requests must be >= 100 (or None for defaults)")
+        if self.telemetry_interval_s < 0:
+            raise ValueError("telemetry_interval_s must be >= 0")
+
+    @property
+    def telemetry_enabled(self) -> bool:
+        return bool(
+            self.telemetry
+            or self.dash
+            or self.telemetry_out
+            or self.telemetry_prom_out
+        )
 
 
 def _synthesise_trace(config: ClusterConfig, requests: int, path: str) -> None:
@@ -115,6 +139,20 @@ def run(config: Optional[DistReplayConfig] = None) -> ExperimentResult:
         seed=config.seed,
     )
 
+    bus = sink = dashboard = None
+    if config.telemetry_enabled:
+        from repro.obs.live import JsonlTelemetrySink, TelemetryBus
+
+        bus = TelemetryBus()
+        if config.telemetry_out:
+            sink = JsonlTelemetrySink(config.telemetry_out)
+            bus.subscribe(sink)
+        if config.dash:
+            from repro.obs.dash import Dashboard
+
+            dashboard = Dashboard()
+            dashboard.attach(bus)
+
     temp_path = None
     try:
         if config.trace_path is None:
@@ -138,14 +176,25 @@ def run(config: Optional[DistReplayConfig] = None) -> ExperimentResult:
                 workers=config.workers,
                 transport=config.transport,
                 speed_factor=config.speed_factor,
+                telemetry_interval_s=config.telemetry_interval_s,
             ),
+            telemetry=bus,
         )
     finally:
+        if sink is not None:
+            sink.close()
+        if dashboard is not None:
+            dashboard.final()
         if temp_path is not None:
             try:
                 os.unlink(temp_path)
             except OSError:
                 pass
+
+    if bus is not None and config.telemetry_prom_out:
+        from repro.obs.live import write_prometheus_textfile
+
+        write_prometheus_textfile(bus, config.telemetry_prom_out)
 
     summary = dist_run.metrics.summary()
     result = ExperimentResult(
@@ -188,6 +237,16 @@ def run(config: Optional[DistReplayConfig] = None) -> ExperimentResult:
         "trace_records": count,
         "trace_span_s": span,
     }
+    if bus is not None:
+        result.dist_info["telemetry"] = dist_run.info.get("telemetry", {})
+        if "flight_recorder" in dist_run.info:
+            result.dist_info["flight_recorder"] = dist_run.info["flight_recorder"]
+        result.notes.append(
+            f"telemetry: {bus.frames_seen} frames from workers "
+            f"{bus.worker_ids()} at {config.telemetry_interval_s * 1e3:g} ms "
+            f"cadence"
+            + (f", streamed to {config.telemetry_out}" if config.telemetry_out else "")
+        )
     result.notes.append(
         f"replayed {count} trace records spanning {span * 1e3:.1f} ms sim "
         f"time at speed_factor={config.speed_factor:g} "

@@ -168,6 +168,9 @@ def run_experiment(
     workers: Optional[int] = None,
     speed_factor: Optional[float] = None,
     transport: Optional[str] = None,
+    telemetry: Optional[bool] = None,
+    telemetry_out: Optional[str] = None,
+    dash: Optional[bool] = None,
 ) -> ExperimentResult:
     """Run one experiment by id, stamping the result with its manifest.
 
@@ -177,7 +180,10 @@ def run_experiment(
     :class:`~repro.experiments.base.UsageError` with the valid choices
     listed. ``workers`` / ``speed_factor`` / ``transport`` tune the
     dist backend's fleet shape, replay pacing, and socket family on the
-    experiments whose configs carry those fields.
+    experiments whose configs carry those fields. ``telemetry`` /
+    ``telemetry_out`` / ``dash`` switch on live fleet telemetry (and
+    the terminal dashboard) on the experiments that stream it — see
+    docs/live-telemetry.md.
 
     When ``metrics`` is an enabled :class:`MetricsRegistry`, it is
     installed as the ambient registry for the duration of the run so
@@ -208,6 +214,9 @@ def run_experiment(
         ("workers", workers),
         ("speed_factor", speed_factor),
         ("transport", transport),
+        ("telemetry", telemetry),
+        ("telemetry_out", telemetry_out),
+        ("dash", dash),
     ):
         if value is None:
             continue

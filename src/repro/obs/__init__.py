@@ -36,6 +36,16 @@ from repro.obs.export import (
     to_prometheus,
     write_exports,
 )
+from repro.obs.live import (
+    TELEMETRY_SCHEMA_VERSION,
+    JsonlTelemetrySink,
+    TelemetryBus,
+    TelemetryError,
+    TelemetrySampler,
+    parse_telemetry_jsonl,
+    validate_frame,
+    write_prometheus_textfile,
+)
 from repro.obs.manifest import (
     MANIFEST_SCHEMA_VERSION,
     RunManifest,
@@ -55,6 +65,7 @@ from repro.obs.registry import (
     Histogram,
     MetricsRegistry,
     Timeseries,
+    snapshot_delta,
     validate_metric_name,
 )
 from repro.obs.runtime import active_registry, get_active_registry, set_active_registry
@@ -74,11 +85,16 @@ __all__ = [
     "Counter",
     "Gauge",
     "Histogram",
+    "JsonlTelemetrySink",
     "MANIFEST_SCHEMA_VERSION",
     "MetricsRegistry",
     "NULL_TRACER",
     "RunManifest",
     "Span",
+    "TELEMETRY_SCHEMA_VERSION",
+    "TelemetryBus",
+    "TelemetryError",
+    "TelemetrySampler",
     "Timeseries",
     "Tracer",
     "active_registry",
@@ -94,13 +110,17 @@ __all__ = [
     "parse_csv",
     "parse_jsonl",
     "parse_prometheus",
+    "parse_telemetry_jsonl",
     "set_active_registry",
     "set_active_tracer",
+    "snapshot_delta",
     "to_csv",
     "to_jsonl",
     "to_prometheus",
+    "validate_frame",
     "validate_manifest",
     "validate_metric_name",
     "write_exports",
+    "write_prometheus_textfile",
     "write_trace_exports",
 ]

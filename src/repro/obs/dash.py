@@ -1,0 +1,315 @@
+"""repro-dash — a stdlib-only ANSI terminal dashboard over the TelemetryBus.
+
+One row per worker (throughput and queue-depth sparklines, current
+p99), a fleet aggregate header, and a tail of recent fault events. The
+renderer is a pure function of the bus (:func:`render_dashboard`), so
+tests assert on strings; :class:`Dashboard` adds the terminal loop:
+subscribe to a bus, repaint in place (cursor-home + clear) at a capped
+wall-clock rate, and quit on ``q``.
+
+Pairs naturally with paced replays: ``--speed-factor`` pins the
+coordinator to per-window exchanges, so frames arrive steadily at
+replay speed instead of as fast as the CPU can simulate.
+
+Console entry point::
+
+    repro-dash --workers 4 --servers 8 --speed-factor 25
+
+which is sugar for ``repro-experiments dist_replay --dash`` with a
+paced default.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from contextlib import contextmanager
+from typing import Any, Dict, Iterable, Optional, TextIO
+
+from repro.obs.live import (
+    DEFAULT_TELEMETRY_INTERVAL_S,
+    TelemetryBus,
+)
+
+SPARK_GLYPHS = "▁▂▃▄▅▆▇█"
+
+DEFAULT_SPARK_WIDTH = 24
+DEFAULT_FPS = 12.0
+
+
+class DashboardQuit(Exception):
+    """Raised from the key poller when the user quits; unwinds the run."""
+
+
+def sparkline(values: Iterable[float], width: int = DEFAULT_SPARK_WIDTH) -> str:
+    """Render the last ``width`` values as unicode block glyphs.
+
+    Scaled against the window maximum; an all-zero (or empty) window
+    renders flat.
+    """
+    window = [max(0.0, float(value)) for value in list(values)[-width:]]
+    if not window:
+        return ""
+    top = max(window)
+    if top <= 0.0:
+        return SPARK_GLYPHS[0] * len(window)
+    scale = len(SPARK_GLYPHS) - 1
+    return "".join(
+        SPARK_GLYPHS[min(scale, int(value / top * scale + 0.5))] for value in window
+    )
+
+
+def _format_event(event: Dict[str, Any]) -> str:
+    t_ms = float(event.get("t", 0.0)) * 1e3
+    extras = " ".join(
+        f"{key}={event[key]}"
+        for key in sorted(event)
+        if key not in ("kind", "worker", "t")
+    )
+    line = f"  [{t_ms:9.3f} ms] w{event.get('worker', '?')} {event.get('kind', '?')}"
+    return f"{line} {extras}" if extras else line
+
+
+def render_dashboard(
+    bus: TelemetryBus,
+    spark_width: int = DEFAULT_SPARK_WIDTH,
+    event_rows: int = 5,
+) -> str:
+    """The full dashboard as a string — pure, testable, no ANSI codes."""
+    summary = bus.fleet_summary()
+    rule = "-" * (2 * spark_width + 40)
+    lines = [
+        (
+            f"repro-dash  t={summary['t'] * 1e3:9.3f} ms  "
+            f"workers={summary['workers']}  frames={summary['frames']}"
+        ),
+        (
+            f"fleet  done={int(summary['completions'])}  "
+            f"queue={int(summary['queue_depth'])}  "
+            f"p99={summary['p99_us']:.1f} us  "
+            f"lost={int(summary['losses'])}  "
+            f"rejected={int(summary['rejects'])}  "
+            f"redispatched={int(summary['redispatches'])}"
+        ),
+        rule,
+    ]
+    for worker_id in bus.worker_ids():
+        view = bus.workers[worker_id]
+        throughput = [point["throughput"] for point in view.history]
+        depth = [point["queue_depth"] for point in view.history]
+        current = view.history[-1] if view.history else {}
+        lines.append(
+            f"w{worker_id:<3d}"
+            f" thr {sparkline(throughput, spark_width):<{spark_width}s}"
+            f" {current.get('throughput', 0.0):9.0f}/s"
+            f"  q {sparkline(depth, spark_width):<{spark_width}s}"
+            f" {int(current.get('queue_depth', 0.0)):5d}"
+            f"  p99 {current.get('p99_us', 0.0):9.1f} us"
+        )
+    if bus.events:
+        lines.append(rule)
+        lines.append("events:")
+        lines.extend(_format_event(event) for event in list(bus.events)[-event_rows:])
+    lines.append(rule)
+    lines.append("q = quit")
+    return "\n".join(lines)
+
+
+class Dashboard:
+    """A TelemetryBus consumer painting the fleet view in place.
+
+    Subscribe with :meth:`attach`; each ingested frame triggers at most
+    one repaint per ``1/fps`` wall seconds. On a TTY, repaints home the
+    cursor and clear below (no flicker, no scrollback spam); on a pipe
+    each paint is a plain text block, so redirected output stays
+    greppable. The key poller raises :class:`DashboardQuit` on ``q``.
+    """
+
+    def __init__(
+        self,
+        out: Optional[TextIO] = None,
+        fps: float = DEFAULT_FPS,
+        interactive: Optional[bool] = None,
+        spark_width: int = DEFAULT_SPARK_WIDTH,
+    ):
+        self.out = out if out is not None else sys.stdout
+        self.min_period = 1.0 / fps if fps > 0 else 0.0
+        self.spark_width = spark_width
+        if interactive is None:
+            isatty = getattr(self.out, "isatty", None)
+            interactive = bool(isatty()) if callable(isatty) else False
+        self.interactive = interactive
+        self.bus: Optional[TelemetryBus] = None
+        self.paints = 0
+        self._last_paint = 0.0
+        self._painted = False
+
+    def attach(self, bus: TelemetryBus) -> "Dashboard":
+        self.bus = bus
+        bus.subscribe(self)
+        return self
+
+    def __call__(self, frame: Dict[str, Any]) -> None:
+        now = time.monotonic()
+        if self._painted and now - self._last_paint < self.min_period:
+            return
+        self._last_paint = now
+        self._poll_keys()
+        self.paint()
+
+    def paint(self) -> None:
+        if self.bus is None:
+            return
+        text = render_dashboard(self.bus, spark_width=self.spark_width)
+        if self.interactive:
+            # Full clear on the first paint, cursor-home + clear-below
+            # after: in-place repaint without flicker.
+            self.out.write("\x1b[H\x1b[J" if self._painted else "\x1b[2J\x1b[H")
+            self.out.write(text + "\n")
+        else:
+            self.out.write(text + "\n\n")
+        self.out.flush()
+        self.paints += 1
+        self._painted = True
+
+    def final(self) -> None:
+        """One last paint so the end-of-run state is what remains visible."""
+        if self.bus is not None and self.bus.frames_seen:
+            self.paint()
+
+    def _poll_keys(self) -> None:
+        if not self.interactive:
+            return
+        import select
+
+        try:
+            ready, _, _ = select.select([sys.stdin], [], [], 0)
+        except (OSError, ValueError):
+            return
+        if ready:
+            key = sys.stdin.read(1)
+            if key and key.lower() == "q":
+                raise DashboardQuit()
+
+
+@contextmanager
+def _cbreak_stdin():
+    """Put a TTY stdin into cbreak so single keypresses arrive unbuffered.
+
+    A no-op off-TTY or where termios is unavailable.
+    """
+    try:
+        import termios
+        import tty
+
+        if not sys.stdin.isatty():
+            yield
+            return
+        fd = sys.stdin.fileno()
+        saved = termios.tcgetattr(fd)
+    except Exception:
+        yield
+        return
+    try:
+        tty.setcbreak(fd)
+        yield
+    finally:
+        termios.tcsetattr(fd, termios.TCSADRAIN, saved)
+
+
+def main(argv: Optional[Iterable[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-dash",
+        description=(
+            "Live terminal dashboard over a paced dist_replay run: "
+            "per-worker throughput/queue/p99 sparklines, fleet header, "
+            "fault-event log. Stdlib only."
+        ),
+    )
+    parser.add_argument("--servers", type=int, default=4, help="rack size (default 4)")
+    parser.add_argument(
+        "--workers", type=int, default=2, help="worker processes (default 2)"
+    )
+    parser.add_argument(
+        "--speed-factor",
+        type=float,
+        default=25.0,
+        help=(
+            "replay pacing: simulated seconds advance per wall second "
+            "(default 25; 0 = as fast as possible)"
+        ),
+    )
+    parser.add_argument(
+        "--transport", choices=("unix", "tcp"), default="unix",
+        help="worker socket transport (default unix)",
+    )
+    parser.add_argument(
+        "--requests", type=int, default=None,
+        help="synthesised trace length (default: experiment fast-mode size)",
+    )
+    parser.add_argument(
+        "--trace", default=None, metavar="PATH",
+        help="replay a recorded JSONL trace instead of synthesising one",
+    )
+    parser.add_argument(
+        "--interval", type=float, default=DEFAULT_TELEMETRY_INTERVAL_S,
+        help="telemetry cadence in simulated seconds (default 1e-3)",
+    )
+    parser.add_argument(
+        "--jsonl-out", default=None, metavar="PATH",
+        help="also stream frames to a JSONL file",
+    )
+    parser.add_argument(
+        "--prom-out", default=None, metavar="PATH",
+        help="write a Prometheus textfile of the final fleet view",
+    )
+    parser.add_argument("--seed", type=int, default=0, help="run seed (default 0)")
+    parser.add_argument(
+        "--full", action="store_true", help="full-size run instead of fast mode"
+    )
+    args = parser.parse_args(list(argv) if argv is not None else None)
+
+    from repro.dist import DistError, WireError
+    from repro.experiments.base import UsageError
+    from repro.experiments.dist_replay import DistReplayConfig
+    from repro.experiments.dist_replay import run as run_dist_replay
+
+    try:
+        config = DistReplayConfig(
+            fast=not args.full,
+            seed=args.seed,
+            servers=args.servers,
+            workers=args.workers,
+            speed_factor=args.speed_factor,
+            transport=args.transport,
+            requests=args.requests,
+            trace_path=args.trace,
+            telemetry=True,
+            dash=True,
+            telemetry_interval_s=args.interval,
+            telemetry_out=args.jsonl_out,
+            telemetry_prom_out=args.prom_out,
+        )
+    except (UsageError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    try:
+        with _cbreak_stdin():
+            result = run_dist_replay(config)
+    except DashboardQuit:
+        print("\nrepro-dash: quit")
+        return 0
+    except (UsageError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except (WireError, DistError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    for note in result.notes:
+        print(f"- {note}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

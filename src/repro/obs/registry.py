@@ -437,3 +437,71 @@ MetricsRegistry._SNAPSHOT_CLASSES = {
     Histogram.kind: Histogram,
     Timeseries.kind: Timeseries,
 }
+
+
+def snapshot_delta(
+    current: Dict[str, Dict[str, Any]],
+    previous: Dict[str, Dict[str, Any]],
+) -> Dict[str, Dict[str, Any]]:
+    """The incremental change from ``previous`` to ``current`` snapshot.
+
+    The delta is itself a valid snapshot: merging it (via
+    :meth:`MetricsRegistry.merge_snapshot`) into a registry that holds
+    ``previous``'s state reproduces ``current`` — counters and
+    histograms carry differences, gauges carry their newest value when
+    it changed, and timeseries carry only the samples appended since
+    ``previous`` (full samples as a fallback when the stream
+    re-downsampled in between, which a receiver cannot replay exactly).
+    Instruments absent from ``previous`` pass through whole, so a delta
+    against ``{}`` is a keyframe. Unchanged instruments are omitted,
+    which is what makes telemetry frames compact.
+    """
+    delta: Dict[str, Dict[str, Any]] = {}
+    for name in sorted(current):
+        cur = current[name]
+        prev = previous.get(name)
+        if prev is None:
+            delta[name] = cur
+            continue
+        kind = cur["kind"]
+        if prev["kind"] != kind:
+            raise TypeError(
+                f"metric {name!r} changed kind between snapshots: "
+                f"{prev['kind']} -> {kind}"
+            )
+        if kind == Counter.kind:
+            change = cur["value"] - prev["value"]
+            if change:
+                delta[name] = {"kind": kind, "help": cur.get("help", ""), "value": change}
+        elif kind == Gauge.kind:
+            if cur["value"] != prev["value"]:
+                delta[name] = dict(cur)
+        elif kind == Histogram.kind:
+            if cur["count"] != prev["count"] or cur["overflow"] != prev["overflow"]:
+                delta[name] = {
+                    "kind": kind,
+                    "help": cur.get("help", ""),
+                    "bounds": list(cur["bounds"]),
+                    "counts": [a - b for a, b in zip(cur["counts"], prev["counts"])],
+                    "overflow": cur["overflow"] - prev["overflow"],
+                    "sum": cur["sum"] - prev["sum"],
+                    "count": cur["count"] - prev["count"],
+                }
+        elif kind == Timeseries.kind:
+            if cur["stride"] == prev["stride"] and len(cur["samples"]) >= len(
+                prev["samples"]
+            ):
+                appended = cur["samples"][len(prev["samples"]):]
+                if appended:
+                    delta[name] = {
+                        "kind": kind,
+                        "help": cur.get("help", ""),
+                        "capacity": cur["capacity"],
+                        "stride": cur["stride"],
+                        "samples": [list(sample) for sample in appended],
+                    }
+            else:
+                delta[name] = dict(cur)
+        else:
+            raise TypeError(f"metric {name!r}: unknown snapshot kind {kind!r}")
+    return delta

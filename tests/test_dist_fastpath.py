@@ -183,6 +183,44 @@ def fuzz_step(rng):
     return message
 
 
+def fuzz_telemetry_frame(rng):
+    """One schema-valid live-telemetry frame (see repro.obs.live)."""
+    metrics = {}
+    if rng.random() < 0.8:
+        metrics["live.completions"] = {
+            "kind": "counter", "help": "c", "value": float(rng.randrange(1000)),
+        }
+    if rng.random() < 0.5:
+        metrics["live.queue_depth"] = {
+            "kind": "gauge", "help": "g", "value": rng.random() * 64,
+        }
+    if rng.random() < 0.5:
+        count = rng.randrange(50)
+        metrics["live.latency_s"] = {
+            "kind": "histogram", "help": "h",
+            "bounds": [1e-6, 1e-5, 1e-4],
+            "counts": [rng.randrange(20) for _ in range(3)],
+            "overflow": rng.randrange(5),
+            "sum": rng.random() * 1e-3,
+            "count": count,
+        }
+    events = []
+    if rng.random() < 0.3:
+        events.append({
+            "kind": rng.choice(["fault:crash", "fault:straggler"]),
+            "server": rng.randrange(8),
+            "t": rng.random(),
+        })
+    return {
+        "v": 1,
+        "worker": rng.randrange(64),
+        "seq": rng.randrange(2 ** 31),
+        "t": rng.random() * 100,
+        "metrics": metrics,
+        "events": events,
+    }
+
+
 def fuzz_step_ok(rng):
     windows = []
     for _ in range(rng.randrange(4)):
@@ -220,6 +258,13 @@ def fuzz_step_ok(rng):
             "node": {"sim_events": rng.randrange(10 ** 9)},
             "metrics": None,
         }
+    if rng.random() < 0.4:
+        # Piggybacked live-telemetry frames ride a length-prefixed JSON
+        # trailer on the v2 wire; both paths must agree, with or
+        # without a collected payload in front.
+        message["telemetry"] = [
+            fuzz_telemetry_frame(rng) for _ in range(rng.randrange(1, 4))
+        ]
     return message
 
 

@@ -1,0 +1,171 @@
+"""repro-dash: sparklines, the pure renderer, and the paint loop.
+
+The renderer is a pure function of the bus, so every visual assertion
+here is a string assertion; the Dashboard consumer is driven through a
+StringIO with ``interactive=False`` so no TTY (and no ANSI control
+sequences) is involved.
+"""
+
+import io
+
+import pytest
+
+from repro.obs.dash import (
+    SPARK_GLYPHS,
+    Dashboard,
+    DashboardQuit,
+    main,
+    render_dashboard,
+    sparkline,
+)
+from repro.obs.live import TelemetryBus
+
+
+def make_frame(worker=0, seq=0, t=1e-3, completions=10.0, depth=4.0, events=()):
+    return {
+        "v": 1,
+        "worker": worker,
+        "seq": seq,
+        "t": t,
+        "metrics": {
+            "live.completions": {"kind": "counter", "help": "", "value": completions},
+            "live.queue_depth": {"kind": "gauge", "help": "", "value": depth},
+        },
+        "events": list(events),
+    }
+
+
+def fed_bus(num_workers=2, frames=6):
+    bus = TelemetryBus()
+    for seq in range(frames):
+        for worker in range(num_workers):
+            # completions is a per-frame *delta* of 1, so the fleet
+            # total is frames x workers.
+            bus.ingest(make_frame(
+                worker=worker, seq=seq, t=(seq + 1) * 1e-3,
+                completions=1.0, depth=float(worker),
+            ))
+    return bus
+
+
+# -- sparkline ---------------------------------------------------------------
+
+
+def test_sparkline_scales_to_window_max():
+    line = sparkline([0.0, 1.0, 2.0, 4.0], width=4)
+    assert len(line) == 4
+    assert line[0] == SPARK_GLYPHS[0]
+    assert line[-1] == SPARK_GLYPHS[-1]
+    assert all(glyph in SPARK_GLYPHS for glyph in line)
+
+
+def test_sparkline_keeps_only_last_width_values():
+    assert sparkline([9.0] * 50, width=8) == SPARK_GLYPHS[-1] * 8
+
+
+def test_sparkline_flat_on_zero_and_empty_windows():
+    assert sparkline([0.0, 0.0, 0.0]) == SPARK_GLYPHS[0] * 3
+    assert sparkline([]) == ""
+
+
+def test_sparkline_clamps_negative_values():
+    assert sparkline([-5.0, 10.0], width=2) == SPARK_GLYPHS[0] + SPARK_GLYPHS[-1]
+
+
+# -- render_dashboard --------------------------------------------------------
+
+
+def test_render_shows_fleet_header_and_worker_rows():
+    text = render_dashboard(fed_bus(num_workers=2))
+    lines = text.splitlines()
+    assert lines[0].startswith("repro-dash")
+    assert "workers=2" in lines[0]
+    assert "done=12" in lines[1]  # 6 frames x 1 completion x 2 workers
+    worker_rows = [line for line in lines if line.startswith("w")]
+    assert len(worker_rows) == 2
+    assert all(" thr " in row and " q " in row and " p99 " in row
+               for row in worker_rows)
+    assert lines[-1] == "q = quit"
+
+
+def test_render_includes_recent_events():
+    bus = fed_bus()
+    bus.ingest(make_frame(
+        worker=1, seq=99, t=0.0071,
+        events=[{"kind": "fault:straggler", "server": 3, "magnitude": 4.0}],
+    ))
+    text = render_dashboard(bus)
+    assert "events:" in text
+    assert "fault:straggler" in text
+    assert "server=3" in text
+    assert "w1" in text
+
+
+def test_render_on_empty_bus_is_just_the_header():
+    text = render_dashboard(TelemetryBus())
+    assert "workers=0" in text
+    assert not any(line.startswith("w0") for line in text.splitlines())
+
+
+# -- Dashboard consumer ------------------------------------------------------
+
+
+def test_dashboard_paints_plain_blocks_off_tty():
+    out = io.StringIO()
+    dashboard = Dashboard(out=out, fps=0.0, interactive=False)
+    dashboard.attach(fed_bus())
+    dashboard.paint()
+    text = out.getvalue()
+    assert "\x1b[" not in text
+    assert "repro-dash" in text
+
+
+def test_dashboard_repaints_throttled_by_fps():
+    out = io.StringIO()
+    dashboard = Dashboard(out=out, fps=1e-9, interactive=False)
+    bus = TelemetryBus()
+    dashboard.attach(bus)
+    for seq in range(20):
+        bus.ingest(make_frame(seq=seq, t=(seq + 1) * 1e-3))
+    # The first frame paints; later frames land inside the min period.
+    assert dashboard.paints == 1
+
+
+def test_dashboard_final_repaints_only_after_frames():
+    out = io.StringIO()
+    dashboard = Dashboard(out=out, fps=0.0, interactive=False)
+    dashboard.attach(TelemetryBus())
+    dashboard.final()
+    assert dashboard.paints == 0
+    dashboard.attach(fed_bus())
+    dashboard.final()
+    assert dashboard.paints == 1
+
+
+def test_dashboard_interactive_repaint_homes_cursor():
+    out = io.StringIO()
+    dashboard = Dashboard(out=out, fps=0.0, interactive=True)
+    dashboard.attach(fed_bus())
+    dashboard.paint()
+    dashboard.paint()
+    text = out.getvalue()
+    assert text.startswith("\x1b[2J\x1b[H")  # full clear on first paint
+    assert "\x1b[H\x1b[J" in text  # home + clear-below after
+
+
+def test_dashboard_quit_is_an_exception_type():
+    with pytest.raises(DashboardQuit):
+        raise DashboardQuit()
+
+
+# -- CLI ---------------------------------------------------------------------
+
+
+def test_main_rejects_bad_worker_count(capsys):
+    assert main(["--servers", "2", "--workers", "5"]) == 2
+    assert "workers=5" in capsys.readouterr().err
+
+
+def test_main_rejects_negative_interval(capsys):
+    assert main(["--interval", "-1"]) == 2
+    assert "telemetry_interval_s" in capsys.readouterr().err
