@@ -21,7 +21,7 @@ import platform
 import sys
 import time
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional
+from typing import Callable, Dict, List, Optional, Tuple
 
 BENCH_SCHEMA_VERSION = 1
 
@@ -706,6 +706,115 @@ def costmodel_derive(quick: bool) -> Dict[str, float]:
     }
 
 
+def _cluster_pair(
+    config_kwargs: Dict, load: float, duration: float, warmup: float
+) -> Dict[str, float]:
+    """Run the same rack twice — frozen reference stack, then the fast
+    path — and rate the fast leg, asserting bit-identical results.
+
+    An untimed throwaway build first warms the process-global poll-cost
+    curve memo (it pre-dates the fast path and serves both stacks), so
+    neither timed leg pays the one-off structural derivation; the
+    fast-path-only caches (interned weight tables, shared curves) are
+    cleared before *each* leg so both start cold on this PR's state.
+    """
+    from repro.cluster import tables
+    from repro.cluster._reference import ReferenceRack
+    from repro.cluster.config import ClusterConfig
+    from repro.cluster.rack import Rack
+    from repro.sdp import locality
+
+    Rack(ClusterConfig(**config_kwargs))
+
+    def _cold() -> None:
+        tables.clear_tables()
+        locality.clear_shared_curves()
+
+    def _run(rack_cls):
+        t0 = time.perf_counter()
+        rack = rack_cls(ClusterConfig(**config_kwargs))
+        rack.attach_open_loop(load=load)
+        rack.run(duration=duration, warmup=warmup)
+        return rack, time.perf_counter() - t0
+
+    def _state(rack):
+        # Everything the bit-identicality contract covers: client
+        # metrics (exact sample list included), per-server stats, and
+        # the RNG stream positions proving draw-for-draw equivalence.
+        return (
+            rack.metrics.fingerprint(),
+            tuple(rack.metrics.latency._samples),
+            rack.metrics.rejected,
+            rack.generated,
+            tuple((s.dispatched, s.completed_ok, s.lost) for s in rack.servers),
+            rack.streams.stream("cluster.arrivals").getstate(),
+            rack.streams.stream("cluster.flows").getstate(),
+            tuple(
+                s.system.streams.stream("service").getstate()
+                for s in rack.servers
+            ),
+        )
+
+    _cold()
+    ref, ref_wall = _run(ReferenceRack)
+    _cold()
+    fast, wall = _run(Rack)
+    events = fast.sim.events_dispatched
+    return {
+        "wall_seconds": wall,
+        "events": events,
+        "events_per_sec": events / wall if wall > 0 else 0.0,
+        "completions": fast.metrics.count,
+        "reference_wall_seconds": ref_wall,
+        "speedup_vs_reference": ref_wall / wall if wall > 0 else 0.0,
+        "bit_exact": _state(fast) == _state(ref),
+    }
+
+
+def cluster_spin16(quick: bool) -> Dict[str, float]:
+    """Rack fast path vs. the frozen pre-fast-path oracle: 16 spinning
+    servers behind an rss balancer — the fully sweepable hot path
+    (batched traffic windows + delivery pull + quiescence skips)."""
+    duration, warmup = (0.008, 0.002) if quick else (0.02, 0.005)
+    return _cluster_pair(
+        dict(
+            num_servers=16,
+            notification="spinning",
+            balancer="rss",
+            queues_per_server=32,
+            num_flows=128,
+            flow_skew=0.3,
+            seed=42,
+        ),
+        load=0.6,
+        duration=duration,
+        warmup=warmup,
+    )
+
+
+def cluster_grid_row(quick: bool) -> Dict[str, float]:
+    """One dist-grid-shaped rack row: p2c balancing under a straggler
+    profile. p2c draws the balancer stream per request, so traffic
+    cannot batch — the win here is the core-turn/completion fast path
+    alone (the floor every dist worker inherits)."""
+    duration, warmup = (0.008, 0.002) if quick else (0.02, 0.005)
+    return _cluster_pair(
+        dict(
+            num_servers=8,
+            notification="spinning",
+            balancer="p2c",
+            queues_per_server=32,
+            num_flows=64,
+            flow_skew=0.3,
+            fault_profile="straggler",
+            seed=7,
+        ),
+        load=0.5,
+        duration=duration,
+        warmup=warmup,
+    )
+
+
 SCENARIOS: Dict[str, Scenario] = {
     scenario.scenario_id: scenario
     for scenario in (
@@ -768,6 +877,16 @@ SCENARIOS: Dict[str, Scenario] = {
             "live telemetry off vs disabled vs 1 ms cadence on the 8w replay",
             telemetry_overhead,
             default=False,
+        ),
+        Scenario(
+            "cluster_spin16",
+            "16-server spinning rack: fast path vs. frozen reference, bit-exact",
+            cluster_spin16,
+        ),
+        Scenario(
+            "cluster_grid_row",
+            "8-server p2c rack row (straggler): fast path vs. reference",
+            cluster_grid_row,
         ),
         Scenario(
             "costmodel_derive",
@@ -860,6 +979,87 @@ def compare_reports(
                 f"(baseline {base_rate:,.0f}, threshold {threshold:.0%})"
             )
     return failures
+
+
+def diff_reports(
+    old: Dict,
+    new: Dict,
+    threshold: float = DEFAULT_REGRESSION_THRESHOLD,
+) -> Tuple[List[Dict], List[str]]:
+    """Per-scenario speedup of NEW over OLD (``repro-bench --compare``).
+
+    Unlike :func:`compare_reports` (a pass/fail gate against a committed
+    baseline), this produces the full before/after table for a perf PR:
+    one row per scenario present in either report, with wall times,
+    events/sec, and the rate speedup. Returns ``(rows, regressions)``
+    where ``regressions`` lists scenario ids whose events/sec fell more
+    than ``threshold`` below OLD — the CLI highlights those rows and
+    exits non-zero.
+    """
+    if not 0.0 < threshold < 1.0:
+        raise ValueError("threshold must be in (0, 1)")
+    if old.get("mode") != new.get("mode"):
+        raise ValueError(
+            f"cannot compare a {new.get('mode')!r}-mode report against a "
+            f"{old.get('mode')!r}-mode one; re-run with matching modes"
+        )
+    old_scenarios = old.get("scenarios", {})
+    new_scenarios = new.get("scenarios", {})
+    ordered = list(old_scenarios)
+    ordered += [sid for sid in new_scenarios if sid not in old_scenarios]
+    rows: List[Dict] = []
+    regressions: List[str] = []
+    for sid in ordered:
+        o = old_scenarios.get(sid)
+        n = new_scenarios.get(sid)
+        row = {"scenario": sid, "speedup": None, "regression": False, "note": ""}
+        if o is None or n is None:
+            row["note"] = "only in NEW" if o is None else "only in OLD"
+            rows.append(row)
+            continue
+        row["old_wall"] = o.get("wall_seconds")
+        row["new_wall"] = n.get("wall_seconds")
+        row["old_rate"] = o.get("events_per_sec", 0.0)
+        row["new_rate"] = n.get("events_per_sec", 0.0)
+        if o.get("skipped") or n.get("skipped"):
+            row["note"] = "skipped"
+            rows.append(row)
+            continue
+        if row["old_rate"] > 0.0:
+            row["speedup"] = row["new_rate"] / row["old_rate"]
+            if row["speedup"] < 1.0 - threshold:
+                row["regression"] = True
+                regressions.append(sid)
+        else:
+            row["note"] = "no baseline rate"
+        rows.append(row)
+    return rows, regressions
+
+
+def format_diff(rows: List[Dict], threshold: float) -> str:
+    """Terminal table for :func:`diff_reports` output."""
+    lines = [
+        f"{'scenario':24s} {'old s':>8s} {'new s':>8s} "
+        f"{'old ev/s':>13s} {'new ev/s':>13s} {'speedup':>8s}",
+    ]
+    for row in rows:
+        sid = row["scenario"]
+        if row.get("old_wall") is None or row.get("new_wall") is None:
+            lines.append(f"{sid:24s} {'-':>8s} {'-':>8s} "
+                         f"{'-':>13s} {'-':>13s} {'-':>8s}  [{row['note']}]")
+            continue
+        speedup = row["speedup"]
+        shown = f"{speedup:7.2f}x" if speedup is not None else f"{'-':>8s}"
+        marker = ""
+        if row["regression"]:
+            marker = f"  << REGRESSION (> {threshold:.0%} slower)"
+        elif row["note"]:
+            marker = f"  [{row['note']}]"
+        lines.append(
+            f"{sid:24s} {row['old_wall']:8.3f} {row['new_wall']:8.3f} "
+            f"{row['old_rate']:13,.0f} {row['new_rate']:13,.0f} {shown}{marker}"
+        )
+    return "\n".join(lines)
 
 
 def format_report(report: Dict) -> str:

@@ -23,6 +23,8 @@ from repro.bench import (
     DEFAULT_REGRESSION_THRESHOLD,
     SCENARIOS,
     compare_reports,
+    diff_reports,
+    format_diff,
     format_report,
     load_report,
     run_bench,
@@ -90,6 +92,13 @@ def main(argv=None) -> int:
         "(default %(default)s)",
     )
     parser.add_argument(
+        "--compare",
+        nargs=2,
+        metavar=("OLD.json", "NEW.json"),
+        help="no run: print the per-scenario speedup of NEW over OLD "
+        "and exit 1 when any scenario regressed past --threshold",
+    )
+    parser.add_argument(
         "--list", action="store_true", help="list scenarios and exit"
     )
     parser.add_argument(
@@ -111,6 +120,22 @@ def main(argv=None) -> int:
         for sid, scenario in SCENARIOS.items():
             suffix = "" if scenario.default else "  [named-only]"
             print(f"{sid:24s} {scenario.description}{suffix}")
+        return 0
+
+    if args.compare:
+        old_path, new_path = args.compare
+        rows, regressions = diff_reports(
+            load_report(old_path), load_report(new_path), threshold=args.threshold
+        )
+        print(f"speedup of {new_path} over {old_path}:\n")
+        print(format_diff(rows, args.threshold))
+        if regressions:
+            print(
+                f"\nperf gate breached: {', '.join(regressions)} regressed "
+                f"more than {args.threshold:.0%}",
+                file=sys.stderr,
+            )
+            return 1
         return 0
 
     if args.profile:

@@ -24,6 +24,16 @@ class Link:
         One-way propagation delay in seconds (~1 us inside a rack).
     """
 
+    __slots__ = (
+        "gbps",
+        "propagation_s",
+        "name",
+        "degrade",
+        "busy_until",
+        "bytes_sent",
+        "requests",
+    )
+
     def __init__(self, gbps: float, propagation_s: float, name: str = "link"):
         if gbps <= 0:
             raise ValueError("line rate must be positive")

@@ -39,8 +39,6 @@ import os
 import socket
 import sys
 import traceback
-from bisect import bisect_right
-from itertools import accumulate
 from typing import Any, Dict, List, Optional
 
 from repro.dist.wire import CAPABILITIES, WIRE_VERSIONS, Channel, ChannelClosed
@@ -73,9 +71,10 @@ class WorkerServer:
 
     def __init__(self, host: "WorkerHost", index: int):
         from repro.cluster.link import Link
+        from repro.cluster.tables import cumulative_weight_table
         from repro.core.dataplane import build_hyperplane
         from repro.sdp.spinning import build_spinning_cores
-        from repro.sdp.system import DataPlaneSystem
+        from repro.sdp.system import DataPlaneSystem, FastpathContext
 
         cluster_config = host.cluster_config
         config = cluster_config.server_config(index)
@@ -83,6 +82,10 @@ class WorkerServer:
         self.index = index
         self.config = config
         self.system = DataPlaneSystem(config, sim=host.sim)
+        # Must precede core construction: it selects the callback fast
+        # cores (exactly as the shared-timeline rack does, so schedules
+        # and stream draws stay bit-identical across backends).
+        self.fastpath = self.system.fastpath = FastpathContext()
         if cluster_config.notification == "spinning":
             self.accelerator = None
             self.cores = build_spinning_cores(self.system)
@@ -100,21 +103,20 @@ class WorkerServer:
         self.completed_ok = 0
         self.lost = 0
         self.rejected = 0
-        self._cumulative_weights = list(
-            accumulate(self.system.shape.weights(config.num_queues))
+        self._weight_table = cumulative_weight_table(
+            self.system.shape.weights(config.num_queues)
         )
+        self._flow_queue_map = self._weight_table.flow_map(config.seed)
         self._original_complete = self.system.complete
         self.system.complete = self._complete
 
     def queue_for_flow(self, flow: int) -> int:
-        from repro.cluster.rack import TWO_POW_64
-        from repro.sim.rng import derive_seed
-
-        u = derive_seed(self.config.seed, f"flow-queue:{flow}") / TWO_POW_64
-        qid = bisect_right(
-            self._cumulative_weights, u * self._cumulative_weights[-1]
-        )
-        return min(qid, self.config.num_queues - 1)
+        qid = self._flow_queue_map.get(flow)
+        if qid is None:
+            qid = self._flow_queue_map[flow] = self._weight_table.compute(
+                self.config.seed, flow
+            )
+        return qid
 
     def deliver(
         self, req_id: int, flow: int, arrival_time: float, base_service: float
@@ -122,6 +124,9 @@ class WorkerServer:
         """Link arrival of one request (scheduled by the step handler)."""
         from repro.queueing.taskqueue import WorkItem
 
+        fastpath = self.fastpath
+        if fastpath.pending_deliveries:
+            fastpath.pending_deliveries -= 1
         if not self.up:
             # Died while the request was on the wire: the coordinator
             # retries it elsewhere after the failover delay.
@@ -342,10 +347,16 @@ class WorkerHost:
         dispatches = window.get("dispatches")
         faults = window.get("faults")
         if faults:
+            times = []
             for directive in faults:
-                sim.schedule_at(
-                    float(directive["time"]), self._apply_fault, directive
-                )
+                when = float(directive["time"])
+                times.append(when)
+                sim.schedule_at(when, self._apply_fault, directive)
+            # Fault boundaries gate the fast cores' collapsed turns:
+            # conservatively give every server this window's full set.
+            times.sort()
+            for server in self.servers.values():
+                server.fastpath.set_fault_times(times)
         if dispatches:
             # Dispatch-time order per server == the rack's per-server
             # order, so service-stream draws and link FIFO state match
@@ -361,6 +372,7 @@ class WorkerHost:
                     base_service = server.system.service_model()
                 t = record["t"]
                 delay = server.link.transfer_delay(t, request_bytes)
+                server.fastpath.pending_deliveries += 1
                 schedule_at(
                     t + delay,
                     server.deliver,

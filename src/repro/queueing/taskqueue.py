@@ -19,13 +19,14 @@ class QueueFullError(RuntimeError):
     """Raised when enqueuing onto a full bounded ring."""
 
 
-@dataclass
+@dataclass(slots=True)
 class WorkItem:
     """One packet / task flowing through the data plane.
 
     ``arrival_time`` is when the producer enqueued it (device-side);
     ``service_time`` is the processing time the workload model drew for
-    it; ``completion_time`` is filled in by the consumer.
+    it; ``completion_time`` is filled in by the consumer. Slotted: rack
+    runs allocate one per request, millions per scenario.
     """
 
     item_id: int
@@ -51,7 +52,7 @@ class WorkItem:
         return self.dequeue_time - self.arrival_time
 
 
-@dataclass
+@dataclass(slots=True)
 class QueueStats:
     """Counters for one queue."""
 
@@ -75,6 +76,8 @@ class TaskQueue:
         real NIC ring would.
     """
 
+    __slots__ = ("qid", "doorbell", "capacity", "_items", "stats")
+
     def __init__(self, qid: int, doorbell: Doorbell, capacity: int = 4096):
         if doorbell.qid != qid:
             raise ValueError("doorbell/queue qid mismatch")
@@ -97,23 +100,28 @@ class TaskQueue:
         """Producer-side enqueue; rings the doorbell. Returns success."""
         if item.qid != self.qid:
             raise ValueError(f"item for queue {item.qid} enqueued on queue {self.qid}")
-        if len(self._items) >= self.capacity:
+        items = self._items
+        if len(items) >= self.capacity:
             if drop_on_full:
                 self.stats.dropped += 1
                 return False
             raise QueueFullError(f"queue {self.qid} full")
-        self._items.append(item)
-        self.stats.enqueued += 1
-        self.stats.max_depth = max(self.stats.max_depth, len(self._items))
+        items.append(item)
+        stats = self.stats
+        stats.enqueued += 1
+        depth = len(items)
+        if depth > stats.max_depth:
+            stats.max_depth = depth
         self.doorbell.producer_increment()
         return True
 
     def dequeue(self, now: float) -> WorkItem:
         """Consumer-side dequeue; decrements the doorbell first."""
-        if not self._items:
+        items = self._items
+        if not items:
             raise IndexError(f"dequeue from empty queue {self.qid}")
         self.doorbell.consumer_decrement()
-        item = self._items.popleft()
+        item = items.popleft()
         item.dequeue_time = now
         self.stats.dequeued += 1
         return item

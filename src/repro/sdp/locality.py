@@ -57,6 +57,23 @@ def _polling_mem_config() -> MemConfig:
     return MemConfig(num_cores=1, l1=CacheConfig(size_bytes=EFFECTIVE_L1_BYTES, ways=4))
 
 
+# Poll-cost curves shared across LocalityModel instances. A rack builds
+# one model per server, and homogeneous servers derive the exact same
+# curve from the exact same inputs; interning it turns 2 structural
+# walks per server into 2 per fleet. Keyed by (resident fraction, idle)
+# — the only curve inputs besides the memory geometry, which the key is
+# valid for only when that geometry is the module default (idle curves
+# always use the fixed ``MemConfig(num_cores=1)``; custom ``mem_config``
+# models keep their private per-instance cache).
+_SHARED_CURVES: Dict[tuple, Dict[int, float]] = {}
+_DEFAULT_POLLING_CONFIG: Optional[MemConfig] = None
+
+
+def clear_shared_curves() -> None:
+    """Drop the fleet-interned poll-cost curves (tests / cold benchmarks)."""
+    _SHARED_CURVES.clear()
+
+
 @dataclass
 class LocalityModel:
     """Caches the derived poll-cost curve and data-stall function."""
@@ -102,12 +119,31 @@ class LocalityModel:
         key = (resident, idle)
         curve = self._curves.get(key)
         if curve is None:
-            config = MemConfig(num_cores=1) if idle else self.mem_config
-            curve = empty_poll_cost_curve(
-                _CURVE_POINTS,
-                config,
-                llc_doorbell_resident_fraction=resident,
-            )
+            global _DEFAULT_POLLING_CONFIG
+            if _DEFAULT_POLLING_CONFIG is None:
+                _DEFAULT_POLLING_CONFIG = _polling_mem_config()
+            # With a metrics registry active, skip the interned lookup:
+            # the derivation layer's own memo replays the measured mem.*
+            # series into the registry on every hit, so instrumented
+            # builds emit identical counters whether curves are cached
+            # or freshly derived. The interned short-circuit is for the
+            # uninstrumented fast path only.
+            from repro.obs.runtime import get_active_registry
+
+            shareable = (
+                idle or self.mem_config == _DEFAULT_POLLING_CONFIG
+            ) and get_active_registry() is None
+            if shareable:
+                curve = _SHARED_CURVES.get(key)
+            if curve is None:
+                config = MemConfig(num_cores=1) if idle else self.mem_config
+                curve = empty_poll_cost_curve(
+                    _CURVE_POINTS,
+                    config,
+                    llc_doorbell_resident_fraction=resident,
+                )
+                if shareable:
+                    _SHARED_CURVES[key] = curve
             self._curves[key] = curve
         # Each poll touches ``lines_per_poll`` lines out of a working set
         # of lines_per_poll * polled_queues lines.

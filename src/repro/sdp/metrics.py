@@ -17,6 +17,8 @@ MICROSECOND = 1e-6
 class LatencyRecorder:
     """Collects per-item latencies (seconds) after a warm-up boundary."""
 
+    __slots__ = ("warmup_time", "_samples")
+
     def __init__(self, warmup_time: float = 0.0):
         self.warmup_time = warmup_time
         self._samples: List[float] = []
@@ -82,7 +84,7 @@ class LatencyRecorder:
         return curve
 
 
-@dataclass
+@dataclass(slots=True)
 class CoreActivity:
     """Cycle and instruction accounting for one data-plane core.
 

@@ -14,11 +14,22 @@ several distributions.
 
 from __future__ import annotations
 
+from bisect import bisect_right
 from typing import List
 
 
 class P2Quantile:
     """Online estimator of one quantile via the P² algorithm."""
+
+    __slots__ = (
+        "quantile",
+        "_initial",
+        "_heights",
+        "_positions",
+        "_desired",
+        "_increments",
+        "count",
+    )
 
     def __init__(self, quantile: float):
         if not 0.0 < quantile < 1.0:
@@ -48,6 +59,9 @@ class P2Quantile:
             self._increments = [0.0, p / 2.0, p, (1.0 + p) / 2.0, 1.0]
 
     def _update(self, value: float) -> None:
+        # This runs three times per recorded rack completion (p50, p99,
+        # p99.9): the marker bookkeeping is unrolled — same arithmetic in
+        # the same order as the loop form, without loop machinery.
         heights = self._heights
         positions = self._positions
         # Find the cell and clamp extremes.
@@ -58,24 +72,147 @@ class P2Quantile:
             heights[4] = value
             cell = 3
         else:
-            cell = next(i for i in range(4) if heights[i] <= value < heights[i + 1])
-        for i in range(cell + 1, 5):
-            positions[i] += 1
-        for i in range(5):
-            self._desired[i] += self._increments[i]
-        # Adjust the three middle markers.
-        for i in range(1, 4):
-            delta = self._desired[i] - positions[i]
-            if (delta >= 1 and positions[i + 1] - positions[i] > 1) or (
-                delta <= -1 and positions[i - 1] - positions[i] < -1
-            ):
-                direction = 1 if delta >= 1 else -1
-                candidate = self._parabolic(i, direction)
-                if heights[i - 1] < candidate < heights[i + 1]:
-                    heights[i] = candidate
+            # Largest i with heights[i] <= value; identical to the linear
+            # scan for strictly-increasing and duplicate-height markers
+            # (value cannot land inside an empty duplicate interval).
+            cell = bisect_right(heights, value) - 1
+        # positions[cell+1:5] += 1, unrolled per cell.
+        if cell == 0:
+            positions[1] += 1
+            positions[2] += 1
+            positions[3] += 1
+            positions[4] += 1
+        elif cell == 1:
+            positions[2] += 1
+            positions[3] += 1
+            positions[4] += 1
+        elif cell == 2:
+            positions[3] += 1
+            positions[4] += 1
+        else:
+            positions[4] += 1
+        # desired[i] += increments[i]; increments[0] is 0.0 and desired[0]
+        # stays 1.0 forever, so slot 0 is skipped.
+        desired = self._desired
+        increments = self._increments
+        desired[1] += increments[1]
+        desired[2] += increments[2]
+        desired[3] += increments[3]
+        desired[4] += increments[4]
+        # Adjust the three middle markers. The two delta branches are the
+        # loop form's combined condition split by direction (delta >= 1
+        # and delta <= -1 are mutually exclusive), unrolled per marker
+        # with ``_parabolic`` / ``_linear`` inlined: the expressions below
+        # are the method bodies with ``direction`` substituted as a
+        # literal (the integer index arithmetic folded exactly), so every
+        # float operation happens in the same order on the same values.
+        # Each block re-reads ``positions`` / ``heights`` because the
+        # previous marker's adjustment may have changed them.
+        delta = desired[1] - positions[1]
+        if delta >= 1:
+            ni = positions[1]
+            np1 = positions[2]
+            if np1 - ni > 1:
+                nm = positions[0]
+                qm = heights[0]
+                qi = heights[1]
+                qp = heights[2]
+                candidate = qi + 1 / (np1 - nm) * (
+                    (ni - nm + 1) * (qp - qi) / (np1 - ni)
+                    + (np1 - ni - 1) * (qi - qm) / (ni - nm)
+                )
+                if qm < candidate < qp:
+                    heights[1] = candidate
                 else:
-                    heights[i] = self._linear(i, direction)
-                positions[i] += direction
+                    heights[1] = qi + (1 * (qp - qi)) / (np1 - ni)
+                positions[1] = ni + 1
+        elif delta <= -1:
+            nm = positions[0]
+            ni = positions[1]
+            if nm - ni < -1:
+                np1 = positions[2]
+                qm = heights[0]
+                qi = heights[1]
+                qp = heights[2]
+                candidate = qi + -1 / (np1 - nm) * (
+                    (ni - nm - 1) * (qp - qi) / (np1 - ni)
+                    + (np1 - ni + 1) * (qi - qm) / (ni - nm)
+                )
+                if qm < candidate < qp:
+                    heights[1] = candidate
+                else:
+                    heights[1] = qi + (-1 * (qm - qi)) / (nm - ni)
+                positions[1] = ni - 1
+        delta = desired[2] - positions[2]
+        if delta >= 1:
+            ni = positions[2]
+            np1 = positions[3]
+            if np1 - ni > 1:
+                nm = positions[1]
+                qm = heights[1]
+                qi = heights[2]
+                qp = heights[3]
+                candidate = qi + 1 / (np1 - nm) * (
+                    (ni - nm + 1) * (qp - qi) / (np1 - ni)
+                    + (np1 - ni - 1) * (qi - qm) / (ni - nm)
+                )
+                if qm < candidate < qp:
+                    heights[2] = candidate
+                else:
+                    heights[2] = qi + (1 * (qp - qi)) / (np1 - ni)
+                positions[2] = ni + 1
+        elif delta <= -1:
+            nm = positions[1]
+            ni = positions[2]
+            if nm - ni < -1:
+                np1 = positions[3]
+                qm = heights[1]
+                qi = heights[2]
+                qp = heights[3]
+                candidate = qi + -1 / (np1 - nm) * (
+                    (ni - nm - 1) * (qp - qi) / (np1 - ni)
+                    + (np1 - ni + 1) * (qi - qm) / (ni - nm)
+                )
+                if qm < candidate < qp:
+                    heights[2] = candidate
+                else:
+                    heights[2] = qi + (-1 * (qm - qi)) / (nm - ni)
+                positions[2] = ni - 1
+        delta = desired[3] - positions[3]
+        if delta >= 1:
+            ni = positions[3]
+            np1 = positions[4]
+            if np1 - ni > 1:
+                nm = positions[2]
+                qm = heights[2]
+                qi = heights[3]
+                qp = heights[4]
+                candidate = qi + 1 / (np1 - nm) * (
+                    (ni - nm + 1) * (qp - qi) / (np1 - ni)
+                    + (np1 - ni - 1) * (qi - qm) / (ni - nm)
+                )
+                if qm < candidate < qp:
+                    heights[3] = candidate
+                else:
+                    heights[3] = qi + (1 * (qp - qi)) / (np1 - ni)
+                positions[3] = ni + 1
+        elif delta <= -1:
+            nm = positions[2]
+            ni = positions[3]
+            if nm - ni < -1:
+                np1 = positions[4]
+                qm = heights[2]
+                qi = heights[3]
+                qp = heights[4]
+                candidate = qi + -1 / (np1 - nm) * (
+                    (ni - nm - 1) * (qp - qi) / (np1 - ni)
+                    + (np1 - ni + 1) * (qi - qm) / (ni - nm)
+                )
+                if qm < candidate < qp:
+                    heights[3] = candidate
+                else:
+                    heights[3] = qi + (-1 * (qm - qi)) / (nm - ni)
+                positions[3] = ni - 1
 
     def _parabolic(self, i: int, direction: int) -> float:
         q, n = self._heights, self._positions

@@ -29,6 +29,52 @@ from repro.traffic.shapes import shape_by_name
 from repro.workloads.service import ServiceTimeModel
 
 
+class FastpathContext:
+    """Shared state the rack layers hand to the callback fast cores.
+
+    The fleet layers (:class:`repro.cluster.rack.Rack`, the dist worker)
+    attach one of these per server system so
+    :class:`repro.sdp.spinning.FastSpinningCore` can prove its collapsed
+    dequeue->complete turn is unobservable:
+
+    * ``pending_deliveries`` — requests already steered across the link
+      but not yet enqueued. Bounds the queue occupancy the reference
+      path could reach mid-turn (capacity/rejection equivalence).
+    * fault boundaries — absolute times at which the fault controller
+      mutates this server (crash/restart/slow/degrade apply *and*
+      revert). A collapsed turn must not span one: the reference path
+      would observe the still-queued item (crash backlog redispatch).
+    """
+
+    __slots__ = ("pending_deliveries", "_fault_times", "_fault_index")
+
+    def __init__(self):
+        self.pending_deliveries = 0
+        self._fault_times: List[float] = []
+        self._fault_index = 0
+
+    def set_fault_times(self, times: List[float]) -> None:
+        """Install the sorted absolute fault apply/revert times."""
+        self._fault_times = times
+        self._fault_index = 0
+
+    def next_boundary_after(self, now: float) -> float:
+        """The first fault boundary strictly after ``now`` (else ``inf``).
+
+        Boundaries at exactly ``now`` have already fired (controller
+        events are scheduled at run setup, so they sort before core
+        turns at equal time); the cursor only ever advances — callers
+        query with non-decreasing ``now``.
+        """
+        times = self._fault_times
+        index = self._fault_index
+        limit = len(times)
+        while index < limit and times[index] <= now:
+            index += 1
+        self._fault_index = index
+        return times[index] if index < limit else float("inf")
+
+
 class Cluster:
     """A set of cores jointly serving a set of queues.
 
@@ -66,10 +112,11 @@ class Cluster:
 
     def notify_ready(self, qid: int) -> None:
         """Mark a queue non-empty and pulse waiting cores."""
-        bit = 1 << self.local_of[qid]
-        self.ready_mask |= bit
-        if self._arrival_event.waiter_count:
-            stale = self._arrival_event
+        self.ready_mask |= 1 << self.local_of[qid]
+        # waiter_count, read directly: one doorbell ring per enqueue
+        # lands here.
+        stale = self._arrival_event
+        if stale._callbacks:
             self._arrival_event = Event(f"cluster{self.plan.cluster_id}.arrival")
             # Decouple from the producer's call stack.
             self.sim.schedule(0.0, stale.trigger, qid)
@@ -107,6 +154,12 @@ class DataPlaneSystem:
     system owns a private simulator.
     """
 
+    # Factory hooks so repro.cluster._reference can substitute frozen
+    # pre-fast-path copies of the hot classes without forking __init__.
+    queue_cls = TaskQueue
+    cluster_cls = Cluster
+    locality_cls = LocalityModel
+
     def __init__(self, config: SDPConfig, sim: Optional[Simulator] = None):
         self.config = config
         self.sim = Simulator() if sim is None else sim
@@ -114,7 +167,7 @@ class DataPlaneSystem:
         self.streams = RandomStreams(config.seed)
         self.shape = shape_by_name(config.shape)
         self.cost_model = config.cost_model
-        self.locality = LocalityModel(config.cost_model)
+        self.locality = self.locality_cls(config.cost_model)
 
         self.doorbell_region = DoorbellRegion(
             size_bytes=max(1 << 20, config.num_queues * 64)
@@ -124,7 +177,7 @@ class DataPlaneSystem:
             for qid in range(config.num_queues)
         ]
         self.queues = [
-            TaskQueue(qid, self.doorbells[qid], config.queue_capacity)
+            self.queue_cls(qid, self.doorbells[qid], config.queue_capacity)
             for qid in range(config.num_queues)
         ]
 
@@ -148,7 +201,7 @@ class DataPlaneSystem:
                 uncontended_cycles=cm.lock_uncontended,
                 transfer_cycles=cm.remote_transfer,
             )
-            cluster = Cluster(self.sim, plan, self.queues, lock)
+            cluster = self.cluster_cls(self.sim, plan, self.queues, lock)
             cluster.empty_poll_cost = self.locality.empty_poll_cost(
                 cluster.n, config.num_queues
             )
@@ -163,6 +216,11 @@ class DataPlaneSystem:
                 self.cluster_of_queue[qid] = cluster
 
         self.task_data_stall = self.locality.task_data_stall_cycles(config.num_queues)
+
+        # Set (pre-core-build) by the fleet layers that track in-flight
+        # deliveries and fault boundaries; None for standalone systems,
+        # which keeps the generator-based cores.
+        self.fastpath: Optional["FastpathContext"] = None
 
         # Doorbell plumbing: ready-mask upkeep + any extra subscribers
         # (HyperPlane's monitoring set registers here).
@@ -200,20 +258,28 @@ class DataPlaneSystem:
     # -- plumbing -----------------------------------------------------------
 
     def _on_doorbell_write(self, doorbell: Doorbell) -> None:
-        self.cluster_of_queue[doorbell.qid].notify_ready(doorbell.qid)
-        for hook in self.doorbell_write_hooks:
-            hook(doorbell)
+        qid = doorbell.qid
+        self.cluster_of_queue[qid].notify_ready(qid)
+        hooks = self.doorbell_write_hooks
+        if hooks:
+            for hook in hooks:
+                hook(doorbell)
 
     def notify_dequeue(self, qid: int) -> None:
         """Called by cores after each dequeue (drives closed-loop refill)."""
-        for hook in self.on_dequeue_hooks:
-            hook(qid)
+        hooks = self.on_dequeue_hooks
+        if hooks:
+            for hook in hooks:
+                hook(qid)
 
     def complete(self, item: WorkItem) -> None:
         """Record a finished work item."""
-        item.completion_time = self.sim.now
-        self.metrics.completed += 1
-        self.metrics.latency.record(self.sim.now, item.latency)
+        now = self.sim.now
+        item.completion_time = now
+        metrics = self.metrics
+        metrics.completed += 1
+        # item.latency == now - arrival_time, with completion_time == now.
+        metrics.latency.record(now, now - item.arrival_time)
 
     # -- traffic ------------------------------------------------------------
 

@@ -89,16 +89,21 @@ def test_curve_cache_hit_replays_identical_metrics():
 
 
 def test_system_build_uses_curve_cache():
+    from repro.sdp import locality
     from repro.sdp.config import SDPConfig
     from repro.sdp.system import DataPlaneSystem
 
+    locality.clear_shared_curves()
     DataPlaneSystem(SDPConfig(num_queues=64, seed=1))
     misses = curve_cache_info()["misses"]
     assert misses > 0
     DataPlaneSystem(SDPConfig(num_queues=64, seed=2))  # same geometry, new seed
     info = curve_cache_info()
-    assert info["misses"] == misses  # second build derived nothing new
-    assert info["hits"] > 0
+    # The second build derives nothing new: the fleet-interned curves
+    # (repro.sdp.locality._SHARED_CURVES) satisfy it before the
+    # derivation layer is even consulted.
+    assert info["misses"] == misses
+    assert locality._SHARED_CURVES
 
 
 # -- structural spin batching ------------------------------------------------
